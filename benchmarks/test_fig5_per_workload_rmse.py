@@ -1,0 +1,87 @@
+"""Figure 5 — per-workload IPC RMSE of the four cross-workload frameworks.
+
+Paper result: MetaDSE achieves the lowest RMSE on (almost) every workload and
+reduces the GEOMEAN prediction error by 44.3 % relative to TrEnDSE, with the
+WAM adaptation contributing a further improvement over the plain
+meta-learning variant.
+
+Reproduction target (shape, not absolute numbers):
+* MetaDSE's GEOMEAN RMSE is well below TrEnDSE's and TrEnDSE-Transformer's;
+* the meta-learning variants beat both TrEnDSE variants on the large
+  majority of test workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.trendse import TrEnDSE
+from repro.datasets.tasks import holdout_task
+from repro.metrics.regression import geometric_mean, rmse
+
+from benchmarks.helpers import clone_without_wam
+from benchmarks.conftest import ADAPTATION_SUPPORT, EVALUATION_QUERY
+
+
+def test_fig5_per_workload_ipc_rmse(
+    benchmark, dataset, split, metadse_ipc, trendse_transformer_ipc, record
+):
+    trendse = TrEnDSE(seed=0).pretrain(dataset, split, metric="ipc")
+    metadse_no_wam = clone_without_wam(metadse_ipc)
+
+    models = {
+        "TrEnDSE": trendse,
+        "TrEnDSE-Transformer": trendse_transformer_ipc,
+        "MetaDSE-w/o WAM": metadse_no_wam,
+        "MetaDSE": metadse_ipc,
+    }
+    targets = list(split.test)
+
+    def run_figure5():
+        table: dict[str, dict[str, float]] = {name: {} for name in models}
+        for workload in targets:
+            task = holdout_task(
+                dataset[workload], metric="ipc",
+                support_size=ADAPTATION_SUPPORT, query_size=EVALUATION_QUERY, seed=42,
+            )
+            for name, model in models.items():
+                model.adapt(task.support_x, task.support_y)
+                table[name][workload] = rmse(task.query_y, model.predict(task.query_x))
+        for name in models:
+            table[name]["GEOMEAN"] = geometric_mean(
+                [table[name][w] for w in targets]
+            )
+        return table
+
+    table = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    record("fig5_per_workload_rmse", {
+        "support_size": ADAPTATION_SUPPORT,
+        "workloads": targets,
+        "rmse": table,
+        "paper_reference": {
+            "headline": "MetaDSE reduces GEOMEAN IPC RMSE by 44.3% vs TrEnDSE",
+            "wam_contribution": "WAM reduces average error by 27% vs MetaDSE-w/o WAM",
+        },
+    })
+
+    geomeans = {name: table[name]["GEOMEAN"] for name in models}
+
+    # Shape claim 1: MetaDSE clearly beats the state-of-the-art TrEnDSE.
+    reduction_vs_trendse = 1.0 - geomeans["MetaDSE"] / geomeans["TrEnDSE"]
+    assert reduction_vs_trendse > 0.25, (
+        f"expected a large GEOMEAN reduction vs TrEnDSE, got {reduction_vs_trendse:.1%}"
+    )
+
+    # Shape claim 2: the meta-learning variants beat both TrEnDSE variants on
+    # the majority of individual workloads.
+    wins = sum(
+        table["MetaDSE"][w] < table["TrEnDSE"][w]
+        and table["MetaDSE"][w] < table["TrEnDSE-Transformer"][w]
+        for w in targets
+    )
+    assert wins >= len(targets) - 1
+
+    # Shape claim 3 (weak form): WAM does not catastrophically hurt; the paper
+    # reports a 27% gain, which does not fully reproduce on the synthetic
+    # substrate (see EXPERIMENTS.md).
+    assert geomeans["MetaDSE"] < 1.25 * geomeans["MetaDSE-w/o WAM"]

@@ -1,0 +1,52 @@
+"""Throughput micro-benchmarks of the substrate.
+
+Not a paper table, but the numbers every other benchmark's runtime depends
+on: simulation throughput (design points per second) and surrogate inference
+throughput (predictions per second).  They also document the speed-up that
+motivates surrogate-model DSE in the first place — a prediction must be
+orders of magnitude cheaper than a simulation for the whole approach to make
+sense (with gem5 the gap is ~10^6; here it is smaller but still large).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.designspace.sampling import RandomSampler
+
+
+def test_simulator_throughput(benchmark, simulator, dataset, record):
+    configs = RandomSampler(simulator.space, seed=3).sample(20)
+
+    def simulate_batch():
+        return [simulator.run(config, "602.gcc_s").ipc for config in configs]
+
+    values = benchmark(simulate_batch)
+    assert len(values) == 20
+    assert all(v > 0 for v in values)
+
+
+def test_surrogate_inference_throughput(benchmark, metadse_ipc, dataset):
+    features = dataset["605.mcf_s"].features[:256]
+
+    def predict_batch():
+        return metadse_ipc.predict(features)
+
+    predictions = benchmark(predict_batch)
+    assert predictions.shape == (256,)
+    assert np.all(np.isfinite(predictions))
+
+
+def test_adaptation_latency(benchmark, metadse_ipc, dataset):
+    """Latency of one full Algorithm 2 adaptation (the per-workload cost)."""
+    from repro.datasets.tasks import holdout_task
+
+    task = holdout_task(dataset["623.xalancbmk_s"], metric="ipc",
+                        support_size=10, query_size=50, seed=0)
+
+    def adapt_once():
+        metadse_ipc.adapt(task.support_x, task.support_y)
+        return metadse_ipc.predict(task.query_x)
+
+    predictions = benchmark.pedantic(adapt_once, rounds=3, iterations=1)
+    assert np.all(np.isfinite(predictions))

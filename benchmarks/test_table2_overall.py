@@ -1,0 +1,108 @@
+"""Table II — overall RMSE / MAPE / EV for IPC and power prediction.
+
+Paper result (averaged over the five test workloads):
+
+==========  ======  ======  ======  ======  =======  ======
+Model       RMSE            MAPE            EV
+----------  --------------  --------------  ---------------
+\            IPC    Power    IPC    Power    IPC     Power
+RF          0.4389  0.5344  1.1624  0.3356  -0.7997  0.4470
+GBRT        0.3637  0.4539  0.9486  0.2667  -0.5152  0.4634
+TrEnDSE     0.3270  0.3990  0.8386  0.2348  -0.5142  0.5711
+MetaDSE     0.2204  0.3969  0.5909  0.2330  -0.0471  0.3189
+==========  ======  ======  ======  ======  =======  ======
+
+Reproduction target: for both metrics the error ordering
+``MetaDSE < TrEnDSE <= GBRT <= RF`` holds for RMSE (and MetaDSE has the best
+IPC explained variance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.target_only import gbrt_baseline, random_forest_baseline
+from repro.baselines.trendse import TrEnDSE
+from repro.datasets.tasks import holdout_task
+from repro.metrics.regression import confidence_interval, evaluate_predictions
+
+from benchmarks.conftest import ADAPTATION_SUPPORT, EVALUATION_QUERY
+
+
+def _evaluate_models(models, dataset, targets, metric):
+    """Adapt + evaluate every model on every target workload."""
+    per_model: dict[str, dict[str, list[float]]] = {
+        name: {"rmse": [], "mape": [], "ev": []} for name in models
+    }
+    for workload in targets:
+        task = holdout_task(
+            dataset[workload], metric=metric,
+            support_size=ADAPTATION_SUPPORT, query_size=EVALUATION_QUERY, seed=7,
+        )
+        for name, model in models.items():
+            model.adapt(task.support_x, task.support_y)
+            report = evaluate_predictions(task.query_y, model.predict(task.query_x))
+            per_model[name]["rmse"].append(report.rmse)
+            per_model[name]["mape"].append(report.mape)
+            per_model[name]["ev"].append(report.explained_variance)
+    summary = {}
+    for name, metrics in per_model.items():
+        summary[name] = {
+            key: {
+                "mean": float(np.mean(values)),
+                "ci95": confidence_interval(values),
+            }
+            for key, values in metrics.items()
+        }
+    return summary
+
+
+def test_table2_overall_results(
+    benchmark, dataset, split, metadse_ipc, metadse_power, record
+):
+    targets = list(split.test)
+
+    def run_table2():
+        table = {}
+        for metric, metadse in (("ipc", metadse_ipc), ("power", metadse_power)):
+            models = {
+                "RF": random_forest_baseline(seed=0).pretrain(dataset, split, metric=metric),
+                "GBRT": gbrt_baseline(seed=0).pretrain(dataset, split, metric=metric),
+                "TrEnDSE": TrEnDSE(seed=0).pretrain(dataset, split, metric=metric),
+                "MetaDSE": metadse,
+            }
+            table[metric] = _evaluate_models(models, dataset, targets, metric)
+        return table
+
+    table = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    record("table2_overall", {
+        "test_workloads": targets,
+        "support_size": ADAPTATION_SUPPORT,
+        "results": table,
+        "paper_reference": {
+            "ipc_rmse": {"RF": 0.4389, "GBRT": 0.3637, "TrEnDSE": 0.3270, "MetaDSE": 0.2204},
+            "power_rmse": {"RF": 0.5344, "GBRT": 0.4539, "TrEnDSE": 0.3990, "MetaDSE": 0.3969},
+        },
+    })
+
+    for metric in ("ipc", "power"):
+        rmse_of = {name: table[metric][name]["rmse"]["mean"] for name in table[metric]}
+        # Core ordering of Table II: TrEnDSE beats the plain tree transfer
+        # baselines, GBRT no worse than RF.
+        assert rmse_of["TrEnDSE"] < rmse_of["RF"], metric
+        assert rmse_of["GBRT"] <= rmse_of["RF"] * 1.05, metric
+
+    # IPC: MetaDSE is clearly the most accurate model (paper: 0.2204 vs
+    # 0.3270 for TrEnDSE).  Power: the paper itself reports a near-tie
+    # (0.3969 vs 0.3990), so the reproduction only requires MetaDSE to stay
+    # within a few percent of TrEnDSE.
+    assert table["ipc"]["MetaDSE"]["rmse"]["mean"] < table["ipc"]["TrEnDSE"]["rmse"]["mean"]
+    assert (
+        table["power"]["MetaDSE"]["rmse"]["mean"]
+        <= table["power"]["TrEnDSE"]["rmse"]["mean"] * 1.15
+    )
+
+    # MetaDSE achieves the best IPC explained variance (closest to zero or
+    # positive), mirroring the -0.047 vs -0.51/-0.80 pattern of the paper.
+    ev_of = {name: table["ipc"][name]["ev"]["mean"] for name in table["ipc"]}
+    assert ev_of["MetaDSE"] == max(ev_of.values())

@@ -1,0 +1,76 @@
+"""Linear-fitting transfer baseline (Dubach et al. style).
+
+Section II-A1 of the paper describes the "Linear Fitting" strategy [18]: a
+set of per-source-workload predictors is trained once; for a new target
+workload, the few labelled target samples are used to fit a *linear map*
+from the source models' predictions to the target label space.  The target
+prediction for an unseen configuration is then the linear combination of the
+frozen source models' outputs.
+
+This is the weakest of the transfer strategies (it assumes the target metric
+is a linear function of the source metrics) and serves as a sanity-check
+lower bound in the extended benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import CrossWorkloadModel, Regressor, as_1d, as_2d
+from repro.baselines.trees import GradientBoostingRegressor
+from repro.datasets.generation import DSEDataset
+from repro.datasets.splits import WorkloadSplit
+from repro.utils.rng import SeedLike, as_rng
+
+
+class LinearFittingTransfer(CrossWorkloadModel):
+    """Fixed per-source models combined by a ridge-regularised linear map."""
+
+    name = "LinearFitting"
+
+    def __init__(self, *, ridge: float = 1e-3, seed: SeedLike = 0) -> None:
+        if ridge < 0:
+            raise ValueError("ridge must be >= 0")
+        self.ridge = ridge
+        self.rng = as_rng(seed)
+        self._source_models: dict[str, Regressor] = {}
+        self._weights: Optional[np.ndarray] = None
+        self._metric = "ipc"
+
+    def pretrain(
+        self, dataset: DSEDataset, split: WorkloadSplit, *, metric: str = "ipc"
+    ) -> "LinearFittingTransfer":
+        self._metric = metric
+        self._source_models = {}
+        for workload in split.train:
+            data = dataset[workload]
+            model = GradientBoostingRegressor(n_estimators=60, max_depth=3, seed=self.rng)
+            model.fit(data.features, data.metric(metric))
+            self._source_models[workload] = model
+        self._weights = None
+        return self
+
+    def _source_predictions(self, features: np.ndarray) -> np.ndarray:
+        """Stack per-source predictions as columns, plus a bias column."""
+        features = as_2d(features)
+        columns = [model.predict(features) for model in self._source_models.values()]
+        columns.append(np.ones(features.shape[0]))
+        return np.stack(columns, axis=1)
+
+    def adapt(self, support_x: np.ndarray, support_y: np.ndarray) -> "LinearFittingTransfer":
+        if not self._source_models:
+            raise RuntimeError("adapt() called before pretrain()")
+        support_y = as_1d(support_y)
+        design = self._source_predictions(support_x)
+        # Ridge-regularised least squares keeps the map stable when the
+        # support set is smaller than the number of source models.
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self._weights = np.linalg.solve(gram, design.T @ support_y)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("predict() called before adapt()")
+        return self._source_predictions(features) @ self._weights

@@ -1,0 +1,139 @@
+"""Workload-signature transfer baseline (Section II-A "Similarity Analysis").
+
+The signature-based frameworks [15, 16] pre-train one predictor per source
+workload and describe each source by a compact *signature*.  A new target
+workload is matched to the source whose signature is closest, and that
+source's predictor is reused after a light calibration on the target's few
+labelled samples.
+
+Here the signature is the distributional feature vector of a workload's
+metric values over the shared probe set
+(:func:`repro.stats.features.distribution_features`), the per-source
+predictor is a GBRT, and the calibration is a least-squares affine map from
+the source model's predictions to the target label space, optionally
+followed by a handful of residual-correcting support samples folded into a
+nearest-source blend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import CrossWorkloadModel, as_1d, as_2d
+from repro.baselines.trees import GradientBoostingRegressor
+from repro.datasets.generation import DSEDataset
+from repro.datasets.splits import WorkloadSplit
+from repro.stats.features import distribution_features
+from repro.utils.rng import SeedLike, as_rng
+
+
+class SignatureTransfer(CrossWorkloadModel):
+    """Pick the source with the nearest signature, calibrate its predictor."""
+
+    name = "Signature"
+
+    def __init__(
+        self,
+        *,
+        probe_points: int = 128,
+        blend_sources: int = 1,
+        ridge: float = 1e-3,
+        n_estimators: int = 80,
+        seed: SeedLike = 0,
+    ) -> None:
+        if probe_points < 8:
+            raise ValueError("probe_points must be >= 8")
+        if blend_sources < 1:
+            raise ValueError("blend_sources must be >= 1")
+        if ridge < 0:
+            raise ValueError("ridge must be >= 0")
+        self.probe_points = probe_points
+        self.blend_sources = blend_sources
+        self.ridge = ridge
+        self.n_estimators = n_estimators
+        self.rng = as_rng(seed)
+        self._metric = "ipc"
+        self._signatures: dict[str, np.ndarray] = {}
+        self._signature_mean: Optional[np.ndarray] = None
+        self._signature_std: Optional[np.ndarray] = None
+        self._models: dict[str, GradientBoostingRegressor] = {}
+        self._selected: list[str] = []
+        self._calibration: Optional[np.ndarray] = None
+
+    # -- stage 1: per-source predictors and signatures ------------------------------
+    def pretrain(
+        self, dataset: DSEDataset, split: WorkloadSplit, *, metric: str = "ipc"
+    ) -> "SignatureTransfer":
+        self._metric = metric
+        self._signatures = {}
+        self._models = {}
+        source_workloads = list(split.train) + list(split.validation)
+        probe = min(self.probe_points, dataset.num_points)
+        raw_signatures = []
+        for workload in source_workloads:
+            data = dataset[workload]
+            labels = data.metric(metric)
+            signature = distribution_features(labels[:probe])
+            raw_signatures.append(signature)
+            self._signatures[workload] = signature
+            model = GradientBoostingRegressor(
+                n_estimators=self.n_estimators, max_depth=3, subsample=0.8, seed=self.rng
+            )
+            model.fit(data.features, labels)
+            self._models[workload] = model
+        stacked = np.stack(raw_signatures, axis=0)
+        self._signature_mean = stacked.mean(axis=0)
+        self._signature_std = np.maximum(stacked.std(axis=0), 1e-12)
+        self._selected = []
+        self._calibration = None
+        return self
+
+    def _standardize(self, signature: np.ndarray) -> np.ndarray:
+        assert self._signature_mean is not None and self._signature_std is not None
+        return (signature - self._signature_mean) / self._signature_std
+
+    def rank_sources(self, support_y: np.ndarray) -> list[str]:
+        """Source workloads ordered by signature distance to the target."""
+        if not self._signatures:
+            raise RuntimeError("rank_sources() called before pretrain()")
+        target = self._standardize(distribution_features(support_y))
+        distances = [
+            (float(np.linalg.norm(self._standardize(signature) - target)), name)
+            for name, signature in self._signatures.items()
+        ]
+        distances.sort(key=lambda pair: pair[0])
+        return [name for _, name in distances]
+
+    # -- stages 2-3: match the signature, calibrate the predictions ---------------------
+    def adapt(self, support_x: np.ndarray, support_y: np.ndarray) -> "SignatureTransfer":
+        if not self._models:
+            raise RuntimeError("adapt() called before pretrain()")
+        support_x = as_2d(support_x)
+        support_y = as_1d(support_y, support_x.shape[0])
+
+        self._selected = self.rank_sources(support_y)[: self.blend_sources]
+
+        # Affine calibration: least squares from the blended source predictions
+        # (plus an intercept) to the target support labels, ridge-regularised
+        # because the support set is tiny.
+        blended = self._blended_source_predictions(support_x)
+        design = np.stack([blended, np.ones_like(blended)], axis=1)
+        gram = design.T @ design + self.ridge * np.eye(2)
+        self._calibration = np.linalg.solve(gram, design.T @ support_y)
+        return self
+
+    def _blended_source_predictions(self, features: np.ndarray) -> np.ndarray:
+        predictions = np.stack(
+            [self._models[name].predict(features) for name in self._selected], axis=0
+        )
+        return predictions.mean(axis=0)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._calibration is None or not self._selected:
+            raise RuntimeError("predict() called before adapt()")
+        features = as_2d(features)
+        blended = self._blended_source_predictions(features)
+        slope, intercept = self._calibration
+        return slope * blended + intercept

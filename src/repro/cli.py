@@ -1,0 +1,332 @@
+"""Command-line interface for the MetaDSE reproduction.
+
+``python -m repro <command>`` exposes the main workflows end to end without
+writing any Python:
+
+* ``table1``     — print the Table I design-space specification;
+* ``generate``   — sample design points, simulate them for every workload and
+  save the labelled dataset to a ``.npz`` archive;
+* ``similarity`` — regenerate the Fig. 2 workload-similarity analysis from a
+  saved dataset;
+* ``pretrain``   — MAML pre-training of the MetaDSE predictor on the source
+  workloads of the paper's 7/5/5 split, saved to a model archive;
+* ``evaluate``   — adapt a pre-trained model to a target workload with K
+  support samples and report RMSE / MAPE / explained variance;
+* ``explore``    — run a design-space exploration (active-learning loop or
+  surrogate screening) on one workload and print the Pareto front.
+
+Every command accepts ``--seed`` so runs are reproducible, and prints a short
+human-readable report to stdout; machine-readable results are written as JSON
+when ``--output`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.trees import GradientBoostingRegressor
+from repro.core.config import default_config, paper_scale_config
+from repro.core.metadse import MetaDSE
+from repro.datasets.generation import generate_dataset
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.similarity import similarity_matrix
+from repro.datasets.splits import paper_split
+from repro.datasets.tasks import holdout_task
+from repro.designspace.spec import build_table1_space
+from repro.dse.active import ActiveLearningExplorer
+from repro.dse.explorer import PredictorGuidedExplorer
+from repro.metrics.regression import evaluate_predictions
+from repro.sim.simulator import Simulator
+from repro.workloads.spec2017 import SPEC2017_WORKLOAD_NAMES
+
+
+def _write_json(path: Optional[str], payload: dict) -> None:
+    if path is None:
+        return
+    output = Path(path)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote {output}")
+
+
+def _build_simulator(args: argparse.Namespace) -> Simulator:
+    return Simulator(simpoint_phases=args.phases, seed=args.seed)
+
+
+# -- table1 ----------------------------------------------------------------------
+def cmd_table1(args: argparse.Namespace) -> int:
+    space = build_table1_space()
+    print(space.describe())
+    print(f"parameters: {space.num_parameters}")
+    print(f"distinct configurations: {space.size():.3e}")
+    return 0
+
+
+# -- generate -----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    simulator = _build_simulator(args)
+    workloads = args.workloads if args.workloads else None
+    dataset = generate_dataset(
+        simulator,
+        workloads=workloads,
+        num_points=args.num_points,
+        sampler_kind=args.sampler,
+        seed=args.seed,
+    )
+    path = save_dataset(dataset, args.output)
+    print(
+        f"labelled {dataset.num_points} design points for {len(dataset)} workloads "
+        f"-> {path}"
+    )
+    return 0
+
+
+# -- similarity ----------------------------------------------------------------------
+def cmd_similarity(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    matrix = similarity_matrix(dataset, metric=args.metric)
+    print(f"workload similarity ({args.metric}, normalised Wasserstein distance)")
+    print(f"mean off-diagonal distance: {matrix.mean_offdiagonal():.3f}")
+    for name in matrix.workloads:
+        nearest = matrix.most_similar(name, count=1)[0]
+        print(f"  {name:24s} closest: {nearest:24s} d={matrix.distance(name, nearest):.3f}")
+    _write_json(args.output, {"metric": args.metric, "rows": matrix.to_rows()})
+    return 0
+
+
+# -- pretrain ----------------------------------------------------------------------
+def cmd_pretrain(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    split = paper_split(seed=args.split_seed)
+    missing = [w for w in split.all_workloads if w not in dataset]
+    if missing:
+        raise SystemExit(
+            f"dataset is missing workloads required by the 7/5/5 split: {missing}"
+        )
+    config = (
+        paper_scale_config(use_wam=not args.no_wam, seed=args.seed)
+        if args.scale == "paper"
+        else default_config(use_wam=not args.no_wam, seed=args.seed)
+    )
+    if args.epochs is not None or args.tasks_per_workload is not None:
+        from dataclasses import replace
+
+        maml = config.maml
+        if args.epochs is not None:
+            maml = replace(maml, meta_epochs=args.epochs)
+        if args.tasks_per_workload is not None:
+            maml = replace(maml, tasks_per_workload=args.tasks_per_workload)
+        config = replace(config, maml=maml)
+    model = MetaDSE(dataset.space.num_parameters, config=config)
+    model.pretrain(dataset, split, metric=args.metric)
+    model.save_pretrained(args.output)
+    report = model.pretrain_report
+    assert report is not None
+    print(
+        f"meta-trained {model.name} on {len(report.train_workloads)} workloads "
+        f"({report.history.num_epochs} epochs, best epoch {report.history.best_epoch})"
+    )
+    print(f"final train loss {report.history.train_losses[-1]:.4f}")
+    if report.history.validation_losses:
+        print(f"best validation loss {report.history.best_validation_loss:.4f}")
+    print(f"saved model -> {args.output}")
+    return 0
+
+
+# -- evaluate ----------------------------------------------------------------------
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    if args.workload not in dataset:
+        raise SystemExit(f"workload {args.workload!r} is not in the dataset")
+    model = MetaDSE(dataset.space.num_parameters, config=default_config(seed=args.seed))
+    model.load_pretrained(args.model)
+
+    reports = []
+    for episode in range(args.episodes):
+        task = holdout_task(
+            dataset[args.workload],
+            metric=args.metric,
+            support_size=args.support_size,
+            seed=args.seed + episode,
+        )
+        model.adapt(task.support_x, task.support_y)
+        predictions = model.predict(task.query_x)
+        reports.append(evaluate_predictions(task.query_y, predictions))
+
+    mean_rmse = float(np.mean([r.rmse for r in reports]))
+    mean_mape = float(np.mean([r.mape for r in reports]))
+    mean_ev = float(np.mean([r.explained_variance for r in reports]))
+    print(
+        f"{args.workload} ({args.metric}, K={args.support_size}, "
+        f"{args.episodes} episodes)"
+    )
+    print(f"  RMSE {mean_rmse:.4f}   MAPE {mean_mape:.4f}   EV {mean_ev:.4f}")
+    _write_json(
+        args.output,
+        {
+            "workload": args.workload,
+            "metric": args.metric,
+            "support_size": args.support_size,
+            "episodes": args.episodes,
+            "rmse": mean_rmse,
+            "mape": mean_mape,
+            "explained_variance": mean_ev,
+        },
+    )
+    return 0
+
+
+# -- explore ----------------------------------------------------------------------
+def cmd_explore(args: argparse.Namespace) -> int:
+    simulator = _build_simulator(args)
+    space = simulator.space
+    if args.method == "active":
+        explorer = ActiveLearningExplorer(
+            space, simulator, candidate_pool=args.candidate_pool, seed=args.seed
+        )
+        result = explorer.explore(
+            args.workload,
+            initial_samples=max(args.budget // 3, 4),
+            batch_size=max(args.budget // 6, 2),
+            rounds=4,
+        )
+        rounds = [
+            {
+                "round": entry.round_index,
+                "simulations": entry.simulations_total,
+                "pareto_size": entry.pareto_size,
+                "hypervolume": entry.hypervolume,
+            }
+            for entry in result.rounds
+        ]
+        extras = {"rounds": rounds}
+    else:  # screen
+        dataset = load_dataset(args.dataset) if args.dataset else None
+        if dataset is None or args.workload not in dataset:
+            raise SystemExit("--method screen needs --dataset containing the workload")
+        data = dataset[args.workload]
+        surrogates = {}
+        for metric in ("ipc", "power"):
+            surrogate = GradientBoostingRegressor(n_estimators=60, max_depth=3, seed=args.seed)
+            surrogate.fit(data.features, data.metric(metric))
+            surrogates[metric] = surrogate.predict
+        explorer = PredictorGuidedExplorer(space, simulator, seed=args.seed)
+        result = explorer.explore(
+            args.workload,
+            surrogates,
+            candidate_pool=args.candidate_pool,
+            simulation_budget=args.budget,
+        )
+        extras = {}
+
+    print(
+        f"{args.workload}: {result.simulations_used} simulations, "
+        f"{len(result.pareto_indices)} Pareto-optimal points"
+    )
+    front = []
+    for config, objectives in zip(result.pareto_configs, result.pareto_objectives):
+        row = dict(zip(result.objective_names, (float(v) for v in objectives)))
+        print("  " + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+        row["configuration"] = {k: config[k] for k in sorted(config)}
+        front.append(row)
+    _write_json(
+        args.output,
+        {
+            "workload": args.workload,
+            "method": args.method,
+            "simulations": result.simulations_used,
+            "pareto_front": front,
+            **extras,
+        },
+    )
+    return 0
+
+
+# -- parser -----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MetaDSE reproduction: cross-workload CPU DSE from the command line",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="print the Table I design space")
+    table1.set_defaults(handler=cmd_table1)
+
+    generate = subparsers.add_parser("generate", help="generate a labelled dataset")
+    generate.add_argument("--output", required=True, help="output .npz archive")
+    generate.add_argument("--num-points", type=int, default=500)
+    generate.add_argument("--sampler", choices=("random", "lhs", "oa"), default="random")
+    generate.add_argument("--phases", type=int, default=4, help="SimPoint phases per workload")
+    generate.add_argument("--seed", type=int, default=2024)
+    generate.add_argument(
+        "--workloads",
+        nargs="*",
+        choices=SPEC2017_WORKLOAD_NAMES,
+        help="restrict to these workloads (default: all 17)",
+    )
+    generate.set_defaults(handler=cmd_generate)
+
+    similarity = subparsers.add_parser("similarity", help="Fig. 2 workload similarity")
+    similarity.add_argument("--dataset", required=True)
+    similarity.add_argument("--metric", choices=("ipc", "power"), default="ipc")
+    similarity.add_argument("--output", help="optional JSON output path")
+    similarity.set_defaults(handler=cmd_similarity)
+
+    pretrain = subparsers.add_parser("pretrain", help="MAML pre-training of MetaDSE")
+    pretrain.add_argument("--dataset", required=True)
+    pretrain.add_argument("--output", required=True, help="model archive path")
+    pretrain.add_argument("--metric", choices=("ipc", "power"), default="ipc")
+    pretrain.add_argument("--scale", choices=("default", "paper"), default="default")
+    pretrain.add_argument("--no-wam", action="store_true", help="skip WAM generation")
+    pretrain.add_argument(
+        "--epochs", type=int, default=None, help="override the number of meta-epochs"
+    )
+    pretrain.add_argument(
+        "--tasks-per-workload", type=int, default=None, help="override tasks per workload"
+    )
+    pretrain.add_argument("--seed", type=int, default=0)
+    pretrain.add_argument("--split-seed", type=int, default=0)
+    pretrain.set_defaults(handler=cmd_pretrain)
+
+    evaluate = subparsers.add_parser("evaluate", help="few-shot adaptation + metrics")
+    evaluate.add_argument("--dataset", required=True)
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--workload", required=True)
+    evaluate.add_argument("--metric", choices=("ipc", "power"), default="ipc")
+    evaluate.add_argument("--support-size", type=int, default=10)
+    evaluate.add_argument("--episodes", type=int, default=3)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--output", help="optional JSON output path")
+    evaluate.set_defaults(handler=cmd_evaluate)
+
+    explore = subparsers.add_parser("explore", help="design-space exploration")
+    explore.add_argument("--workload", required=True)
+    explore.add_argument("--method", choices=("active", "screen"), default="active")
+    explore.add_argument("--dataset", help="dataset archive (required for --method screen)")
+    explore.add_argument("--budget", type=int, default=30, help="simulation budget")
+    explore.add_argument("--candidate-pool", type=int, default=500)
+    explore.add_argument("--phases", type=int, default=1)
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument("--output", help="optional JSON output path")
+    explore.set_defaults(handler=cmd_explore)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.handler(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""High-level MetaDSE API: the framework facade and experiment configuration."""
+
+from repro.core.config import (
+    FULL_EVAL_ENV,
+    MetaDSEConfig,
+    PredictorConfig,
+    default_config,
+    experiment_config,
+    is_full_eval,
+    paper_scale_config,
+)
+from repro.core.metadse import MetaDSE, PretrainReport
+
+__all__ = [
+    "MetaDSE",
+    "PretrainReport",
+    "MetaDSEConfig",
+    "PredictorConfig",
+    "default_config",
+    "paper_scale_config",
+    "experiment_config",
+    "is_full_eval",
+    "FULL_EVAL_ENV",
+]

@@ -1,0 +1,249 @@
+"""The MetaDSE framework facade.
+
+This is the library's primary public entry point.  It wires together the
+pieces of the paper's Fig. 3 workflow:
+
+* **pre-training stage** (steps 1-9): episodic task sampling over the source
+  workloads, MAML meta-training of the transformer surrogate with
+  meta-validation, and WAM generation from the last layer's attention
+  statistics;
+* **adaptation stage** (steps ①-③): installing the (learnable) mask and
+  fine-tuning a clone of the meta-trained predictor on the target workload's
+  few labelled samples;
+* prediction on unseen target configurations.
+
+Labels are standardised internally using the *source* workloads' statistics
+(the target's statistics are never touched, avoiding leakage); predictions
+are returned in physical units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import CrossWorkloadModel, as_1d, as_2d
+from repro.core.config import MetaDSEConfig, default_config
+from repro.datasets.generation import DSEDataset, WorkloadDataset
+from repro.datasets.splits import WorkloadSplit
+from repro.datasets.tasks import TaskSampler
+from repro.meta.adaptation import AdaptationResult, adapt_predictor
+from repro.meta.maml import MAMLTrainer, MetaTrainingHistory
+from repro.meta.wam import ArchitecturalMask, generate_wam
+from repro.nn.transformer import TransformerPredictor
+
+
+@dataclass
+class PretrainReport:
+    """Summary of one pre-training run."""
+
+    history: MetaTrainingHistory
+    mask: Optional[ArchitecturalMask]
+    train_workloads: tuple[str, ...]
+    validation_workloads: tuple[str, ...]
+    metric: str
+    label_mean: float
+    label_std: float
+
+
+class MetaDSE(CrossWorkloadModel):
+    """Few-shot meta-learning framework for cross-workload CPU DSE.
+
+    Parameters
+    ----------
+    num_parameters:
+        Number of architectural parameters (22 for the Table I space).
+    config:
+        Full configuration; :func:`repro.core.config.default_config` when
+        omitted.
+    use_wam:
+        Convenience override of ``config.use_wam`` — ``use_wam=False`` gives
+        the *MetaDSE-w/o WAM* ablation of Fig. 5.
+    name:
+        Display name used by the benchmark tables.
+    """
+
+    def __init__(
+        self,
+        num_parameters: int,
+        *,
+        config: Optional[MetaDSEConfig] = None,
+        use_wam: Optional[bool] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if num_parameters < 1:
+            raise ValueError("num_parameters must be >= 1")
+        self.num_parameters = num_parameters
+        self.config = config if config is not None else default_config()
+        if use_wam is not None:
+            self.config = replace(self.config, use_wam=use_wam)
+        self.name = name if name is not None else (
+            "MetaDSE" if self.config.use_wam else "MetaDSE-w/o WAM"
+        )
+        self.meta_model: Optional[TransformerPredictor] = None
+        self.mask: Optional[ArchitecturalMask] = None
+        self.adapted: Optional[TransformerPredictor] = None
+        self.pretrain_report: Optional[PretrainReport] = None
+        self.last_adaptation: Optional[AdaptationResult] = None
+        self._metric = "ipc"
+        self._label_mean = 0.0
+        self._label_std = 1.0
+
+    # -- label scaling -------------------------------------------------------------
+    def _fit_label_scaler(self, dataset: DSEDataset, workloads: Sequence[str], metric: str) -> None:
+        if not self.config.standardize_labels:
+            self._label_mean, self._label_std = 0.0, 1.0
+            return
+        labels = np.concatenate([dataset[w].metric(metric) for w in workloads])
+        self._label_mean = float(labels.mean())
+        self._label_std = float(max(labels.std(), 1e-8))
+
+    def _scale(self, values: np.ndarray) -> np.ndarray:
+        return (np.asarray(values, dtype=np.float64) - self._label_mean) / self._label_std
+
+    def _unscale(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64) * self._label_std + self._label_mean
+
+    def _scaled_dataset(self, dataset: DSEDataset, workloads: Sequence[str], metric: str) -> DSEDataset:
+        """Copy of the relevant workloads with the metric standardised."""
+        per_workload = {}
+        for name in workloads:
+            data = dataset[name]
+            per_workload[name] = WorkloadDataset(
+                workload=name,
+                features=data.features,
+                labels={metric: self._scale(data.metric(metric))},
+                configs=data.configs,
+            )
+        return DSEDataset(space=dataset.space, per_workload=per_workload)
+
+    # -- pre-training stage ------------------------------------------------------------
+    def pretrain(
+        self, dataset: DSEDataset, split: WorkloadSplit, *, metric: str = "ipc"
+    ) -> "MetaDSE":
+        """Run the MAML pre-training stage (and WAM generation) on source workloads."""
+        self._metric = metric
+        source_workloads = list(split.train) + list(split.validation)
+        self._fit_label_scaler(dataset, source_workloads, metric)
+        scaled = self._scaled_dataset(dataset, source_workloads, metric)
+
+        predictor_cfg = self.config.predictor
+        self.meta_model = TransformerPredictor(
+            self.num_parameters,
+            embed_dim=predictor_cfg.embed_dim,
+            num_heads=predictor_cfg.num_heads,
+            num_layers=predictor_cfg.num_layers,
+            head_hidden=predictor_cfg.head_hidden,
+            dropout=predictor_cfg.dropout,
+            seed=self.config.seed,
+        )
+        sampler = TaskSampler(
+            scaled,
+            metric=metric,
+            support_size=self.config.maml.support_size,
+            query_size=self.config.maml.query_size,
+            seed=self.config.seed,
+        )
+        trainer = MAMLTrainer(self.meta_model, self.config.maml)
+        history = trainer.meta_train(
+            sampler,
+            list(split.train),
+            list(split.validation) if split.validation else None,
+        )
+
+        self.mask = None
+        if self.config.use_wam:
+            self.mask = generate_wam(
+                self.meta_model,
+                sampler,
+                source_workloads,
+                config=self.config.wam,
+            )
+
+        self.pretrain_report = PretrainReport(
+            history=history,
+            mask=self.mask,
+            train_workloads=tuple(split.train),
+            validation_workloads=tuple(split.validation),
+            metric=metric,
+            label_mean=self._label_mean,
+            label_std=self._label_std,
+        )
+        self.adapted = None
+        return self
+
+    # -- adaptation stage ------------------------------------------------------------
+    def adapt(self, support_x: np.ndarray, support_y: np.ndarray) -> "MetaDSE":
+        """Adapt the meta-trained predictor to a target workload (Algorithm 2)."""
+        if self.meta_model is None:
+            raise RuntimeError("adapt() called before pretrain()")
+        support_x = as_2d(support_x)
+        support_y = self._scale(as_1d(support_y, support_x.shape[0]))
+        result = adapt_predictor(
+            self.meta_model,
+            support_x,
+            support_y,
+            mask=self.mask if self.config.use_wam else None,
+            config=self.config.adaptation,
+        )
+        self.adapted = result.predictor
+        self.last_adaptation = result
+        return self
+
+    # -- inference -----------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict the target metric (physical units) for unseen configurations."""
+        model = self.adapted if self.adapted is not None else self.meta_model
+        if model is None:
+            raise RuntimeError("predict() called before pretrain()")
+        return self._unscale(model.predict(as_2d(features)))
+
+    # -- persistence helpers -----------------------------------------------------------
+    def save_pretrained(self, path) -> None:
+        """Persist the meta-trained predictor, mask and label scaling."""
+        if self.meta_model is None:
+            raise RuntimeError("save_pretrained() called before pretrain()")
+        from repro.nn.serialization import save_model
+
+        header = {
+            "num_parameters": self.num_parameters,
+            "metric": self._metric,
+            "label_mean": self._label_mean,
+            "label_std": self._label_std,
+            "use_wam": self.config.use_wam,
+            "mask": self.mask.bias.tolist() if self.mask is not None else None,
+        }
+        save_model(self.meta_model, path, header=header)
+
+    def load_pretrained(self, path) -> "MetaDSE":
+        """Load a previously saved meta-trained predictor."""
+        from repro.meta.wam import ArchitecturalMask, WAMConfig
+        from repro.nn.serialization import load_state
+
+        state, header = load_state(path)
+        predictor_cfg = self.config.predictor
+        self.meta_model = TransformerPredictor(
+            self.num_parameters,
+            embed_dim=predictor_cfg.embed_dim,
+            num_heads=predictor_cfg.num_heads,
+            num_layers=predictor_cfg.num_layers,
+            head_hidden=predictor_cfg.head_hidden,
+            dropout=predictor_cfg.dropout,
+            seed=self.config.seed,
+        )
+        self.meta_model.load_state_dict(state)
+        self._metric = header.get("metric", "ipc")
+        self._label_mean = float(header.get("label_mean", 0.0))
+        self._label_std = float(header.get("label_std", 1.0))
+        mask_bias = header.get("mask")
+        if mask_bias is not None:
+            bias = np.asarray(mask_bias, dtype=np.float64)
+            self.mask = ArchitecturalMask(
+                bias=bias,
+                frequency=np.zeros_like(bias),
+                kept=bias >= 0,
+                config=WAMConfig(),
+            )
+        return self

@@ -1,0 +1,177 @@
+"""Episodic task construction for meta-learning.
+
+In MAML each *task* is a tiny dataset drawn from one workload: a support set
+of ``s`` labelled design points used for inner-loop adaptation and a query
+set of ``q`` points used to compute the meta-loss (Algorithm 1 line 6).  The
+paper uses ``s = 5`` support and ``q = 45`` query samples, 200 tasks per
+workload per epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.generation import DSEDataset, WorkloadDataset
+from repro.utils.rng import SeedLike, as_rng
+
+#: Paper defaults for episodic sampling.
+DEFAULT_SUPPORT_SIZE = 5
+DEFAULT_QUERY_SIZE = 45
+
+
+@dataclass(frozen=True)
+class Task:
+    """One meta-learning episode drawn from a single workload."""
+
+    workload: str
+    metric: str
+    support_x: np.ndarray
+    support_y: np.ndarray
+    query_x: np.ndarray
+    query_y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.support_x.shape[0] != self.support_y.shape[0]:
+            raise ValueError("support features/labels length mismatch")
+        if self.query_x.shape[0] != self.query_y.shape[0]:
+            raise ValueError("query features/labels length mismatch")
+
+    @property
+    def support_size(self) -> int:
+        """Number of support samples."""
+        return self.support_x.shape[0]
+
+    @property
+    def query_size(self) -> int:
+        """Number of query samples."""
+        return self.query_x.shape[0]
+
+
+class TaskSampler:
+    """Sample support/query episodes from per-workload datasets.
+
+    Parameters
+    ----------
+    dataset:
+        The labelled multi-workload dataset.
+    metric:
+        Which label to expose (``"ipc"`` or ``"power"``).
+    support_size, query_size:
+        Episode sizes; the paper's defaults are 5 and 45.
+    seed:
+        Determinism handle.
+    """
+
+    def __init__(
+        self,
+        dataset: DSEDataset,
+        *,
+        metric: str = "ipc",
+        support_size: int = DEFAULT_SUPPORT_SIZE,
+        query_size: int = DEFAULT_QUERY_SIZE,
+        seed: SeedLike = 0,
+    ) -> None:
+        if support_size < 1 or query_size < 1:
+            raise ValueError("support_size and query_size must be >= 1")
+        self.dataset = dataset
+        self.metric = metric
+        self.support_size = support_size
+        self.query_size = query_size
+        self.rng = as_rng(seed)
+
+    def sample_task(self, workload: str) -> Task:
+        """Sample one episode from *workload*."""
+        data: WorkloadDataset = self.dataset[workload]
+        needed = self.support_size + self.query_size
+        if needed > len(data):
+            raise ValueError(
+                f"workload {workload!r} has only {len(data)} points; "
+                f"{needed} needed for an episode"
+            )
+        indices = self.rng.choice(len(data), size=needed, replace=False)
+        support_idx = indices[: self.support_size]
+        query_idx = indices[self.support_size:]
+        labels = data.metric(self.metric)
+        return Task(
+            workload=workload,
+            metric=self.metric,
+            support_x=data.features[support_idx],
+            support_y=labels[support_idx],
+            query_x=data.features[query_idx],
+            query_y=labels[query_idx],
+        )
+
+    def sample_batch(
+        self, workloads: Optional[Sequence[str]] = None, tasks_per_workload: int = 1
+    ) -> list[Task]:
+        """Sample ``tasks_per_workload`` episodes from every listed workload."""
+        if tasks_per_workload < 1:
+            raise ValueError("tasks_per_workload must be >= 1")
+        names = list(workloads) if workloads is not None else self.dataset.workloads
+        tasks: list[Task] = []
+        for name in names:
+            tasks.extend(self.sample_task(name) for _ in range(tasks_per_workload))
+        return tasks
+
+    def iterate_epoch(
+        self,
+        workloads: Optional[Sequence[str]] = None,
+        *,
+        tasks_per_workload: int = 200,
+        batch_size: int = 4,
+    ) -> Iterator[list[Task]]:
+        """Yield shuffled task batches covering one meta-training epoch.
+
+        The paper uses 200 tasks per workload per epoch; batches mix tasks
+        from different workloads, which is what lets MAML see the task
+        distribution rather than one workload at a time.
+        """
+        names = list(workloads) if workloads is not None else self.dataset.workloads
+        schedule = [name for name in names for _ in range(tasks_per_workload)]
+        order = self.rng.permutation(len(schedule))
+        batch: list[Task] = []
+        for position in order:
+            batch.append(self.sample_task(schedule[int(position)]))
+            if len(batch) == batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+
+def holdout_task(
+    data: WorkloadDataset,
+    *,
+    metric: str = "ipc",
+    support_size: int = 10,
+    query_size: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> Task:
+    """Build a single adaptation task with a *disjoint* support and query set.
+
+    Used for downstream evaluation: the support set plays the role of the
+    ``K`` simulated samples available on the target workload, and the query
+    set (by default, every remaining point) is the unseen evaluation data.
+    """
+    rng = as_rng(seed)
+    if support_size >= len(data):
+        raise ValueError(
+            f"support_size {support_size} must be < dataset size {len(data)}"
+        )
+    order = rng.permutation(len(data))
+    support_idx = order[:support_size]
+    remaining = order[support_size:]
+    if query_size is not None:
+        remaining = remaining[:query_size]
+    labels = data.metric(metric)
+    return Task(
+        workload=data.workload,
+        metric=metric,
+        support_x=data.features[support_idx],
+        support_y=labels[support_idx],
+        query_x=data.features[remaining],
+        query_y=labels[remaining],
+    )

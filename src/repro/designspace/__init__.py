@@ -1,0 +1,48 @@
+"""Design-space layer: Table I parameters, encoding and sampling."""
+
+from repro.designspace.encoding import OneHotEncoder, OrdinalEncoder, StandardScaler
+from repro.designspace.parameters import (
+    Parameter,
+    ParameterError,
+    ParameterStatistics,
+    categorical,
+    ranged,
+    strided_range,
+)
+from repro.designspace.sampling import (
+    LatinHypercubeSampler,
+    OrthogonalArraySampler,
+    RandomSampler,
+    make_sampler,
+)
+from repro.designspace.space import Configuration, DesignSpace
+from repro.designspace.spec import (
+    BRANCH_PREDICTORS,
+    DRAM_SIZE_MB,
+    build_table1_space,
+    default_design_space,
+    table1_parameters,
+)
+
+__all__ = [
+    "Parameter",
+    "ParameterError",
+    "ParameterStatistics",
+    "categorical",
+    "ranged",
+    "strided_range",
+    "Configuration",
+    "DesignSpace",
+    "OrdinalEncoder",
+    "OneHotEncoder",
+    "StandardScaler",
+    "RandomSampler",
+    "LatinHypercubeSampler",
+    "OrthogonalArraySampler",
+    "make_sampler",
+    "BRANCH_PREDICTORS",
+    "DRAM_SIZE_MB",
+    "table1_parameters",
+    "build_table1_space",
+    "default_design_space",
+]

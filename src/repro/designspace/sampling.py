@@ -1,0 +1,169 @@
+"""Design-point sampling strategies.
+
+Three samplers are provided:
+
+* :class:`RandomSampler` — uniform sampling over the candidate grid, used to
+  generate the labelled datasets for all experiments;
+* :class:`LatinHypercubeSampler` — stratified sampling that spreads points
+  more evenly, used when generating small support sets;
+* :class:`OrthogonalArraySampler` — the OA-style sampling referenced by the
+  TrDSE/TrEE baselines (Section II-A of the paper); implemented as a strength-1
+  balanced design over the ordinal grid.
+
+All samplers deduplicate configurations when asked to (collisions are likely
+for tiny parameter cardinalities) and are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.designspace.space import Configuration, DesignSpace
+from repro.utils.rng import SeedLike, as_rng
+
+
+class BaseSampler:
+    """Common plumbing for samplers over a :class:`DesignSpace`."""
+
+    def __init__(self, space: DesignSpace, *, seed: SeedLike = None) -> None:
+        self.space = space
+        self.rng = as_rng(seed)
+
+    def sample(self, count: int, *, unique: bool = False) -> list[Configuration]:
+        """Draw *count* configurations.
+
+        With ``unique=True`` the sampler retries until it has *count* distinct
+        configurations (or exhausts a generous retry budget, in which case it
+        returns as many distinct points as it found — callers that need an
+        exact count should check the length).
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if not unique:
+            return [self._sample_one() for _ in range(count)]
+        seen: dict[tuple, Configuration] = {}
+        budget = max(count * 20, 100)
+        attempts = 0
+        while len(seen) < count and attempts < budget:
+            config = self._sample_one()
+            key = tuple(self.space.to_indices(config).tolist())
+            seen.setdefault(key, config)
+            attempts += 1
+        return list(seen.values())
+
+    def _sample_one(self) -> Configuration:
+        raise NotImplementedError
+
+
+class RandomSampler(BaseSampler):
+    """Uniform sampling over the ordinal grid."""
+
+    def _sample_one(self) -> Configuration:
+        indices = [
+            int(self.rng.integers(0, p.cardinality)) for p in self.space.parameters
+        ]
+        return self.space.from_indices(indices)
+
+
+class LatinHypercubeSampler(BaseSampler):
+    """Stratified (Latin hypercube) sampling over the normalised hypercube.
+
+    Each call to :meth:`sample` builds a fresh Latin hypercube of the
+    requested size; the per-dimension strata are permuted independently and
+    then snapped to the nearest candidate value.
+    """
+
+    def sample(self, count: int, *, unique: bool = False) -> list[Configuration]:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return []
+        num_parameters = self.space.num_parameters
+        # One stratified coordinate per (sample, dimension).
+        positions = np.empty((count, num_parameters), dtype=np.float64)
+        for dim in range(num_parameters):
+            perm = self.rng.permutation(count)
+            offsets = self.rng.random(count)
+            positions[:, dim] = (perm + offsets) / count
+        configs = [self.space.from_features(row) for row in positions]
+        if unique:
+            deduped: dict[tuple, Configuration] = {}
+            for config in configs:
+                key = tuple(self.space.to_indices(config).tolist())
+                deduped.setdefault(key, config)
+            return list(deduped.values())
+        return configs
+
+    def _sample_one(self) -> Configuration:  # pragma: no cover - not used directly
+        return RandomSampler(self.space, seed=self.rng)._sample_one()
+
+
+class OrthogonalArraySampler(BaseSampler):
+    """Strength-1 balanced sampling (orthogonal-array style).
+
+    For every parameter the candidate indices are tiled so that each level
+    appears an (almost) equal number of times across the sample, then shuffled
+    independently per column.  This reproduces the balanced coverage property
+    that TrDSE [13] and TrEE [14] rely on, without requiring a true
+    strength-2 orthogonal array for arbitrary mixed-level spaces (which does
+    not generally exist).
+    """
+
+    def sample(self, count: int, *, unique: bool = False) -> list[Configuration]:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return []
+        columns = []
+        for parameter in self.space.parameters:
+            levels = np.arange(parameter.cardinality)
+            reps = int(np.ceil(count / parameter.cardinality))
+            column = np.tile(levels, reps)[:count]
+            self.rng.shuffle(column)
+            columns.append(column)
+        matrix = np.stack(columns, axis=1)
+        configs = [self.space.from_indices(row) for row in matrix]
+        if unique:
+            deduped: dict[tuple, Configuration] = {}
+            for config in configs:
+                key = tuple(self.space.to_indices(config).tolist())
+                deduped.setdefault(key, config)
+            return list(deduped.values())
+        return configs
+
+    def foldover(self, configs: list[Configuration]) -> list[Configuration]:
+        """OA foldover: mirror every configuration through the grid centre.
+
+        TrEE refines TrDSE's sampling with a foldover strategy; mirroring the
+        ordinal indices (`index -> cardinality - 1 - index`) doubles the design
+        while preserving balance.
+        """
+        folded = []
+        for config in configs:
+            indices = self.space.to_indices(config)
+            mirrored = self.space.cardinalities() - 1 - indices
+            folded.append(self.space.from_indices(mirrored))
+        return folded
+
+    def _sample_one(self) -> Configuration:  # pragma: no cover - not used directly
+        return RandomSampler(self.space, seed=self.rng)._sample_one()
+
+
+def make_sampler(
+    kind: str, space: DesignSpace, *, seed: Optional[SeedLike] = None
+) -> BaseSampler:
+    """Factory keyed by sampler name (``random`` / ``lhs`` / ``oa``)."""
+    samplers = {
+        "random": RandomSampler,
+        "lhs": LatinHypercubeSampler,
+        "oa": OrthogonalArraySampler,
+    }
+    try:
+        cls = samplers[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown sampler {kind!r}; choose from {sorted(samplers)}"
+        ) from None
+    return cls(space, seed=seed)

@@ -1,0 +1,203 @@
+"""The :class:`DesignSpace` container.
+
+A design space is an ordered list of :class:`~repro.designspace.parameters.Parameter`
+objects plus the operations every other layer needs:
+
+* validating and completing configuration dictionaries,
+* converting configurations to/from index vectors and normalised feature
+  vectors (the representation fed to surrogate models),
+* measuring the size of the space,
+* enumerating neighbours of a configuration (used by the DSE loop).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.designspace.parameters import Parameter, ParameterError, ParameterValue
+
+Configuration = dict[str, ParameterValue]
+
+
+class DesignSpace:
+    """An ordered, named collection of microarchitectural parameters."""
+
+    def __init__(self, parameters: Sequence[Parameter], *, name: str = "design-space") -> None:
+        if not parameters:
+            raise ValueError("a design space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names in design space")
+        self._parameters: tuple[Parameter, ...] = tuple(parameters)
+        self._by_name: dict[str, Parameter] = {p.name: p for p in self._parameters}
+        self.name = name
+
+    # -- basic container protocol ---------------------------------------
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Parameter:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown parameter {name!r} in design space {self.name!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DesignSpace(name={self.name!r}, num_parameters={len(self)})"
+
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        """The parameters in declaration order."""
+        return self._parameters
+
+    @property
+    def parameter_names(self) -> list[str]:
+        """Parameter names in declaration order."""
+        return [p.name for p in self._parameters]
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of parameters (the sequence length seen by the transformer)."""
+        return len(self._parameters)
+
+    def size(self) -> int:
+        """Total number of distinct configurations (product of cardinalities)."""
+        total = 1
+        for p in self._parameters:
+            total *= p.cardinality
+        return total
+
+    def cardinalities(self) -> np.ndarray:
+        """Per-parameter candidate counts as an integer array."""
+        return np.array([p.cardinality for p in self._parameters], dtype=np.int64)
+
+    # -- configuration validation ----------------------------------------
+    def validate(self, config: Mapping[str, ParameterValue]) -> Configuration:
+        """Validate a full configuration and return a normalised copy.
+
+        Raises
+        ------
+        ParameterError
+            If a parameter is missing, unknown, or set to a non-candidate
+            value.
+        """
+        unknown = set(config) - set(self._by_name)
+        if unknown:
+            raise ParameterError(
+                f"unknown parameters {sorted(unknown)} for design space {self.name!r}"
+            )
+        missing = set(self._by_name) - set(config)
+        if missing:
+            raise ParameterError(
+                f"missing parameters {sorted(missing)} for design space {self.name!r}"
+            )
+        validated: Configuration = {}
+        for parameter in self._parameters:
+            value = config[parameter.name]
+            if not parameter.contains(value):
+                raise ParameterError(
+                    f"{value!r} is not a candidate for {parameter.name!r}"
+                )
+            validated[parameter.name] = value
+        return validated
+
+    def is_valid(self, config: Mapping[str, ParameterValue]) -> bool:
+        """Boolean companion of :meth:`validate`."""
+        try:
+            self.validate(config)
+        except ParameterError:
+            return False
+        return True
+
+    # -- conversions -----------------------------------------------------
+    def to_indices(self, config: Mapping[str, ParameterValue]) -> np.ndarray:
+        """Convert a configuration to an ordinal index vector."""
+        validated = self.validate(config)
+        return np.array(
+            [p.index_of(validated[p.name]) for p in self._parameters], dtype=np.int64
+        )
+
+    def from_indices(self, indices: Sequence[int]) -> Configuration:
+        """Convert an ordinal index vector back to a configuration."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.shape != (self.num_parameters,):
+            raise ValueError(
+                f"expected {self.num_parameters} indices, got shape {indices.shape}"
+            )
+        return {
+            p.name: p.value_at(int(i)) for p, i in zip(self._parameters, indices)
+        }
+
+    def to_features(self, config: Mapping[str, ParameterValue]) -> np.ndarray:
+        """Encode a configuration as a normalised ``[0, 1]`` feature vector."""
+        validated = self.validate(config)
+        return np.array(
+            [p.normalized(validated[p.name]) for p in self._parameters], dtype=np.float64
+        )
+
+    def from_features(self, features: Sequence[float]) -> Configuration:
+        """Decode a normalised feature vector to the nearest configuration."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape != (self.num_parameters,):
+            raise ValueError(
+                f"expected {self.num_parameters} features, got shape {features.shape}"
+            )
+        return {
+            p.name: p.denormalize(float(x)) for p, x in zip(self._parameters, features)
+        }
+
+    def batch_to_features(self, configs: Iterable[Mapping[str, ParameterValue]]) -> np.ndarray:
+        """Vectorised :meth:`to_features` over an iterable of configurations."""
+        rows = [self.to_features(c) for c in configs]
+        if not rows:
+            return np.empty((0, self.num_parameters), dtype=np.float64)
+        return np.stack(rows, axis=0)
+
+    def numeric_view(self, config: Mapping[str, ParameterValue]) -> dict[str, float]:
+        """Return a numeric view of a configuration for analytical models."""
+        validated = self.validate(config)
+        return {
+            p.name: p.numeric_value(validated[p.name]) for p in self._parameters
+        }
+
+    # -- neighbourhood ---------------------------------------------------
+    def neighbors(self, config: Mapping[str, ParameterValue]) -> list[Configuration]:
+        """Configurations that differ from *config* in exactly one ordinal step.
+
+        Used by the hill-climbing style explorer in :mod:`repro.dse`.
+        """
+        indices = self.to_indices(config)
+        result: list[Configuration] = []
+        for pos, parameter in enumerate(self._parameters):
+            for delta in (-1, 1):
+                candidate = int(indices[pos]) + delta
+                if 0 <= candidate < parameter.cardinality:
+                    new_indices = indices.copy()
+                    new_indices[pos] = candidate
+                    result.append(self.from_indices(new_indices))
+        return result
+
+    def default_configuration(self) -> Configuration:
+        """A mid-range configuration (median candidate of every parameter)."""
+        return {
+            p.name: p.value_at(p.cardinality // 2) for p in self._parameters
+        }
+
+    def describe(self) -> str:
+        """Render a Table I style description of the space."""
+        lines = [f"Design space {self.name!r}: {self.num_parameters} parameters, "
+                 f"{self.size():.3e} configurations"]
+        for p in self._parameters:
+            preview = ", ".join(str(v) for v in p.values[:6])
+            if p.cardinality > 6:
+                preview += f", ... ({p.cardinality} candidates)"
+            lines.append(f"  {p.name:24s} {p.description:55s} [{preview}]")
+        return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Design-space-exploration utilities built on top of the surrogate models."""
+
+from repro.dse.active import (
+    ActiveLearningExplorer,
+    ActiveLearningResult,
+    ActiveLearningRound,
+)
+from repro.dse.constraints import (
+    Constraint,
+    best_feasible,
+    feasible_mask,
+    penalized_objectives,
+)
+from repro.dse.explorer import ExplorationResult, PredictorGuidedExplorer
+from repro.dse.nsga2 import NSGA2Explorer, NSGA2Result, fast_non_dominated_sort
+from repro.dse.pareto import (
+    crowding_distance,
+    hypervolume_2d,
+    pareto_front,
+    pareto_mask,
+    to_minimization,
+)
+from repro.dse.quality import (
+    adrs,
+    hypervolume_ratio,
+    normalize_objectives,
+    pareto_coverage,
+)
+
+__all__ = [
+    "pareto_mask",
+    "pareto_front",
+    "hypervolume_2d",
+    "crowding_distance",
+    "to_minimization",
+    "PredictorGuidedExplorer",
+    "ExplorationResult",
+    "NSGA2Explorer",
+    "NSGA2Result",
+    "fast_non_dominated_sort",
+    "ActiveLearningExplorer",
+    "ActiveLearningResult",
+    "ActiveLearningRound",
+    "adrs",
+    "pareto_coverage",
+    "hypervolume_ratio",
+    "normalize_objectives",
+    "Constraint",
+    "feasible_mask",
+    "penalized_objectives",
+    "best_feasible",
+]

@@ -1,0 +1,215 @@
+"""Active-learning DSE loop: simulate, retrain, refine.
+
+The single-shot explorers spend their whole simulation budget at once.  An
+*active* loop instead alternates between (cheap) surrogate screening and
+(expensive) simulation in small batches, retraining the surrogate on every
+new measurement — the workflow a designer actually runs when the simulation
+budget is tight and no pre-trained cross-workload model is available, and
+the natural consumer of a MetaDSE-adapted predictor as the initial surrogate.
+
+Acquisition per round:
+
+1. screen a random candidate pool with the current surrogates;
+2. rank candidates by predicted Pareto rank, breaking ties with an
+   exploration bonus (ensemble disagreement when the surrogate is a random
+   forest, otherwise distance to the already-simulated set);
+3. simulate the top batch, append the measurements to the training set and
+   refit the surrogates.
+
+The loop records the measured Pareto front and its hypervolume after every
+round so budget/quality trade-off curves can be plotted or benchmarked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import Regressor
+from repro.baselines.trees import RandomForestRegressor
+from repro.designspace.encoding import OrdinalEncoder
+from repro.designspace.sampling import RandomSampler
+from repro.designspace.space import Configuration, DesignSpace
+from repro.dse.pareto import hypervolume_2d, pareto_front, to_minimization
+from repro.sim.simulator import Simulator
+from repro.utils.rng import SeedLike, as_rng
+
+#: Factory returning a fresh regressor for one objective.
+RegressorFactory = Callable[[], Regressor]
+
+
+@dataclass
+class ActiveLearningRound:
+    """Snapshot of the exploration state after one acquisition round."""
+
+    round_index: int
+    simulations_total: int
+    pareto_size: int
+    hypervolume: float
+
+
+@dataclass
+class ActiveLearningResult:
+    """Final outcome of an active-learning exploration."""
+
+    simulated_configs: list[Configuration]
+    measured_objectives: np.ndarray
+    objective_names: tuple[str, ...]
+    pareto_indices: np.ndarray
+    rounds: list[ActiveLearningRound] = field(default_factory=list)
+
+    @property
+    def simulations_used(self) -> int:
+        """Total simulator invocations spent."""
+        return len(self.simulated_configs)
+
+    @property
+    def pareto_configs(self) -> list[Configuration]:
+        """Measured-Pareto-optimal configurations."""
+        return [self.simulated_configs[int(i)] for i in self.pareto_indices]
+
+    @property
+    def pareto_objectives(self) -> np.ndarray:
+        """Objective rows of the measured Pareto front."""
+        return self.measured_objectives[self.pareto_indices]
+
+    def hypervolume_history(self) -> list[float]:
+        """Hypervolume after each round (budget/quality curve)."""
+        return [entry.hypervolume for entry in self.rounds]
+
+
+def _default_factory() -> Regressor:
+    return RandomForestRegressor(n_estimators=30, max_depth=10, seed=0)
+
+
+class ActiveLearningExplorer:
+    """Iterative simulate-train-refine exploration of one workload."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        simulator: Simulator,
+        *,
+        surrogate_factory: RegressorFactory = _default_factory,
+        candidate_pool: int = 1000,
+        seed: SeedLike = 0,
+    ) -> None:
+        if candidate_pool < 10:
+            raise ValueError("candidate_pool must be >= 10")
+        self.space = space
+        self.simulator = simulator
+        self.surrogate_factory = surrogate_factory
+        self.candidate_pool = candidate_pool
+        self.rng = as_rng(seed)
+        self.encoder = OrdinalEncoder(space)
+        self.sampler = RandomSampler(space, seed=self.rng)
+
+    # -- helpers ------------------------------------------------------------------
+    def _measure(
+        self, configs: Sequence[Configuration], workload: str, objective_names: tuple[str, ...]
+    ) -> np.ndarray:
+        rows = []
+        for config in configs:
+            result = self.simulator.run(config, workload)
+            record = result.as_dict()
+            # Accept the dataset-layer alias "power" for the simulator's "power_w".
+            record.setdefault("power", record["power_w"])
+            rows.append([record[name] for name in objective_names])
+        return np.asarray(rows, dtype=np.float64)
+
+    @staticmethod
+    def _exploration_bonus(
+        surrogate: Regressor, features: np.ndarray, known_features: np.ndarray
+    ) -> np.ndarray:
+        """Disagreement of a forest's trees, or distance to the known set."""
+        trees = getattr(surrogate, "trees_", None)
+        if trees:
+            member_predictions = np.stack([tree.predict(features) for tree in trees], axis=0)
+            return member_predictions.std(axis=0)
+        distances = np.min(
+            np.linalg.norm(features[:, None, :] - known_features[None, :, :], axis=2), axis=1
+        )
+        return distances
+
+    @staticmethod
+    def _hypervolume(measured_min: np.ndarray) -> float:
+        front = measured_min[pareto_front(measured_min)]
+        nadir = measured_min.max(axis=0)
+        span = np.maximum(measured_min.max(axis=0) - measured_min.min(axis=0), 1e-12)
+        reference = nadir + 0.1 * span
+        if front.shape[1] != 2:
+            return 0.0
+        return hypervolume_2d(front, reference)
+
+    # -- main loop ------------------------------------------------------------------
+    def explore(
+        self,
+        workload: str,
+        *,
+        objective_names: Sequence[str] = ("ipc", "power"),
+        maximize: Optional[dict[str, bool]] = None,
+        initial_samples: int = 20,
+        batch_size: int = 10,
+        rounds: int = 5,
+    ) -> ActiveLearningResult:
+        """Run the simulate-train-refine loop on one target workload."""
+        if initial_samples < 2:
+            raise ValueError("initial_samples must be >= 2")
+        if batch_size < 1 or rounds < 1:
+            raise ValueError("batch_size and rounds must be >= 1")
+        objective_names = tuple(objective_names)
+        maximize = maximize or {}
+        maximize_flags = [maximize.get(name, name == "ipc") for name in objective_names]
+
+        simulated = self.sampler.sample(initial_samples)
+        measured = self._measure(simulated, workload, objective_names)
+        history: list[ActiveLearningRound] = []
+
+        for round_index in range(rounds):
+            known_features = self.encoder.encode_batch(simulated)
+            surrogates: list[Regressor] = []
+            for column in range(measured.shape[1]):
+                surrogate = self.surrogate_factory()
+                surrogate.fit(known_features, measured[:, column])
+                surrogates.append(surrogate)
+
+            candidates = self.sampler.sample(self.candidate_pool)
+            candidate_features = self.encoder.encode_batch(candidates)
+            predicted = np.stack(
+                [surrogate.predict(candidate_features) for surrogate in surrogates], axis=1
+            )
+            predicted_min = to_minimization(predicted, maximize_flags)
+
+            # Rank by predicted Pareto membership, then by exploration bonus.
+            front_indices = set(int(i) for i in pareto_front(predicted_min))
+            bonus = self._exploration_bonus(surrogates[0], candidate_features, known_features)
+            order = sorted(
+                range(len(candidates)),
+                key=lambda i: (0 if i in front_indices else 1, -bonus[i]),
+            )
+            chosen = [candidates[i] for i in order[:batch_size]]
+
+            new_measurements = self._measure(chosen, workload, objective_names)
+            simulated.extend(chosen)
+            measured = np.concatenate([measured, new_measurements], axis=0)
+
+            measured_min = to_minimization(measured, maximize_flags)
+            history.append(
+                ActiveLearningRound(
+                    round_index=round_index,
+                    simulations_total=len(simulated),
+                    pareto_size=int(len(pareto_front(measured_min))),
+                    hypervolume=self._hypervolume(measured_min),
+                )
+            )
+
+        measured_min = to_minimization(measured, maximize_flags)
+        return ActiveLearningResult(
+            simulated_configs=simulated,
+            measured_objectives=measured,
+            objective_names=objective_names,
+            pareto_indices=pareto_front(measured_min),
+            rounds=history,
+        )

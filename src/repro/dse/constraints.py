@@ -1,0 +1,152 @@
+"""Constraint handling for design-space exploration.
+
+Real CPU DSE rarely optimises IPC and power in a vacuum: a product team has a
+power envelope, an area budget, a minimum frequency.  This module provides a
+small, explicit constraint layer that composes with every explorer in
+:mod:`repro.dse`:
+
+* :class:`Constraint` — a named bound (``<=`` or ``>=``) on one objective or
+  simulator metric;
+* :func:`feasible_mask` — which rows of an objective matrix satisfy every
+  constraint;
+* :func:`penalized_objectives` — add a scaled constraint-violation penalty to
+  a minimisation objective matrix, the standard way to let an unconstrained
+  optimiser (NSGA-II, screening) respect constraints;
+* :func:`best_feasible` — pick the best feasible row for a single optimisation
+  metric (the "max IPC under a power cap" query the examples run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: Comparison senses a constraint can use.
+SENSES = ("<=", ">=")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An upper or lower bound on one named metric.
+
+    Attributes
+    ----------
+    metric:
+        Name of the constrained column (must appear in ``objective_names``).
+    bound:
+        The limit value, in the metric's physical units.
+    sense:
+        ``"<="`` for an upper bound (power, area), ``">="`` for a lower bound
+        (frequency, IPC floor).
+    """
+
+    metric: str
+    bound: float
+    sense: str = "<="
+
+    def __post_init__(self) -> None:
+        if self.sense not in SENSES:
+            raise ValueError(f"sense must be one of {SENSES}, got {self.sense!r}")
+        if not np.isfinite(self.bound):
+            raise ValueError("bound must be finite")
+
+    def satisfied(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of values meeting the bound."""
+        values = np.asarray(values, dtype=np.float64)
+        if self.sense == "<=":
+            return values <= self.bound
+        return values >= self.bound
+
+    def violation(self, values: np.ndarray) -> np.ndarray:
+        """Non-negative violation magnitude per value (0 when satisfied)."""
+        values = np.asarray(values, dtype=np.float64)
+        if self.sense == "<=":
+            return np.maximum(values - self.bound, 0.0)
+        return np.maximum(self.bound - values, 0.0)
+
+
+def _column(
+    objectives: np.ndarray, objective_names: Sequence[str], metric: str
+) -> np.ndarray:
+    try:
+        index = list(objective_names).index(metric)
+    except ValueError:
+        raise ValueError(
+            f"constraint metric {metric!r} is not among the objectives {list(objective_names)}"
+        ) from None
+    return objectives[:, index]
+
+
+def feasible_mask(
+    objectives: np.ndarray,
+    objective_names: Sequence[str],
+    constraints: Sequence[Constraint],
+) -> np.ndarray:
+    """Rows of *objectives* that satisfy every constraint."""
+    objectives = np.asarray(objectives, dtype=np.float64)
+    if objectives.ndim != 2:
+        raise ValueError(f"expected a 2-D objective matrix, got shape {objectives.shape}")
+    mask = np.ones(objectives.shape[0], dtype=bool)
+    for constraint in constraints:
+        mask &= constraint.satisfied(_column(objectives, objective_names, constraint.metric))
+    return mask
+
+
+def penalized_objectives(
+    minimised: np.ndarray,
+    objectives: np.ndarray,
+    objective_names: Sequence[str],
+    constraints: Sequence[Constraint],
+    *,
+    penalty_scale: float = 10.0,
+) -> np.ndarray:
+    """Add a normalised constraint-violation penalty to every minimised column.
+
+    *minimised* is the objective matrix already converted to minimisation
+    sense (see :func:`repro.dse.pareto.to_minimization`); *objectives* carries
+    the original physical values the constraints are written against.  The
+    violation of each constraint is normalised by ``|bound|`` (or 1 when the
+    bound is zero) so penalties are comparable across metrics, summed, scaled
+    by *penalty_scale* times each column's range and added to every column —
+    infeasible points remain comparable with each other (more violation is
+    worse) but are pushed behind every feasible point of similar quality.
+    """
+    minimised = np.asarray(minimised, dtype=np.float64)
+    objectives = np.asarray(objectives, dtype=np.float64)
+    if minimised.shape != objectives.shape:
+        raise ValueError("minimised and objectives must have the same shape")
+    if penalty_scale <= 0:
+        raise ValueError("penalty_scale must be > 0")
+    total_violation = np.zeros(minimised.shape[0], dtype=np.float64)
+    for constraint in constraints:
+        values = _column(objectives, objective_names, constraint.metric)
+        scale = max(abs(constraint.bound), 1.0)
+        total_violation += constraint.violation(values) / scale
+    if not np.any(total_violation > 0):
+        return minimised.copy()
+    column_ranges = np.maximum(minimised.max(axis=0) - minimised.min(axis=0), 1e-12)
+    return minimised + penalty_scale * column_ranges[None, :] * total_violation[:, None]
+
+
+def best_feasible(
+    objectives: np.ndarray,
+    objective_names: Sequence[str],
+    constraints: Sequence[Constraint],
+    *,
+    optimize: str,
+    maximize: bool = True,
+) -> int:
+    """Index of the best feasible row for one metric.
+
+    Raises ``ValueError`` when no row satisfies the constraints — the caller
+    decides whether to relax the constraints or enlarge the candidate pool.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    mask = feasible_mask(objectives, objective_names, constraints)
+    if not np.any(mask):
+        raise ValueError("no candidate satisfies every constraint")
+    values = _column(objectives, objective_names, optimize)
+    candidate_values = np.where(mask, values, -np.inf if maximize else np.inf)
+    return int(np.argmax(candidate_values) if maximize else np.argmin(candidate_values))

@@ -1,0 +1,182 @@
+"""Predictor-guided design-space exploration.
+
+The surrogate models exist to steer exploration: instead of simulating every
+candidate, a DSE loop ranks candidates with the (cheap) predictor and spends
+the (expensive) simulation budget only on the most promising ones.  The
+:class:`PredictorGuidedExplorer` implements the classic screen-then-simulate
+loop used by the examples and the extended benchmarks:
+
+1. sample a large candidate pool from the design space;
+2. predict the objective(s) for every candidate with the surrogate;
+3. simulate only the predicted-Pareto-optimal (or top-ranked) candidates;
+4. report the measured Pareto front and the simulation budget spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.designspace.encoding import OrdinalEncoder
+from repro.designspace.sampling import RandomSampler
+from repro.designspace.space import Configuration, DesignSpace
+from repro.dse.pareto import pareto_front, to_minimization
+from repro.sim.simulator import Simulator
+from repro.utils.rng import SeedLike
+
+#: Signature of a surrogate callable: features (n, d) -> predictions (n,).
+PredictorFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exploration run."""
+
+    #: Candidate configurations that were actually simulated.
+    simulated_configs: list[Configuration]
+    #: Measured objective matrix (rows follow ``simulated_configs``).
+    measured_objectives: np.ndarray
+    #: Names of the objectives, in column order.
+    objective_names: tuple[str, ...]
+    #: Indices (into ``simulated_configs``) of the measured Pareto front.
+    pareto_indices: np.ndarray
+    #: Total simulator invocations spent.
+    simulations_used: int
+    #: Candidate-pool size that was screened by the predictor.
+    candidates_screened: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def pareto_configs(self) -> list[Configuration]:
+        """The measured-Pareto-optimal configurations."""
+        return [self.simulated_configs[int(i)] for i in self.pareto_indices]
+
+    @property
+    def pareto_objectives(self) -> np.ndarray:
+        """Objective rows of the measured Pareto front."""
+        return self.measured_objectives[self.pareto_indices]
+
+
+class PredictorGuidedExplorer:
+    """Screen candidates with surrogates, simulate only the best."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        simulator: Simulator,
+        *,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.space = space
+        self.simulator = simulator
+        self.encoder = OrdinalEncoder(space)
+        self.sampler = RandomSampler(space, seed=seed)
+
+    def explore(
+        self,
+        workload: str,
+        predictors: dict[str, PredictorFn],
+        *,
+        maximize: Optional[dict[str, bool]] = None,
+        candidate_pool: int = 2000,
+        simulation_budget: int = 30,
+    ) -> ExplorationResult:
+        """Run one screen-then-simulate exploration.
+
+        Parameters
+        ----------
+        workload:
+            Target workload name.
+        predictors:
+            Mapping from objective name (``"ipc"``, ``"power"``) to a
+            surrogate callable.  The measured objectives use the simulator's
+            ground truth for the same names.
+        maximize:
+            Which objectives are maximised (default: ``ipc`` yes, others no).
+        candidate_pool:
+            Number of random candidates screened by the predictors.
+        simulation_budget:
+            Maximum number of candidates handed to the simulator.
+        """
+        if not predictors:
+            raise ValueError("explore() needs at least one predictor")
+        if simulation_budget < 1:
+            raise ValueError("simulation_budget must be >= 1")
+        objective_names = tuple(predictors)
+        maximize = maximize or {}
+        maximize_flags = [maximize.get(name, name == "ipc") for name in objective_names]
+
+        candidates = self.sampler.sample(candidate_pool)
+        features = self.encoder.encode_batch(candidates)
+        predicted = np.stack(
+            [np.asarray(predictors[name](features), dtype=np.float64) for name in objective_names],
+            axis=1,
+        )
+        ranked = to_minimization(predicted, maximize_flags)
+
+        # Pick the predicted Pareto front first; fill the remaining budget with
+        # the best-ranked points by the first objective.
+        front = list(pareto_front(ranked))
+        if len(front) < simulation_budget:
+            remaining = [i for i in np.argsort(ranked[:, 0]) if i not in set(front)]
+            front.extend(int(i) for i in remaining[: simulation_budget - len(front)])
+        selected = front[:simulation_budget]
+
+        selected_configs = [candidates[int(i)] for i in selected]
+        measured_rows = []
+        for config in selected_configs:
+            result = self.simulator.run(config, workload)
+            measured_rows.append([getattr(result, "ipc") if name == "ipc" else result.power_w
+                                  if name == "power" else result.as_dict()[name]
+                                  for name in objective_names])
+        measured = np.asarray(measured_rows, dtype=np.float64)
+        measured_min = to_minimization(measured, maximize_flags)
+        return ExplorationResult(
+            simulated_configs=selected_configs,
+            measured_objectives=measured,
+            objective_names=objective_names,
+            pareto_indices=pareto_front(measured_min),
+            simulations_used=len(selected_configs),
+            candidates_screened=candidate_pool,
+            extras={"predicted": predicted, "selected_indices": selected},
+        )
+
+    def random_search(
+        self,
+        workload: str,
+        objective_names: Sequence[str] = ("ipc", "power"),
+        *,
+        maximize: Optional[dict[str, bool]] = None,
+        simulation_budget: int = 30,
+    ) -> ExplorationResult:
+        """Budget-matched random-search baseline (simulate random candidates)."""
+        if simulation_budget < 1:
+            raise ValueError("simulation_budget must be >= 1")
+        objective_names = tuple(objective_names)
+        maximize = maximize or {}
+        maximize_flags = [maximize.get(name, name == "ipc") for name in objective_names]
+        configs = self.sampler.sample(simulation_budget)
+        measured_rows = []
+        for config in configs:
+            result = self.simulator.run(config, workload)
+            row = []
+            for name in objective_names:
+                if name == "ipc":
+                    row.append(result.ipc)
+                elif name == "power":
+                    row.append(result.power_w)
+                else:
+                    row.append(result.as_dict()[name])
+            measured_rows.append(row)
+        measured = np.asarray(measured_rows, dtype=np.float64)
+        measured_min = to_minimization(measured, maximize_flags)
+        return ExplorationResult(
+            simulated_configs=configs,
+            measured_objectives=measured,
+            objective_names=objective_names,
+            pareto_indices=pareto_front(measured_min),
+            simulations_used=len(configs),
+            candidates_screened=len(configs),
+        )

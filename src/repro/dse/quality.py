@@ -1,0 +1,107 @@
+"""Quality metrics for design-space-exploration outcomes.
+
+Surrogate-guided DSE is only as good as the Pareto front it recovers.  These
+metrics quantify that against a reference front (usually obtained by
+exhaustively simulating a candidate pool):
+
+* :func:`adrs` — Average Distance from Reference Set, the standard DSE
+  metric (lower is better, 0 means the reference front was recovered);
+* :func:`pareto_coverage` — fraction of reference-front points that are
+  matched (dominated or equalled) by the found front;
+* :func:`hypervolume_ratio` — hypervolume of the found front relative to the
+  reference front under a shared reference point;
+* :func:`normalize_objectives` — min-max scaling shared by the above so
+  objectives with different units contribute equally.
+
+All functions expect minimisation objectives; use
+:func:`repro.dse.pareto.to_minimization` first when maximising (e.g. IPC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dse.pareto import hypervolume_2d, pareto_front
+
+
+def _as_front(points: np.ndarray, name: str) -> np.ndarray:
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError(f"{name} must be a non-empty (n, m) matrix, got shape {points.shape}")
+    return points
+
+
+def normalize_objectives(
+    points: np.ndarray, reference: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Min-max scale *points* and *reference* by the reference's ranges.
+
+    Degenerate (constant) objectives are left at zero so they do not blow up
+    the distance computations.
+    """
+    points = _as_front(points, "points")
+    reference = _as_front(reference, "reference")
+    if points.shape[1] != reference.shape[1]:
+        raise ValueError("points and reference must have the same number of objectives")
+    low = reference.min(axis=0)
+    span = reference.max(axis=0) - low
+    span = np.where(span > 1e-12, span, 1.0)
+    return (points - low) / span, (reference - low) / span
+
+
+def adrs(found: np.ndarray, reference: np.ndarray) -> float:
+    """Average Distance from Reference Set (minimisation objectives).
+
+    For every reference-front point, the distance to the closest found point
+    is measured as the worst-case per-objective shortfall
+    ``max_j (found_j - reference_j)`` clipped at zero, i.e. how far the found
+    front falls short of that reference point; the ADRS is the mean over the
+    reference front.  Objectives are normalised by the reference ranges.
+    """
+    found_n, reference_n = normalize_objectives(found, reference)
+    distances = []
+    for ref_point in reference_n:
+        shortfall = np.max(np.maximum(found_n - ref_point, 0.0), axis=1)
+        distances.append(float(shortfall.min()))
+    return float(np.mean(distances))
+
+
+def pareto_coverage(found: np.ndarray, reference: np.ndarray, *, tolerance: float = 1e-9) -> float:
+    """Fraction of reference points weakly dominated by some found point."""
+    found = _as_front(found, "found")
+    reference = _as_front(reference, "reference")
+    if found.shape[1] != reference.shape[1]:
+        raise ValueError("found and reference must have the same number of objectives")
+    covered = 0
+    for ref_point in reference:
+        dominated = np.all(found <= ref_point + tolerance, axis=1)
+        if np.any(dominated):
+            covered += 1
+    return covered / reference.shape[0]
+
+
+def hypervolume_ratio(
+    found: np.ndarray, reference: np.ndarray, *, reference_point: np.ndarray | None = None
+) -> float:
+    """Hypervolume of the found front divided by the reference front's.
+
+    Only defined for two objectives (the IPC/power trade-off the examples
+    explore).  The reference point defaults to the nadir of both fronts plus
+    a 10 % margin.
+    """
+    found = _as_front(found, "found")
+    reference = _as_front(reference, "reference")
+    if found.shape[1] != 2 or reference.shape[1] != 2:
+        raise ValueError("hypervolume_ratio is defined for exactly two objectives")
+    if reference_point is None:
+        nadir = np.maximum(found.max(axis=0), reference.max(axis=0))
+        span = np.maximum(nadir - np.minimum(found.min(axis=0), reference.min(axis=0)), 1e-12)
+        reference_point = nadir + 0.1 * span
+    reference_point = np.asarray(reference_point, dtype=np.float64)
+
+    found_front = found[pareto_front(found)]
+    reference_front = reference[pareto_front(reference)]
+    reference_volume = hypervolume_2d(reference_front, reference_point)
+    if reference_volume <= 0:
+        return 0.0
+    return hypervolume_2d(found_front, reference_point) / reference_volume

@@ -1,0 +1,42 @@
+"""Meta-learning core: MAML pre-training, WAM generation and adaptation."""
+
+from repro.meta.adaptation import (
+    PAPER_ADAPTATION_CONFIG,
+    AdaptationConfig,
+    AdaptationResult,
+    adapt_predictor,
+)
+from repro.meta.maml import (
+    ALGORITHMS,
+    PAPER_MAML_CONFIG,
+    MAMLConfig,
+    MAMLTrainer,
+    MetaTrainingHistory,
+)
+from repro.meta.variants import (
+    META_TRAINER_VARIANTS,
+    ANILTrainer,
+    MetaSGDTrainer,
+    make_meta_trainer,
+)
+from repro.meta.wam import ArchitecturalMask, WAMBuilder, WAMConfig, generate_wam
+
+__all__ = [
+    "MAMLConfig",
+    "PAPER_MAML_CONFIG",
+    "MAMLTrainer",
+    "MetaTrainingHistory",
+    "ALGORITHMS",
+    "ANILTrainer",
+    "MetaSGDTrainer",
+    "META_TRAINER_VARIANTS",
+    "make_meta_trainer",
+    "WAMConfig",
+    "WAMBuilder",
+    "ArchitecturalMask",
+    "generate_wam",
+    "AdaptationConfig",
+    "PAPER_ADAPTATION_CONFIG",
+    "AdaptationResult",
+    "adapt_predictor",
+]

@@ -1,0 +1,233 @@
+"""Meta-learning variants used as ablations of the MAML pre-training stage.
+
+The paper commits to MAML (Algorithm 1); these variants answer the natural
+follow-up questions an adopter would ask, and back the
+``benchmarks/test_ablation_meta_variants.py`` study:
+
+* :class:`ANILTrainer` — *Almost No Inner Loop*: the inner loop adapts only
+  the prediction head while the transformer body is updated exclusively by
+  the outer loop.  Tests whether rapid adaptation needs to touch the
+  attention layers at all.
+* :class:`MetaSGDTrainer` — Meta-SGD: a per-parameter inner-loop learning
+  rate is meta-learned alongside the initialisation, using the standard
+  first-order approximation of the learning-rate gradient
+  (``d L_query / d alpha ≈ -g_query ⊙ g_support``).
+
+Both reuse the episodic machinery of :class:`~repro.meta.maml.MAMLTrainer`
+(task sampling, meta-validation, best-epoch restoration), so they drop into
+:class:`~repro.core.metadse.MetaDSE`-style experiments unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.meta.maml import MAMLConfig, MAMLTrainer
+from repro.nn.losses import mse_loss
+from repro.nn.module import Module
+from repro.nn.optim import SGD, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+#: Parameter-name prefix that identifies the prediction head of the
+#: :class:`~repro.nn.transformer.TransformerPredictor`.
+DEFAULT_HEAD_PREFIX = "head."
+
+
+class ANILTrainer(MAMLTrainer):
+    """MAML with the inner loop restricted to the prediction head (ANIL)."""
+
+    def __init__(
+        self,
+        model: Module,
+        config: Optional[MAMLConfig] = None,
+        *,
+        head_prefix: str = DEFAULT_HEAD_PREFIX,
+    ) -> None:
+        super().__init__(model, config)
+        self.head_prefix = head_prefix
+        if not any(name.startswith(head_prefix) for name, _ in model.named_parameters()):
+            raise ValueError(
+                f"model has no parameters with prefix {head_prefix!r}; "
+                "ANIL needs an identifiable head"
+            )
+
+    def adapt(
+        self,
+        support_x: np.ndarray,
+        support_y: np.ndarray,
+        *,
+        model: Optional[Module] = None,
+        steps: Optional[int] = None,
+        lr: Optional[float] = None,
+    ) -> Module:
+        """Inner loop over the head parameters only (body stays frozen)."""
+        source = model if model is not None else self.model
+        steps = steps if steps is not None else self.config.inner_steps
+        lr = lr if lr is not None else self.config.inner_lr
+        adapted = source.clone()
+        head_parameters = [
+            parameter
+            for name, parameter in adapted.named_parameters()
+            if name.startswith(self.head_prefix)
+        ]
+        optimizer = SGD(head_parameters, lr)
+        x = Tensor(np.asarray(support_x, dtype=np.float64))
+        y = np.asarray(support_y, dtype=np.float64)
+        for _ in range(steps):
+            optimizer.zero_grad()
+            loss = mse_loss(adapted(x), y)
+            loss.backward()
+            optimizer.step()
+        return adapted
+
+
+class MetaSGDTrainer(MAMLTrainer):
+    """MAML with meta-learned per-parameter inner learning rates (Meta-SGD).
+
+    Parameters
+    ----------
+    model:
+        The surrogate predictor to meta-train.
+    config:
+        Shared MAML hyper-parameters.  ``config.inner_lr`` seeds every
+        per-parameter learning rate.
+    alpha_lr:
+        Step size of the learning-rate meta-update.
+    alpha_bounds:
+        Hard clamp on every per-parameter learning rate, keeping the inner
+        loop stable even when the first-order alpha gradient is noisy.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: Optional[MAMLConfig] = None,
+        *,
+        alpha_lr: float = 1e-3,
+        alpha_bounds: tuple[float, float] = (1e-6, 1.0),
+    ) -> None:
+        super().__init__(model, config)
+        if alpha_lr <= 0:
+            raise ValueError("alpha_lr must be > 0")
+        low, high = alpha_bounds
+        if not 0 < low < high:
+            raise ValueError("alpha_bounds must satisfy 0 < low < high")
+        self.alpha_lr = alpha_lr
+        self.alpha_bounds = alpha_bounds
+        self.alphas: dict[str, np.ndarray] = {
+            name: np.full_like(parameter.data, self.config.inner_lr)
+            for name, parameter in model.named_parameters()
+        }
+
+    # -- inner loop with per-parameter rates -------------------------------------
+    def adapt(
+        self,
+        support_x: np.ndarray,
+        support_y: np.ndarray,
+        *,
+        model: Optional[Module] = None,
+        steps: Optional[int] = None,
+        lr: Optional[float] = None,
+    ) -> Module:
+        """Inner loop where every parameter uses its meta-learned rate.
+
+        The *lr* argument, when given, scales every per-parameter rate
+        uniformly (used by downstream adaptation sweeps); the last inner-step
+        support gradients are kept on ``self._last_support_grads`` for the
+        learning-rate meta-update.
+        """
+        source = model if model is not None else self.model
+        steps = steps if steps is not None else self.config.inner_steps
+        scale = 1.0 if lr is None else lr / max(self.config.inner_lr, 1e-12)
+        adapted = source.clone()
+        x = Tensor(np.asarray(support_x, dtype=np.float64))
+        y = np.asarray(support_y, dtype=np.float64)
+        support_grads: dict[str, np.ndarray] = {}
+        for _ in range(steps):
+            adapted.zero_grad()
+            loss = mse_loss(adapted(x), y)
+            loss.backward()
+            for name, parameter in adapted.named_parameters():
+                if parameter.grad is None:
+                    continue
+                support_grads[name] = parameter.grad.copy()
+                parameter.data = parameter.data - scale * self.alphas[name] * parameter.grad
+        self._last_support_grads = support_grads
+        return adapted
+
+    # -- outer loop: update theta and alpha ----------------------------------------
+    def meta_step(self, tasks: Sequence) -> float:
+        """One outer-loop update of both the initialisation and the rates."""
+        if not tasks:
+            raise ValueError("meta_step needs at least one task")
+        meta_grads = {
+            name: np.zeros_like(parameter.data)
+            for name, parameter in self.model.named_parameters()
+        }
+        alpha_grads = {name: np.zeros_like(value) for name, value in self.alphas.items()}
+        total_loss = 0.0
+
+        for task in tasks:
+            adapted = self.adapt(task.support_x, task.support_y)
+            support_grads = self._last_support_grads
+            adapted.zero_grad()
+            query_loss = mse_loss(adapted(Tensor(task.query_x)), task.query_y)
+            query_loss.backward()
+            total_loss += query_loss.item()
+            for name, parameter in adapted.named_parameters():
+                if parameter.grad is None:
+                    continue
+                meta_grads[name] += parameter.grad
+                if name in support_grads:
+                    # First-order Meta-SGD: d L_q / d alpha = -g_query * g_support.
+                    alpha_grads[name] += -parameter.grad * support_grads[name]
+
+        scale = 1.0 / len(tasks)
+        self.outer_optimizer.zero_grad()
+        for name, parameter in self.model.named_parameters():
+            parameter.grad = meta_grads[name] * scale
+        if self.config.grad_clip > 0:
+            clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+        self.outer_optimizer.step()
+
+        low, high = self.alpha_bounds
+        for name in self.alphas:
+            self.alphas[name] = np.clip(
+                self.alphas[name] - self.alpha_lr * alpha_grads[name] * scale, low, high
+            )
+        return total_loss / len(tasks)
+
+    def mean_alpha(self) -> float:
+        """Average learned inner-loop rate (a convergence diagnostic)."""
+        total = sum(float(value.sum()) for value in self.alphas.values())
+        count = sum(value.size for value in self.alphas.values())
+        return total / max(count, 1)
+
+
+#: Trainer registry used by the ablation benchmark and the CLI.
+META_TRAINER_VARIANTS = ("fomaml", "reptile", "anil", "metasgd")
+
+
+def make_meta_trainer(
+    variant: str, model: Module, config: Optional[MAMLConfig] = None
+) -> MAMLTrainer:
+    """Build the requested meta-training variant.
+
+    ``"fomaml"`` and ``"reptile"`` map onto :class:`~repro.meta.maml.MAMLTrainer`
+    with the corresponding meta-gradient flavour; ``"anil"`` and ``"metasgd"``
+    return the specialised trainers from this module.
+    """
+    from dataclasses import replace
+
+    config = config if config is not None else MAMLConfig()
+    if variant in ("fomaml", "reptile"):
+        return MAMLTrainer(model, replace(config, algorithm=variant))
+    if variant == "anil":
+        return ANILTrainer(model, replace(config, algorithm="fomaml"))
+    if variant == "metasgd":
+        return MetaSGDTrainer(model, replace(config, algorithm="fomaml"))
+    raise ValueError(
+        f"unknown meta-trainer variant {variant!r}; choose from {META_TRAINER_VARIANTS}"
+    )

@@ -1,0 +1,31 @@
+"""Evaluation metrics used throughout the paper's experiments."""
+
+from repro.metrics.ranking import (
+    kendall_tau,
+    regret_at_k,
+    spearman_rho,
+    top_k_recall,
+)
+from repro.metrics.regression import (
+    MetricReport,
+    confidence_interval,
+    evaluate_predictions,
+    explained_variance,
+    geometric_mean,
+    mape,
+    rmse,
+)
+
+__all__ = [
+    "rmse",
+    "mape",
+    "explained_variance",
+    "geometric_mean",
+    "confidence_interval",
+    "MetricReport",
+    "evaluate_predictions",
+    "spearman_rho",
+    "kendall_tau",
+    "top_k_recall",
+    "regret_at_k",
+]

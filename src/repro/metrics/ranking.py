@@ -1,0 +1,99 @@
+"""Ranking-quality metrics for DSE surrogates.
+
+For design-space exploration the surrogate's job is often not to predict IPC
+exactly but to *rank* candidate configurations correctly, so the simulation
+budget lands on genuinely good design points.  These metrics quantify that:
+
+* :func:`spearman_rho` — rank correlation between predicted and true values;
+* :func:`kendall_tau` — pairwise ordering agreement (tau-a);
+* :func:`top_k_recall` — fraction of the true top-k configurations that the
+  predicted top-k contains (what a screen-then-simulate loop actually needs);
+* :func:`regret_at_k` — how much worse the best configuration inside the
+  predicted top-k is than the true optimum, in label units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_same_length
+
+
+def _prepare(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    check_same_length("y_true", y_true, "y_pred", y_pred)
+    if y_true.size == 0:
+        raise ValueError("ranking metrics need at least one value")
+    return y_true, y_pred
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean of their positions)."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.shape[0], dtype=np.float64)
+    ranks[order] = np.arange(values.shape[0], dtype=np.float64)
+    # Average the ranks of tied groups.
+    sorted_values = values[order]
+    start = 0
+    for stop in range(1, values.shape[0] + 1):
+        if stop == values.shape[0] or sorted_values[stop] != sorted_values[start]:
+            ranks[order[start:stop]] = (start + stop - 1) / 2.0
+            start = stop
+    return ranks
+
+
+def spearman_rho(y_true, y_pred) -> float:
+    """Spearman rank correlation in [-1, 1] (1 = identical ordering)."""
+    y_true, y_pred = _prepare(y_true, y_pred)
+    if y_true.size < 2:
+        return 1.0
+    true_ranks = _ranks(y_true)
+    pred_ranks = _ranks(y_pred)
+    true_centered = true_ranks - true_ranks.mean()
+    pred_centered = pred_ranks - pred_ranks.mean()
+    denominator = np.sqrt((true_centered ** 2).sum() * (pred_centered ** 2).sum())
+    if denominator < 1e-12:
+        return 0.0
+    return float((true_centered * pred_centered).sum() / denominator)
+
+
+def kendall_tau(y_true, y_pred) -> float:
+    """Kendall's tau-a: (concordant - discordant) pairs / all pairs."""
+    y_true, y_pred = _prepare(y_true, y_pred)
+    n = y_true.size
+    if n < 2:
+        return 1.0
+    true_sign = np.sign(y_true[:, None] - y_true[None, :])
+    pred_sign = np.sign(y_pred[:, None] - y_pred[None, :])
+    upper = np.triu_indices(n, k=1)
+    agreement = true_sign[upper] * pred_sign[upper]
+    total_pairs = n * (n - 1) / 2
+    return float(agreement.sum() / total_pairs)
+
+
+def top_k_recall(y_true, y_pred, *, k: int, maximize: bool = True) -> float:
+    """Fraction of the true top-k items found in the predicted top-k."""
+    y_true, y_pred = _prepare(y_true, y_pred)
+    if not 1 <= k <= y_true.size:
+        raise ValueError(f"k must be in [1, {y_true.size}], got {k}")
+    sign = -1.0 if maximize else 1.0
+    true_top = set(np.argsort(sign * y_true, kind="mergesort")[:k].tolist())
+    pred_top = set(np.argsort(sign * y_pred, kind="mergesort")[:k].tolist())
+    return len(true_top & pred_top) / k
+
+
+def regret_at_k(y_true, y_pred, *, k: int, maximize: bool = True) -> float:
+    """Gap between the true optimum and the best true value in the predicted top-k.
+
+    Zero means the screen-then-simulate loop would have found the true best
+    configuration within a budget of *k* simulations; always non-negative.
+    """
+    y_true, y_pred = _prepare(y_true, y_pred)
+    if not 1 <= k <= y_true.size:
+        raise ValueError(f"k must be in [1, {y_true.size}], got {k}")
+    sign = -1.0 if maximize else 1.0
+    predicted_top = np.argsort(sign * y_pred, kind="mergesort")[:k]
+    if maximize:
+        return float(y_true.max() - y_true[predicted_top].max())
+    return float(y_true[predicted_top].min() - y_true.min())

@@ -1,0 +1,60 @@
+"""Minimal numpy-based neural-network framework (autograd, layers, optim)."""
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.gradcheck import (
+    check_module_gradients,
+    check_tensor_gradient,
+    numerical_gradient,
+)
+from repro.nn.layers import (
+    ACTIVATIONS,
+    MLP,
+    Dropout,
+    LayerNorm,
+    Linear,
+    ParameterEmbedding,
+    Sequential,
+    kaiming_normal,
+    xavier_uniform,
+)
+from repro.nn.losses import huber_loss, mae_loss, mse_loss
+from repro.nn.module import Module
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, Optimizer, clip_grad_norm
+from repro.nn.serialization import load_model, load_state, save_model
+from repro.nn.tensor import Tensor, concatenate, ones, tensor, zeros
+from repro.nn.transformer import TransformerEncoderLayer, TransformerPredictor
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "concatenate",
+    "Module",
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "ParameterEmbedding",
+    "ACTIVATIONS",
+    "xavier_uniform",
+    "kaiming_normal",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "TransformerPredictor",
+    "mse_loss",
+    "mae_loss",
+    "huber_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "CosineAnnealingLR",
+    "clip_grad_norm",
+    "save_model",
+    "load_model",
+    "load_state",
+    "numerical_gradient",
+    "check_tensor_gradient",
+    "check_module_gradients",
+]

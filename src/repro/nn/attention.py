@@ -1,0 +1,128 @@
+"""Multi-head self-attention with support for an architectural mask.
+
+Two pieces of the paper live here:
+
+* the attention operator of the transformer predictor, which records its
+  most recent attention weights so the WAM algorithm can harvest "mask
+  candidates" from the last self-attention layer during pre-training
+  (Fig. 4, steps 1-2);
+* the mask injection point: a WAM is an additive bias on the pre-softmax
+  attention logits.  When installed it can optionally be trained together
+  with the model during adaptation (Algorithm 2 sets
+  ``M.required_grad = True``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, as_rng
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self-attention over parameter tokens.
+
+    Parameters
+    ----------
+    embed_dim:
+        Token embedding width.
+    num_heads:
+        Number of attention heads; must divide *embed_dim*.
+    store_attention:
+        When True the layer keeps the attention probabilities of the latest
+        forward pass in :attr:`last_attention` (detached numpy array of shape
+        ``(batch, heads, tokens, tokens)``).
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        *,
+        store_attention: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError(
+                f"embed_dim ({embed_dim}) must be divisible by num_heads ({num_heads})"
+            )
+        rng = as_rng(seed)
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.query = Linear(embed_dim, embed_dim, seed=rng)
+        self.key = Linear(embed_dim, embed_dim, seed=rng)
+        self.value = Linear(embed_dim, embed_dim, seed=rng)
+        self.output = Linear(embed_dim, embed_dim, seed=rng)
+        self.store_attention = store_attention
+        #: Attention probabilities of the last forward pass (numpy, detached).
+        self.last_attention: Optional[np.ndarray] = None
+        #: Optional workload-adaptive architectural mask (additive logit bias).
+        self.mask: Optional[Tensor] = None
+
+    # -- mask management -------------------------------------------------------
+    def install_mask(self, mask: np.ndarray, *, learnable: bool = True) -> Tensor:
+        """Install an architectural mask as an additive attention-logit bias.
+
+        The mask has shape ``(tokens, tokens)`` and is broadcast over batch
+        and heads.  When *learnable* the mask is registered as a parameter so
+        the adaptation stage fine-tunes it together with the weights
+        (Algorithm 2 line 2).
+        """
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.ndim != 2 or mask.shape[0] != mask.shape[1]:
+            raise ValueError(f"mask must be square (tokens x tokens), got {mask.shape}")
+        tensor = Tensor(mask.copy(), requires_grad=learnable)
+        if learnable:
+            self.register_parameter("mask", tensor)
+        self.mask = tensor
+        return tensor
+
+    def remove_mask(self) -> None:
+        """Remove an installed mask (no-op when none is installed)."""
+        self.mask = None
+        self._parameters.pop("mask", None)
+
+    # -- forward ---------------------------------------------------------------
+    def _split_heads(self, x: Tensor, batch: int, tokens: int) -> Tensor:
+        """(batch, tokens, embed) -> (batch, heads, tokens, head_dim)."""
+        return x.reshape(batch, tokens, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, tokens: Tensor) -> Tensor:
+        if tokens.ndim != 3 or tokens.shape[2] != self.embed_dim:
+            raise ValueError(
+                f"expected (batch, tokens, {self.embed_dim}) input, got {tokens.shape}"
+            )
+        batch, num_tokens, _ = tokens.shape
+        q = self._split_heads(self.query(tokens), batch, num_tokens)
+        k = self._split_heads(self.key(tokens), batch, num_tokens)
+        v = self._split_heads(self.value(tokens), batch, num_tokens)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        logits = (q @ k.transpose(0, 1, 3, 2)) * scale
+        if self.mask is not None:
+            logits = logits + self.mask  # broadcast over (batch, heads)
+        attention = logits.softmax(axis=-1)
+        if self.store_attention:
+            self.last_attention = attention.data.copy()
+
+        context = attention @ v  # (batch, heads, tokens, head_dim)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, num_tokens, self.embed_dim)
+        return self.output(context)
+
+    # -- attention statistics ----------------------------------------------------
+    def mean_attention(self) -> np.ndarray:
+        """Average the stored attention over batch and heads.
+
+        Returns a ``(tokens, tokens)`` matrix of attention frequencies; raises
+        if no forward pass has been recorded yet.
+        """
+        if self.last_attention is None:
+            raise RuntimeError("no attention recorded; run a forward pass first")
+        return self.last_attention.mean(axis=(0, 1))

@@ -1,0 +1,201 @@
+"""Standard neural-network layers built on the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, as_rng
+
+#: Supported activation names for :class:`MLP`.
+ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "relu": lambda x: x.relu(),
+    "gelu": lambda x: x.gelu(),
+    "tanh": lambda x: x.tanh(),
+    "sigmoid": lambda x: x.sigmoid(),
+    "identity": lambda x: x,
+}
+
+
+def xavier_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal initialisation (for ReLU-family activations)."""
+    fan_in = shape[0]
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b`` over the last axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("Linear features must be positive")
+        rng = as_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter(
+            "weight", Tensor(xavier_uniform((in_features, out_features), rng))
+        )
+        self.bias: Optional[Tensor] = None
+        if bias:
+            self.bias = self.register_parameter("bias", Tensor(np.zeros(out_features)))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, normalized_shape: int, *, eps: float = 1e-5) -> None:
+        super().__init__()
+        if normalized_shape < 1:
+            raise ValueError("normalized_shape must be positive")
+        self.eps = eps
+        self.normalized_shape = normalized_shape
+        self.gamma = self.register_parameter("gamma", Tensor(np.ones(normalized_shape)))
+        self.beta = self.register_parameter("beta", Tensor(np.zeros(normalized_shape)))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        mean = inputs.mean(axis=-1, keepdims=True)
+        variance = inputs.var(axis=-1, keepdims=True)
+        normalised = (inputs - mean) * ((variance + self.eps) ** -0.5)
+        return normalised * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, rate: float = 0.1, *, seed: SeedLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = as_rng(seed)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return inputs
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * Tensor(mask)
+
+
+class Sequential(Module):
+    """Apply modules one after another."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: list[str] = []
+        for index, module in enumerate(modules):
+            name = f"layer{index}"
+            self.register_module(name, module)
+            self._order.append(name)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs
+        for name in self._order:
+            out = self._modules[name](out)
+        return out
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: Sequence[int],
+        out_features: int,
+        *,
+        activation: str = "gelu",
+        dropout: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if activation not in ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; choose from {sorted(ACTIVATIONS)}"
+            )
+        rng = as_rng(seed)
+        self.activation_name = activation
+        self._activation = ACTIVATIONS[activation]
+        dims = [in_features, *hidden_features, out_features]
+        self._layer_names: list[str] = []
+        for index, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            name = f"fc{index}"
+            self.register_module(name, Linear(d_in, d_out, seed=rng))
+            self._layer_names.append(name)
+        self.dropout = Dropout(dropout, seed=rng) if dropout > 0 else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs
+        last = len(self._layer_names) - 1
+        for index, name in enumerate(self._layer_names):
+            out = self._modules[name](out)
+            if index != last:
+                out = self._activation(out)
+                if self.dropout is not None:
+                    out = self.dropout(out)
+        return out
+
+
+class ParameterEmbedding(Module):
+    """Embed each architectural parameter's scalar value into a token vector.
+
+    The AttentionDSE-style predictor treats every microarchitectural
+    parameter as one token.  A parameter's normalised value ``v`` is embedded
+    as ``v * scale_i + positional_i`` where both ``scale_i`` (a learned
+    per-parameter direction) and ``positional_i`` (a learned per-parameter
+    offset that doubles as a positional embedding) are trainable.
+    """
+
+    def __init__(self, num_parameters: int, embed_dim: int, *, seed: SeedLike = None) -> None:
+        super().__init__()
+        if num_parameters < 1 or embed_dim < 1:
+            raise ValueError("num_parameters and embed_dim must be positive")
+        rng = as_rng(seed)
+        self.num_parameters = num_parameters
+        self.embed_dim = embed_dim
+        self.value_scale = self.register_parameter(
+            "value_scale", Tensor(rng.normal(0.0, 1.0, size=(num_parameters, embed_dim)))
+        )
+        self.positional = self.register_parameter(
+            "positional", Tensor(rng.normal(0.0, 0.02, size=(num_parameters, embed_dim)))
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        """Map ``(batch, P)`` parameter values to ``(batch, P, d)`` tokens."""
+        if inputs.ndim != 2 or inputs.shape[1] != self.num_parameters:
+            raise ValueError(
+                f"expected inputs of shape (batch, {self.num_parameters}), got {inputs.shape}"
+            )
+        values = inputs.reshape(inputs.shape[0], self.num_parameters, 1)
+        return values * self.value_scale + self.positional

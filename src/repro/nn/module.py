@@ -1,0 +1,129 @@
+"""Module base class and parameter management.
+
+A :class:`Module` owns named parameters (and sub-modules) and provides the
+bookkeeping MAML needs:
+
+* ``named_parameters`` / ``parameters`` — ordered traversal;
+* ``state_dict`` / ``load_state_dict`` — copy parameters in and out as plain
+  numpy arrays (used to snapshot ``theta`` and to build the task copies
+  ``theta_hat`` of Algorithm 1);
+* ``zero_grad`` — clear gradient buffers;
+* ``clone`` — structural deep copy with identical parameter values.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Module:
+    """Base class for all neural-network building blocks."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Tensor] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration -------------------------------------------------------
+    def register_parameter(self, name: str, tensor: Tensor) -> Tensor:
+        """Register *tensor* as a trainable parameter called *name*."""
+        if not isinstance(tensor, Tensor):
+            raise TypeError(f"parameter {name!r} must be a Tensor")
+        tensor.requires_grad = True
+        tensor.name = name
+        self._parameters[name] = tensor
+        return tensor
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        """Register a sub-module called *name*."""
+        if not isinstance(module, Module):
+            raise TypeError(f"sub-module {name!r} must be a Module")
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name: str, value) -> None:
+        # Convenience: assigning a Module/Tensor attribute registers it.
+        if isinstance(value, Module) and name not in ("_modules",):
+            object.__setattr__(self, name, value)
+            if "_modules" in self.__dict__:
+                self._modules[name] = value
+            return
+        object.__setattr__(self, name, value)
+
+    # -- traversal -------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield ``(qualified_name, parameter)`` pairs in a stable order."""
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable parameters in traversal order."""
+        return [p for _, p in self.named_parameters()]
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    # -- training / gradient state ---------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # -- state management ----------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy all parameters out as plain numpy arrays."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Copy parameter values in from :meth:`state_dict` output."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch: missing {sorted(missing)}, unexpected {sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: {value.shape} vs {parameter.data.shape}"
+                )
+            parameter.data = value.copy()
+
+    def clone(self) -> "Module":
+        """Structural deep copy with identical parameter values, fresh grads."""
+        duplicate = copy.deepcopy(self)
+        duplicate.zero_grad()
+        return duplicate
+
+    # -- call protocol ---------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

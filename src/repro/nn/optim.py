@@ -1,0 +1,188 @@
+"""Optimisers and learning-rate schedules.
+
+The paper's training recipe needs three pieces, all provided here:
+
+* plain SGD for the MAML inner loop (Algorithm 1 line 9),
+* Adam for the meta-update of the outer loop,
+* SGD/Adam with cosine annealing for the ten-step downstream adaptation
+  (Section VI-A: "a learning rate of 1e-5 and cosine annealing").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    """Base class: holds parameters and implements ``zero_grad``.
+
+    ``lr_scales`` optionally assigns a per-parameter multiplier on the
+    learning rate (aligned with *parameters*).  The adaptation stage uses it
+    to let the workload-adaptive mask move faster than the backbone weights.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        lr: float,
+        *,
+        lr_scales: Optional[Sequence[float]] = None,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        if lr_scales is None:
+            self.lr_scales = [1.0] * len(self.parameters)
+        else:
+            if len(lr_scales) != len(self.parameters):
+                raise ValueError("lr_scales must match the number of parameters")
+            if any(scale <= 0 for scale in lr_scales):
+                raise ValueError("lr_scales must be positive")
+            self.lr_scales = list(lr_scales)
+        self.lr = lr
+        self.initial_lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        lr: float,
+        *,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        lr_scales: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(parameters, lr, lr_scales=lr_scales)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one SGD update using the accumulated gradients."""
+        for parameter, velocity, scale in zip(
+            self.parameters, self._velocity, self.lr_scales
+        ):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum > 0:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            parameter.data = parameter.data - self.lr * scale * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        lr: float,
+        *,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        lr_scales: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(parameters, lr, lr_scales=lr_scales)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._step_count += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1 ** self._step_count
+        bias2 = 1.0 - beta2 ** self._step_count
+        for parameter, m, v, scale in zip(
+            self.parameters, self._m, self._v, self.lr_scales
+        ):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * parameter.data
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data = parameter.data - self.lr * scale * m_hat / (
+                np.sqrt(v_hat) + self.eps
+            )
+
+
+class CosineAnnealingLR:
+    """Cosine-annealing learning-rate schedule.
+
+    The learning rate decays from the optimiser's initial value to *eta_min*
+    over *total_steps* calls to :meth:`step`.
+    """
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, *, eta_min: float = 0.0) -> None:
+        if total_steps < 1:
+            raise ValueError(f"total_steps must be >= 1, got {total_steps}")
+        if eta_min < 0:
+            raise ValueError(f"eta_min must be >= 0, got {eta_min}")
+        self.optimizer = optimizer
+        self.total_steps = total_steps
+        self.eta_min = eta_min
+        self.current_step = 0
+
+    def step(self) -> float:
+        """Advance the schedule and return the new learning rate."""
+        self.current_step = min(self.current_step + 1, self.total_steps)
+        progress = self.current_step / self.total_steps
+        lr = self.eta_min + 0.5 * (self.optimizer.initial_lr - self.eta_min) * (
+            1.0 + np.cos(np.pi * progress)
+        )
+        self.optimizer.lr = float(lr)
+        return float(lr)
+
+
+def clip_grad_norm(parameters: Sequence[Tensor], max_norm: float) -> float:
+    """Clip the global gradient norm in place; returns the pre-clip norm."""
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for grad in grads:
+        total += float(np.sum(grad ** 2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for grad in grads:
+            grad *= scale
+    return norm

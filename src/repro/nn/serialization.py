@@ -1,0 +1,59 @@
+"""Saving and loading model parameters.
+
+Models are persisted as ``.npz`` archives of their ``state_dict``.  A small
+JSON-compatible header records the architecture hyper-parameters so that a
+checkpoint can be reconstructed without external bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+#: Key under which the architecture header is stored inside the archive.
+_HEADER_KEY = "__metadse_header__"
+
+
+def save_model(module: Module, path: "str | Path", *, header: Optional[dict[str, Any]] = None) -> Path:
+    """Save *module*'s parameters (and an optional header) to *path*.
+
+    The ``.npz`` suffix is appended when missing.  Returns the actual path
+    written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(module.state_dict())
+    header_json = json.dumps(header or {}, sort_keys=True)
+    payload[_HEADER_KEY] = np.frombuffer(header_json.encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **payload)
+    return path
+
+
+def load_state(path: "str | Path") -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Load a ``(state_dict, header)`` pair from *path*."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint {path} does not exist")
+    with np.load(path, allow_pickle=False) as archive:
+        state = {key: archive[key] for key in archive.files if key != _HEADER_KEY}
+        header: dict[str, Any] = {}
+        if _HEADER_KEY in archive.files:
+            header = json.loads(bytes(archive[_HEADER_KEY].tolist()).decode("utf-8"))
+    return state, header
+
+
+def load_model(module: Module, path: "str | Path") -> dict[str, Any]:
+    """Load parameters from *path* into an already constructed *module*.
+
+    Returns the header that was stored alongside the parameters.
+    """
+    state, header = load_state(path)
+    module.load_state_dict(state)
+    return header

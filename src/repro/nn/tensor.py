@@ -1,0 +1,486 @@
+"""A small reverse-mode automatic-differentiation engine on top of numpy.
+
+No deep-learning framework is available in the offline environment, so the
+transformer predictor and the MAML training loop are built on this engine.
+The design follows the familiar define-by-run pattern:
+
+* a :class:`Tensor` wraps a ``float64`` numpy array, a gradient buffer, and a
+  closure that knows how to propagate gradients to its parents;
+* operations build the computation graph on the fly;
+* :meth:`Tensor.backward` topologically sorts the graph and runs the stored
+  closures in reverse order.
+
+Only the operations the library actually needs are implemented, but each one
+supports full numpy broadcasting (gradients are "un-broadcast" by summing
+over the broadcast axes), which keeps layer implementations natural.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[float, int, Sequence, np.ndarray, "Tensor"]
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    """Coerce *value* to a float64 numpy array."""
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum *grad* over axes that were broadcast to reach *shape*'s gradient.
+
+    If ``a`` with shape ``shape`` was broadcast to produce an output whose
+    gradient is *grad*, the gradient with respect to ``a`` is obtained by
+    summing over the added leading axes and over every axis where ``a`` had
+    extent one.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over extra leading dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes where the original extent was 1 but the gradient is wider.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A node in the autodiff graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100  # make numpy defer to Tensor's reflected operators
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        *,
+        requires_grad: bool = False,
+        parents: tuple["Tensor", ...] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = parents
+        self._backward = backward
+        self.name = name
+
+    # -- basic introspection -------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    def item(self) -> float:
+        """Return the single element of a scalar tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return (a copy of) the underlying data."""
+        return self.data.copy()
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # -- gradient bookkeeping ---------------------------------------------------
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        For non-scalar tensors an explicit output gradient must be supplied.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without an argument requires a scalar output")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        # Topological order of the graph reachable from self.
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        self._accumulate_grad(grad)
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None or node._backward is None:
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None:
+                    continue
+                if parent.requires_grad or parent._parents:
+                    existing = grads.get(id(parent))
+                    grads[id(parent)] = pgrad if existing is None else existing + pgrad
+            # Accumulate into leaf .grad buffers.
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is not None and parent.requires_grad and parent._backward is None:
+                    parent._accumulate_grad(pgrad)
+
+    # -- graph construction helpers -----------------------------------------
+    @staticmethod
+    def _needs_graph(*tensors: "Tensor") -> bool:
+        return any(t.requires_grad or t._parents for t in tensors)
+
+    @classmethod
+    def _make(
+        cls,
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], tuple],
+    ) -> "Tensor":
+        if cls._needs_graph(*parents):
+            return cls(data, requires_grad=False, parents=parents, backward=backward)
+        return cls(data)
+
+    # -- arithmetic -------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (
+                _unbroadcast(grad, self.shape),
+                _unbroadcast(grad, other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> tuple:
+            return (-grad,)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (
+                _unbroadcast(grad, self.shape),
+                _unbroadcast(-grad, other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (
+                _unbroadcast(grad * other.data, self.shape),
+                _unbroadcast(grad * self.data, other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (
+                _unbroadcast(grad / other.data, self.shape),
+                _unbroadcast(-grad * self.data / (other.data ** 2), other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (grad * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = np.matmul(self.data, other.data)
+
+        def backward(grad: np.ndarray) -> tuple:
+            a, b = self.data, other.data
+            # Treat 1-D operands by temporarily promoting them, as matmul does.
+            a2 = a[None, :] if a.ndim == 1 else a
+            b2 = b[:, None] if b.ndim == 1 else b
+            g = grad
+            if a.ndim == 1:
+                g = np.expand_dims(g, axis=-2)
+            if b.ndim == 1:
+                g = np.expand_dims(g, axis=-1)
+            grad_a = np.matmul(g, np.swapaxes(b2, -1, -2))
+            grad_b = np.matmul(np.swapaxes(a2, -1, -2), g)
+            if a.ndim == 1:
+                grad_a = np.squeeze(grad_a, axis=-2)
+            if b.ndim == 1:
+                grad_b = np.squeeze(grad_b, axis=-1)
+            return (
+                _unbroadcast(grad_a, self.shape),
+                _unbroadcast(grad_b, other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # -- elementwise nonlinearities ------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (grad * out_data,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (grad / self.data,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (grad * (1.0 - out_data ** 2),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (grad * out_data * (1.0 - out_data),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (grad * mask,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (x + 0.044715 * x ** 3)
+        tanh_inner = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + tanh_inner)
+
+        def backward(grad: np.ndarray) -> tuple:
+            sech2 = 1.0 - tanh_inner ** 2
+            d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
+            local = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+            return (grad * local,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (grad * sign,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # -- reductions ---------------------------------------------------------------
+    def sum(self, axis: Optional[int | tuple[int, ...]] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> tuple:
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    g = np.expand_dims(g, axis=a)
+            return (np.broadcast_to(g, self.shape).copy(),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis: Optional[int | tuple[int, ...]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Biased variance (matches layer-norm conventions)."""
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    # -- shape manipulation -----------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (grad.reshape(original_shape),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (grad.transpose(inverse),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        out_data = np.swapaxes(self.data, axis1, axis2)
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (np.swapaxes(grad, axis1, axis2),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(grad: np.ndarray) -> tuple:
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, grad)
+            return (full,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # -- fused numerically-stable primitives ------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> tuple:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            return (out_data * (grad - dot),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_norm
+        softmax = np.exp(out_data)
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (grad - softmax * grad.sum(axis=axis, keepdims=True),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+
+def tensor(data: ArrayLike, *, requires_grad: bool = False) -> Tensor:
+    """Functional constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape: Sequence[int], *, requires_grad: bool = False) -> Tensor:
+    """A tensor of zeros."""
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape: Sequence[int], *, requires_grad: bool = False) -> Tensor:
+    """A tensor of ones."""
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along *axis* (differentiable)."""
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> tuple:
+        grads = []
+        for i in range(len(tensors)):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(grad[tuple(index)])
+        return tuple(grads)
+
+    return Tensor._make(data, tuple(tensors), backward)

@@ -1,0 +1,170 @@
+"""The AttentionDSE-style transformer surrogate predictor.
+
+The predictor maps an encoded CPU configuration (one normalised scalar per
+Table I parameter) to a performance metric (IPC or power):
+
+1. every parameter becomes a token via :class:`ParameterEmbedding`;
+2. a stack of pre-norm transformer encoder layers mixes the tokens, letting
+   the model learn parameter-parameter interactions (the attention weights of
+   the *last* layer are what the WAM algorithm harvests);
+3. tokens are mean-pooled and a small MLP head emits the prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import MLP, Dropout, LayerNorm, ParameterEmbedding
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, as_rng
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder block (attention + feed-forward)."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        *,
+        ff_multiplier: int = 2,
+        dropout: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = as_rng(seed)
+        self.attention = MultiHeadSelfAttention(embed_dim, num_heads, seed=rng)
+        self.attention_norm = LayerNorm(embed_dim)
+        self.feedforward = MLP(
+            embed_dim, [embed_dim * ff_multiplier], embed_dim, activation="gelu", seed=rng
+        )
+        self.feedforward_norm = LayerNorm(embed_dim)
+        self.dropout = Dropout(dropout, seed=rng) if dropout > 0 else None
+
+    def forward(self, tokens: Tensor) -> Tensor:
+        attended = self.attention(self.attention_norm(tokens))
+        if self.dropout is not None:
+            attended = self.dropout(attended)
+        tokens = tokens + attended
+        fed = self.feedforward(self.feedforward_norm(tokens))
+        if self.dropout is not None:
+            fed = self.dropout(fed)
+        return tokens + fed
+
+
+class TransformerPredictor(Module):
+    """Transformer-based surrogate model for CPU performance prediction.
+
+    Parameters
+    ----------
+    num_parameters:
+        Number of architectural parameters (tokens); 22 for Table I.
+    embed_dim, num_heads, num_layers:
+        Transformer capacity knobs.  The defaults are sized for few-shot
+        training on a single CPU core.
+    dropout:
+        Dropout rate applied inside encoder layers and the head.
+    seed:
+        Initialisation seed (deterministic by default).
+    """
+
+    def __init__(
+        self,
+        num_parameters: int,
+        *,
+        embed_dim: int = 32,
+        num_heads: int = 4,
+        num_layers: int = 2,
+        ff_multiplier: int = 2,
+        head_hidden: int = 64,
+        dropout: float = 0.0,
+        output_dim: int = 1,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = as_rng(seed)
+        self.num_parameters = num_parameters
+        self.embed_dim = embed_dim
+        self.num_layers = num_layers
+        self.output_dim = output_dim
+        self.embedding = ParameterEmbedding(num_parameters, embed_dim, seed=rng)
+        self._layer_names: list[str] = []
+        for index in range(num_layers):
+            name = f"encoder{index}"
+            self.register_module(
+                name,
+                TransformerEncoderLayer(
+                    embed_dim, num_heads, ff_multiplier=ff_multiplier,
+                    dropout=dropout, seed=rng,
+                ),
+            )
+            self._layer_names.append(name)
+        self.final_norm = LayerNorm(embed_dim)
+        self.head = MLP(embed_dim, [head_hidden], output_dim, activation="gelu",
+                        dropout=dropout, seed=rng)
+
+    # -- forward ---------------------------------------------------------------
+    def forward(self, inputs: Tensor) -> Tensor:
+        """Predict from encoded configurations of shape ``(batch, P)``.
+
+        Returns a tensor of shape ``(batch,)`` when ``output_dim == 1`` and
+        ``(batch, output_dim)`` otherwise.
+        """
+        if not isinstance(inputs, Tensor):
+            inputs = Tensor(np.asarray(inputs, dtype=np.float64))
+        tokens = self.embedding(inputs)
+        for name in self._layer_names:
+            tokens = self._modules[name](tokens)
+        pooled = self.final_norm(tokens).mean(axis=1)
+        out = self.head(pooled)
+        if self.output_dim == 1:
+            return out.reshape(out.shape[0])
+        return out
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Numpy-in / numpy-out inference helper (no graph is built)."""
+        was_training = self.training
+        self.eval()
+        try:
+            out = self.forward(Tensor(np.asarray(inputs, dtype=np.float64)))
+        finally:
+            self.train(was_training)
+        return out.data.copy()
+
+    # -- attention access for WAM ------------------------------------------------
+    @property
+    def last_attention_layer(self) -> MultiHeadSelfAttention:
+        """The self-attention operator of the final encoder layer."""
+        final_encoder: TransformerEncoderLayer = self._modules[self._layer_names[-1]]
+        return final_encoder.attention
+
+    def attention_layers(self) -> list[MultiHeadSelfAttention]:
+        """All self-attention operators, in depth order."""
+        return [self._modules[name].attention for name in self._layer_names]
+
+    def last_attention_weights(self) -> np.ndarray:
+        """Attention probabilities recorded by the last encoder layer."""
+        return self.last_attention_layer.mean_attention()
+
+    def install_mask(self, mask: np.ndarray, *, learnable: bool = True,
+                     all_layers: bool = False) -> None:
+        """Install a workload-adaptive architectural mask.
+
+        By default only the last layer (the one the mask was distilled from)
+        receives the mask; ``all_layers=True`` installs it everywhere, which
+        is used by an ablation benchmark.
+        """
+        targets = self.attention_layers() if all_layers else [self.last_attention_layer]
+        for layer in targets:
+            layer.install_mask(mask, learnable=learnable)
+
+    def remove_masks(self) -> None:
+        """Remove any installed masks from every attention layer."""
+        for layer in self.attention_layers():
+            layer.remove_mask()

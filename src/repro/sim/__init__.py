@@ -1,0 +1,27 @@
+"""Analytical CPU simulation substrate (gem5 + McPAT substitute)."""
+
+from repro.sim.backend import BackendModel, BackendModelResult
+from repro.sim.branch import BranchModelResult, BranchPredictorModel
+from repro.sim.cache import CacheHierarchyModel, CacheHierarchyResult
+from repro.sim.performance import PerformanceModel, PerformanceResult
+from repro.sim.power import AreaBreakdown, PowerModel, PowerResult
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+
+__all__ = [
+    "BranchPredictorModel",
+    "BranchModelResult",
+    "CacheHierarchyModel",
+    "CacheHierarchyResult",
+    "BackendModel",
+    "BackendModelResult",
+    "PerformanceModel",
+    "PerformanceResult",
+    "PowerModel",
+    "PowerResult",
+    "AreaBreakdown",
+    "Simulator",
+    "SimulationResult",
+    "TechnologyParameters",
+    "DEFAULT_TECHNOLOGY",
+]

@@ -1,0 +1,155 @@
+"""Out-of-order backend model.
+
+The backend model bounds sustainable IPC by the classic limiters of an
+out-of-order machine:
+
+* **pipeline width** — fetch/decode/issue/commit width is a hard ceiling;
+* **instruction window** — the usable instruction-level parallelism grows
+  with the effective window (the minimum of ROB, issue-queue, register-file
+  and load/store-queue headroom) following a saturating square-root law in
+  units of the workload's dependency-chain length;
+* **functional units** — each instruction class needs a matching unit, so a
+  configuration with a single FP multiplier cannot sustain FP-heavy codes;
+* **front-end supply** — the fetch buffer and fetch queue bound how many
+  micro-ops per cycle the front end can deliver.
+
+The memory-stall component uses the cache model's AMAT, discounted by the
+amount of memory-level parallelism the window can actually expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.cache import CacheHierarchyResult
+from repro.workloads.characteristics import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class BackendModelResult:
+    """Breakdown of the backend IPC limiters for one (config, workload) pair."""
+
+    width_limit: float
+    window_limit: float
+    functional_unit_limit: float
+    frontend_supply_limit: float
+    core_ipc: float
+    memory_stall_cpi: float
+    effective_window: float
+    exposed_mlp: float
+
+
+class BackendModel:
+    """Analytical model of the issue/execute/commit backend."""
+
+    #: Window entries (per unit of dependency-chain length) needed to expose
+    #: one additional unit of ILP; calibrated so a 192-entry ROB roughly
+    #: saturates a chain length of 5.
+    WINDOW_SCALE = 9.0
+    #: Number of load/store pipes assumed per LSQ partition.
+    MEMORY_ISSUE_PORTS = 2.0
+
+    def evaluate(
+        self,
+        *,
+        pipeline_width: int,
+        rob_size: int,
+        inst_queue_size: int,
+        int_rf_size: int,
+        fp_rf_size: int,
+        load_queue_size: int,
+        store_queue_size: int,
+        int_alu_count: int,
+        int_muldiv_count: int,
+        fp_alu_count: int,
+        fp_muldiv_count: int,
+        fetch_buffer_bytes: int,
+        fetch_queue_uops: int,
+        cache: CacheHierarchyResult,
+        workload: WorkloadProfile,
+    ) -> BackendModelResult:
+        """Evaluate sustainable IPC and memory stall CPI."""
+        mix = workload.mix
+
+        # ---- effective instruction window -------------------------------
+        # Registers beyond the architectural set feed renaming; the in-flight
+        # window cannot exceed what the RF can rename or the queues can hold.
+        int_rename_headroom = max(int_rf_size - 32, 8) / max(1.0 - mix.fp_fraction, 0.05)
+        fp_rename_headroom = (
+            max(fp_rf_size - 32, 8) / max(mix.fp_fraction, 0.05)
+            if mix.fp_fraction > 0.01
+            else np.inf
+        )
+        load_window = load_queue_size / max(mix.load, 0.02)
+        store_window = store_queue_size / max(mix.store, 0.02)
+        # The issue queue holds only not-yet-issued ops, so it supports a
+        # window a few times its size.
+        iq_window = inst_queue_size * 3.0
+        effective_window = float(
+            min(rob_size, iq_window, int_rename_headroom, fp_rename_headroom,
+                load_window, store_window)
+        )
+
+        # ---- ILP extracted from the window -------------------------------
+        chain = workload.dependency_chain_length
+        window_limit = workload.ideal_ipc * (
+            1.0 - np.exp(-effective_window / (chain * self.WINDOW_SCALE))
+        )
+
+        # ---- functional-unit throughput ----------------------------------
+        class_limits = []
+        for fraction, units in (
+            (mix.int_alu, int_alu_count),
+            (mix.int_muldiv, int_muldiv_count * 0.5),  # long-latency, half throughput
+            (mix.fp_alu, fp_alu_count),
+            (mix.fp_muldiv, fp_muldiv_count * 0.5),
+            (mix.load + mix.store, self.MEMORY_ISSUE_PORTS),
+            (mix.branch, max(int_alu_count * 0.5, 1.0)),
+        ):
+            if fraction > 1e-3:
+                class_limits.append(units / fraction)
+        functional_unit_limit = float(min(class_limits)) if class_limits else float(pipeline_width)
+
+        # ---- front-end supply --------------------------------------------
+        # A fetch buffer of B bytes supplies ~B/4 instructions per access;
+        # the fetch queue decouples fetch from decode and hides I-cache misses.
+        fetch_per_cycle = fetch_buffer_bytes / 4.0
+        icache_supply = fetch_per_cycle * (1.0 - cache.l1i_miss_rate * 0.6)
+        queue_smoothing = 1.0 - np.exp(-fetch_queue_uops / (4.0 * max(pipeline_width, 1)))
+        frontend_supply_limit = float(icache_supply * (0.6 + 0.4 * queue_smoothing))
+
+        core_ipc = float(
+            min(pipeline_width, window_limit, functional_unit_limit, frontend_supply_limit)
+        )
+        core_ipc = max(core_ipc, 0.05)
+
+        # ---- memory stalls -------------------------------------------------
+        # Long-latency misses overlap up to the exposed MLP; a big window
+        # exposes more of the workload's inherent MLP.
+        exposed_mlp = float(
+            min(workload.memory.mlp, 1.0 + effective_window / 20.0)
+        )
+        miss_latency = cache.l2_hit_cycles + cache.l2_miss_rate * cache.dram_cycles
+        memory_stall_cpi = (
+            mix.memory_fraction
+            * cache.l1d_miss_rate
+            * miss_latency
+            / max(exposed_mlp, 1.0)
+        )
+        # Compute-bound codes hide part of the remaining latency behind
+        # independent work; memory-bound codes cannot.
+        hide_fraction = 0.35 * (1.0 - workload.memory_boundedness)
+        memory_stall_cpi = float(memory_stall_cpi * (1.0 - hide_fraction))
+
+        return BackendModelResult(
+            width_limit=float(pipeline_width),
+            window_limit=float(window_limit),
+            functional_unit_limit=functional_unit_limit,
+            frontend_supply_limit=frontend_supply_limit,
+            core_ipc=core_ipc,
+            memory_stall_cpi=memory_stall_cpi,
+            effective_window=effective_window,
+            exposed_mlp=exposed_mlp,
+        )

@@ -1,0 +1,107 @@
+"""Top-level performance model: combines frontend, cache and backend models.
+
+The model follows the interval-analysis view of an out-of-order core: the
+steady-state CPI is the sum of
+
+* the base CPI the backend can sustain (``1 / core_ipc``),
+* the branch-misprediction CPI (front-end flushes),
+* the memory-stall CPI (long-latency misses not hidden by the window).
+
+IPC is the reciprocal.  All parameter interactions the WAM algorithm is
+supposed to discover (width x ROB, caches x memory-boundedness, predictor x
+branchiness, frequency x memory latency) are genuinely present in this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.designspace.space import DesignSpace
+from repro.sim.backend import BackendModel, BackendModelResult
+from repro.sim.branch import BranchModelResult, BranchPredictorModel
+from repro.sim.cache import CacheHierarchyModel, CacheHierarchyResult
+from repro.sim.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+from repro.workloads.characteristics import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class PerformanceResult:
+    """Performance metrics and their breakdown for one (config, workload) pair."""
+
+    ipc: float
+    cpi: float
+    frequency_ghz: float
+    #: Billions of instructions per second — IPC times frequency.
+    bips: float
+    branch: BranchModelResult
+    cache: CacheHierarchyResult
+    backend: BackendModelResult
+
+    @property
+    def base_cpi(self) -> float:
+        """CPI attributable to the core's issue limitations alone."""
+        return 1.0 / self.backend.core_ipc
+
+
+class PerformanceModel:
+    """Analytical IPC model over the Table I design space."""
+
+    def __init__(self, technology: TechnologyParameters = DEFAULT_TECHNOLOGY) -> None:
+        self.technology = technology
+        self.branch_model = BranchPredictorModel(technology)
+        self.cache_model = CacheHierarchyModel(technology)
+        self.backend_model = BackendModel()
+
+    def evaluate(
+        self, config: Mapping, workload: WorkloadProfile, space: DesignSpace
+    ) -> PerformanceResult:
+        """Evaluate IPC for a configuration of *space* running *workload*."""
+        cfg = space.validate(config)
+        frequency = float(cfg["core_frequency_ghz"])
+
+        cache = self.cache_model.evaluate(
+            l1_size_kb=int(cfg["l1i_size_kb"]),
+            l1_assoc=int(cfg["l1_assoc"]),
+            l2_size_kb=int(cfg["l2_size_kb"]),
+            l2_assoc=int(cfg["l2_assoc"]),
+            cacheline_bytes=int(cfg["cacheline_bytes"]),
+            frequency_ghz=frequency,
+            workload=workload,
+        )
+        branch = self.branch_model.evaluate(
+            predictor=str(cfg["branch_predictor"]),
+            ras_size=int(cfg["ras_size"]),
+            btb_size=int(cfg["btb_size"]),
+            pipeline_width=int(cfg["pipeline_width"]),
+            workload=workload,
+        )
+        backend = self.backend_model.evaluate(
+            pipeline_width=int(cfg["pipeline_width"]),
+            rob_size=int(cfg["rob_size"]),
+            inst_queue_size=int(cfg["inst_queue_size"]),
+            int_rf_size=int(cfg["int_rf_size"]),
+            fp_rf_size=int(cfg["fp_rf_size"]),
+            load_queue_size=int(cfg["load_queue_size"]),
+            store_queue_size=int(cfg["store_queue_size"]),
+            int_alu_count=int(cfg["int_alu_count"]),
+            int_muldiv_count=int(cfg["int_muldiv_count"]),
+            fp_alu_count=int(cfg["fp_alu_count"]),
+            fp_muldiv_count=int(cfg["fp_muldiv_count"]),
+            fetch_buffer_bytes=int(cfg["fetch_buffer_bytes"]),
+            fetch_queue_uops=int(cfg["fetch_queue_uops"]),
+            cache=cache,
+            workload=workload,
+        )
+
+        cpi = (1.0 / backend.core_ipc) + branch.cpi_contribution + backend.memory_stall_cpi
+        ipc = 1.0 / cpi
+        return PerformanceResult(
+            ipc=float(ipc),
+            cpi=float(cpi),
+            frequency_ghz=frequency,
+            bips=float(ipc * frequency),
+            branch=branch,
+            cache=cache,
+            backend=backend,
+        )

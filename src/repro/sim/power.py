@@ -1,0 +1,166 @@
+"""McPAT-style power and area model.
+
+Power is decomposed, as in McPAT, into
+
+* **dynamic power** — per-structure switched capacitance (scaled by the
+  structure's size and port count), times activity (how often the structure
+  is actually used, derived from the achieved IPC and instruction mix),
+  times ``V^2 * f``;
+* **static (leakage) power** — proportional to modelled area and supply
+  voltage.
+
+Area is a simple additive model in the sizes of the major structures; it is
+also exposed separately because classic DSE studies trade PPA, and the
+:mod:`repro.dse` extension uses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.designspace.space import DesignSpace
+from repro.sim.performance import PerformanceResult
+from repro.sim.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+from repro.workloads.characteristics import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area (mm^2) of the major core structures."""
+
+    core_logic: float
+    register_files: float
+    queues: float
+    caches: float
+    branch_unit: float
+    functional_units: float
+
+    @property
+    def total(self) -> float:
+        """Total modelled area in mm^2."""
+        return (
+            self.core_logic
+            + self.register_files
+            + self.queues
+            + self.caches
+            + self.branch_unit
+            + self.functional_units
+        )
+
+
+@dataclass(frozen=True)
+class PowerResult:
+    """Dynamic/static power breakdown for one (config, workload) pair."""
+
+    dynamic_power_w: float
+    static_power_w: float
+    area: AreaBreakdown
+
+    @property
+    def total_power_w(self) -> float:
+        """Total power in Watts."""
+        return self.dynamic_power_w + self.static_power_w
+
+    @property
+    def area_mm2(self) -> float:
+        """Total area in mm^2 (convenience alias)."""
+        return self.area.total
+
+
+class PowerModel:
+    """Analytical area/power model in the spirit of McPAT."""
+
+    def __init__(self, technology: TechnologyParameters = DEFAULT_TECHNOLOGY) -> None:
+        self.technology = technology
+
+    # -- area ---------------------------------------------------------------
+    def area(self, config: Mapping, space: DesignSpace) -> AreaBreakdown:
+        """Estimate the area of a configuration."""
+        cfg = space.validate(config)
+        width = float(cfg["pipeline_width"])
+
+        # Superlinear growth with width captures the wakeup/select and bypass
+        # networks that dominate wide machines.
+        core_logic = 0.7 + 0.18 * width ** 1.6
+        register_files = 0.004 * (float(cfg["int_rf_size"]) + float(cfg["fp_rf_size"])) * (
+            1.0 + 0.08 * width
+        )
+        queues = (
+            0.006 * float(cfg["rob_size"])
+            + 0.01 * float(cfg["inst_queue_size"])
+            + 0.008 * (float(cfg["load_queue_size"]) + float(cfg["store_queue_size"]))
+            + 0.002 * float(cfg["fetch_queue_uops"])
+        )
+        # Cache area: ~1 mm^2 per 64 KB of SRAM plus associativity overhead.
+        l1_kb = 2.0 * float(cfg["l1i_size_kb"])  # split I + D of equal size
+        l2_kb = float(cfg["l2_size_kb"])
+        caches = (l1_kb + l2_kb) / 64.0 * (1.0 + 0.05 * float(cfg["l2_assoc"]))
+        branch_unit = (
+            0.05
+            + 0.00008 * float(cfg["btb_size"])
+            + 0.002 * float(cfg["ras_size"])
+            + (0.25 if cfg["branch_predictor"] == "TournamentBP" else 0.12)
+        )
+        functional_units = (
+            0.09 * float(cfg["int_alu_count"])
+            + 0.22 * float(cfg["int_muldiv_count"])
+            + 0.28 * float(cfg["fp_alu_count"])
+            + 0.42 * float(cfg["fp_muldiv_count"])
+        )
+        return AreaBreakdown(
+            core_logic=float(core_logic),
+            register_files=float(register_files),
+            queues=float(queues),
+            caches=float(caches),
+            branch_unit=float(branch_unit),
+            functional_units=float(functional_units),
+        )
+
+    # -- power ----------------------------------------------------------------
+    def evaluate(
+        self,
+        config: Mapping,
+        workload: WorkloadProfile,
+        space: DesignSpace,
+        performance: PerformanceResult,
+    ) -> PowerResult:
+        """Estimate power given the achieved performance."""
+        cfg = space.validate(config)
+        frequency = float(cfg["core_frequency_ghz"])
+        vdd = self.technology.vdd_at(frequency)
+        area = self.area(cfg, space)
+
+        width = float(cfg["pipeline_width"])
+        utilisation = float(np.clip(performance.ipc / max(width, 1.0), 0.02, 1.0))
+        activity = workload.activity_factor
+
+        # Effective switched capacitance (arbitrary units scaled to Watts by
+        # ``dynamic_energy_scale``).  Structures that are exercised every
+        # cycle (core logic, caches) are weighted by utilisation; leakage-like
+        # clocking overhead keeps a floor even at low utilisation.
+        mem_traffic = performance.cache.dram_mpki / 1000.0
+        switched_capacitance = (
+            area.core_logic * (0.35 + 0.65 * utilisation)
+            + area.register_files * utilisation
+            + area.queues * (0.3 + 0.7 * utilisation)
+            + area.functional_units * utilisation * (0.5 + 0.5 * workload.mix.fp_fraction * 2.0)
+            + area.branch_unit * workload.mix.branch * 4.0
+            + area.caches * (0.2 + 0.8 * workload.mix.memory_fraction)
+            + 2.5 * mem_traffic  # off-chip DRAM traffic energy
+        )
+        dynamic = (
+            self.technology.dynamic_energy_scale
+            * switched_capacitance
+            * activity
+            * vdd ** 2
+            * frequency
+        )
+        static = self.technology.leakage_w_per_mm2 * area.total * (vdd / self.technology.nominal_vdd)
+        return PowerResult(
+            dynamic_power_w=float(dynamic),
+            static_power_w=float(static),
+            area=area,
+        )

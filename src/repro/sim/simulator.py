@@ -1,0 +1,199 @@
+"""The `Simulator` facade — the drop-in substitute for gem5 + McPAT.
+
+A :class:`Simulator` evaluates a configuration of the Table I design space on
+a workload and returns IPC and power:
+
+* the workload is first decomposed into SimPoint phases (cached per
+  workload), mirroring the paper's "at most 30 clusters of ten million
+  instructions" methodology;
+* each phase is evaluated with the analytical performance and power models;
+* results are aggregated with the SimPoint weights;
+* optional log-normal measurement noise models run-to-run variation of a
+  real simulation campaign (disabled by default so datasets are exactly
+  reproducible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.designspace.space import Configuration, DesignSpace
+from repro.designspace.spec import build_table1_space
+from repro.sim.performance import PerformanceModel, PerformanceResult
+from repro.sim.power import PowerModel, PowerResult
+from repro.sim.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+from repro.utils.rng import SeedLike, as_rng
+from repro.workloads.characteristics import WorkloadProfile
+from repro.workloads.simpoints import SimPointSet, generate_simpoints
+from repro.workloads.spec2017 import WorkloadSuite, spec2017_suite
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregated metrics of one simulated (configuration, workload) pair."""
+
+    workload: str
+    ipc: float
+    power_w: float
+    area_mm2: float
+    bips: float
+    #: Energy per instruction in nano-joules; handy for DSE objectives.
+    energy_per_instruction_nj: float
+    #: Number of SimPoint phases aggregated into this result.
+    num_phases: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary view (used when exporting datasets)."""
+        return {
+            "ipc": self.ipc,
+            "power_w": self.power_w,
+            "area_mm2": self.area_mm2,
+            "bips": self.bips,
+            "energy_per_instruction_nj": self.energy_per_instruction_nj,
+        }
+
+
+class Simulator:
+    """Evaluate design points on workloads (gem5 + McPAT substitute).
+
+    Parameters
+    ----------
+    space:
+        The design space being explored; defaults to the Table I space.
+    suite:
+        The workload suite; defaults to the 17 SPEC CPU 2017 profiles.
+    technology:
+        Technology constants shared by the performance and power models.
+    simpoint_phases:
+        Maximum number of SimPoint phases per workload.  ``1`` disables the
+        phase decomposition (each workload is a single profile) which makes
+        unit tests fast and exactly analytical.
+    noise_std:
+        Standard deviation of multiplicative log-normal measurement noise.
+        ``0`` (default) gives deterministic labels.
+    seed:
+        Seed controlling phase generation and measurement noise.
+    """
+
+    def __init__(
+        self,
+        space: Optional[DesignSpace] = None,
+        suite: Optional[WorkloadSuite] = None,
+        *,
+        technology: TechnologyParameters = DEFAULT_TECHNOLOGY,
+        simpoint_phases: int = 8,
+        noise_std: float = 0.0,
+        seed: SeedLike = 2017,
+    ) -> None:
+        if simpoint_phases < 1:
+            raise ValueError(f"simpoint_phases must be >= 1, got {simpoint_phases}")
+        if noise_std < 0:
+            raise ValueError(f"noise_std must be >= 0, got {noise_std}")
+        self.space = space if space is not None else build_table1_space()
+        self.suite = suite if suite is not None else spec2017_suite()
+        self.technology = technology
+        self.simpoint_phases = simpoint_phases
+        self.noise_std = noise_std
+        self._rng = as_rng(seed)
+        self._phase_seed = int(self._rng.integers(0, 2**31 - 1))
+        self.performance_model = PerformanceModel(technology)
+        self.power_model = PowerModel(technology)
+        self._simpoint_cache: dict[str, SimPointSet] = {}
+        #: Number of (config, phase) evaluations performed; exposed so
+        #: experiments can report simulation budgets like the paper does.
+        self.evaluation_count = 0
+
+    # -- workload handling ---------------------------------------------------
+    def workload_names(self) -> list[str]:
+        """Names of all workloads known to the simulator."""
+        return self.suite.names
+
+    def _resolve_workload(self, workload: "str | WorkloadProfile") -> WorkloadProfile:
+        if isinstance(workload, WorkloadProfile):
+            return workload
+        return self.suite[workload]
+
+    def simpoints_for(self, workload: "str | WorkloadProfile") -> SimPointSet:
+        """Return (and cache) the SimPoint decomposition of a workload."""
+        profile = self._resolve_workload(workload)
+        cached = self._simpoint_cache.get(profile.name)
+        if cached is not None:
+            return cached
+        if self.simpoint_phases == 1:
+            from repro.workloads.simpoints import SimPoint
+
+            simpoints = SimPointSet(
+                workload_name=profile.name,
+                points=(SimPoint(index=0, weight=1.0, profile=profile),),
+            )
+        else:
+            # Per-workload deterministic seed so adding workloads does not
+            # change the phases of existing ones.
+            seed = (hash(profile.name) ^ self._phase_seed) & 0x7FFFFFFF
+            simpoints = generate_simpoints(
+                profile, max_clusters=self.simpoint_phases, seed=seed
+            )
+        self._simpoint_cache[profile.name] = simpoints
+        return simpoints
+
+    # -- evaluation ------------------------------------------------------------
+    def run(
+        self, config: Mapping, workload: "str | WorkloadProfile"
+    ) -> SimulationResult:
+        """Simulate one configuration on one workload."""
+        profile = self._resolve_workload(workload)
+        simpoints = self.simpoints_for(profile)
+        cfg = self.space.validate(config)
+
+        ipc_values = []
+        power_values = []
+        area = None
+        for point in simpoints:
+            performance: PerformanceResult = self.performance_model.evaluate(
+                cfg, point.profile, self.space
+            )
+            power: PowerResult = self.power_model.evaluate(
+                cfg, point.profile, self.space, performance
+            )
+            ipc_values.append(performance.ipc)
+            power_values.append(power.total_power_w)
+            area = power.area_mm2
+            self.evaluation_count += 1
+
+        weights = simpoints.weights
+        ipc = float(np.dot(weights, ipc_values))
+        power_w = float(np.dot(weights, power_values))
+        if self.noise_std > 0:
+            ipc *= float(np.exp(self._rng.normal(0.0, self.noise_std)))
+            power_w *= float(np.exp(self._rng.normal(0.0, self.noise_std)))
+
+        frequency = float(cfg["core_frequency_ghz"])
+        bips = ipc * frequency
+        # Energy per instruction: power / instruction throughput.
+        energy_nj = power_w / max(bips, 1e-9)
+        return SimulationResult(
+            workload=profile.name,
+            ipc=ipc,
+            power_w=power_w,
+            area_mm2=float(area),
+            bips=bips,
+            energy_per_instruction_nj=float(energy_nj),
+            num_phases=len(simpoints),
+        )
+
+    def run_batch(
+        self, configs: list[Configuration], workload: "str | WorkloadProfile"
+    ) -> list[SimulationResult]:
+        """Simulate a list of configurations on one workload."""
+        return [self.run(config, workload) for config in configs]
+
+    def ipc(self, config: Mapping, workload: "str | WorkloadProfile") -> float:
+        """Convenience accessor for the IPC of one run."""
+        return self.run(config, workload).ipc
+
+    def power(self, config: Mapping, workload: "str | WorkloadProfile") -> float:
+        """Convenience accessor for the total power of one run."""
+        return self.run(config, workload).power_w

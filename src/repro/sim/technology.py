@@ -1,0 +1,66 @@
+"""Technology constants shared by the performance and power models.
+
+The numbers below are representative of a 22 nm-class out-of-order core
+(similar to the gem5 ``O3CPU`` + McPAT defaults the paper uses).  They are
+constants of the *substrate*, not of the design space: every configuration in
+Table I is evaluated against the same technology assumptions, so the learned
+models see a consistent world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Latency and energy constants of the modelled technology node."""
+
+    # -- memory hierarchy latencies --------------------------------------
+    #: L1 hit latency in core cycles (pipelined, load-to-use).
+    l1_hit_cycles: float = 3.0
+    #: L2 hit latency in core cycles at the reference frequency.
+    l2_hit_cycles: float = 14.0
+    #: DRAM access latency in nanoseconds (frequency independent).
+    dram_latency_ns: float = 60.0
+    #: Reference core frequency (GHz) at which cycle latencies are quoted.
+    reference_frequency_ghz: float = 2.0
+
+    # -- pipeline ----------------------------------------------------------
+    #: Front-end depth in stages; sets the branch misprediction penalty floor.
+    frontend_depth: float = 11.0
+    #: Extra misprediction penalty per unit of pipeline width (wider machines
+    #: refill more state on a flush).
+    flush_refill_per_width: float = 0.55
+
+    # -- power -------------------------------------------------------------
+    #: Supply voltage at the reference frequency (V); scaled with frequency.
+    nominal_vdd: float = 0.9
+    #: Voltage/frequency scaling slope (V per GHz above the reference).
+    vdd_slope_per_ghz: float = 0.05
+    #: Leakage power density in W per mm^2 of modelled area.
+    leakage_w_per_mm2: float = 0.08
+    #: Dynamic energy scale factor tying switched capacitance to Watts.
+    dynamic_energy_scale: float = 0.065
+
+    def vdd_at(self, frequency_ghz: float) -> float:
+        """Supply voltage needed to sustain *frequency_ghz* (simple DVFS line)."""
+        delta = frequency_ghz - self.reference_frequency_ghz
+        return max(0.6, self.nominal_vdd + self.vdd_slope_per_ghz * delta)
+
+    def dram_latency_cycles(self, frequency_ghz: float) -> float:
+        """DRAM latency expressed in core cycles at *frequency_ghz*."""
+        return self.dram_latency_ns * frequency_ghz
+
+    def l2_latency_cycles(self, frequency_ghz: float) -> float:
+        """L2 latency in core cycles; partially frequency dependent.
+
+        The L2 is on the core clock, but wire delay forces slightly more
+        cycles at higher frequencies.
+        """
+        scale = frequency_ghz / self.reference_frequency_ghz
+        return self.l2_hit_cycles * (0.7 + 0.3 * scale)
+
+
+#: Default technology used by every experiment in the repository.
+DEFAULT_TECHNOLOGY = TechnologyParameters()

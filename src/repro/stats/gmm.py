@@ -1,0 +1,191 @@
+"""Diagonal-covariance Gaussian mixture model fit with EM.
+
+The generative data-augmentation baseline of Ding et al. [17] models the
+joint (configuration-features, label) distribution of the available samples
+with a Gaussian mixture, then rebalances it by swapping the mixing
+coefficients of high- and low-probability components before sampling
+synthetic training data.  This module provides the mixture model itself;
+the baseline lives in :mod:`repro.baselines.gmm_augment`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+#: Lower bound on per-dimension variances, for numerical stability.
+_MIN_VARIANCE = 1e-6
+
+
+class GaussianMixture:
+    """Gaussian mixture with diagonal covariances, trained by EM.
+
+    Parameters
+    ----------
+    num_components:
+        Number of mixture components.
+    max_iterations:
+        Upper bound on EM iterations.
+    tolerance:
+        Convergence threshold on the change in mean log-likelihood.
+    regularization:
+        Value added to every variance to keep components well-conditioned.
+    seed:
+        Determinism handle (initialisation and sampling).
+    """
+
+    def __init__(
+        self,
+        num_components: int,
+        *,
+        max_iterations: int = 200,
+        tolerance: float = 1e-6,
+        regularization: float = 1e-6,
+        seed: SeedLike = 0,
+    ) -> None:
+        if num_components < 1:
+            raise ValueError(f"num_components must be >= 1, got {num_components}")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if regularization < 0:
+            raise ValueError("regularization must be >= 0")
+        self.num_components = num_components
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.regularization = regularization
+        self.rng = as_rng(seed)
+
+        self.weights_: np.ndarray | None = None
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+        self.log_likelihood_: float = float("-inf")
+        self.iterations_: int = 0
+
+    # -- internals -------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if self.weights_ is None or self.means_ is None or self.variances_ is None:
+            raise RuntimeError("GaussianMixture has not been fitted yet")
+
+    def _log_component_densities(self, data: np.ndarray) -> np.ndarray:
+        """Per-sample, per-component log density, shape ``(n, k)``."""
+        assert self.means_ is not None and self.variances_ is not None
+        diff = data[:, None, :] - self.means_[None, :, :]
+        quadratic = np.sum(diff ** 2 / self.variances_[None, :, :], axis=2)
+        log_norm = np.sum(np.log(2.0 * np.pi * self.variances_), axis=1)
+        return -0.5 * (quadratic + log_norm[None, :])
+
+    def _log_joint(self, data: np.ndarray) -> np.ndarray:
+        """``log(weight_k * N_k(x))`` per sample and component."""
+        assert self.weights_ is not None
+        return self._log_component_densities(data) + np.log(self.weights_)[None, :]
+
+    def _initialise(self, data: np.ndarray) -> None:
+        n, d = data.shape
+        indices = self.rng.choice(n, size=self.num_components, replace=n < self.num_components)
+        jitter = self.rng.normal(scale=1e-3, size=(self.num_components, d))
+        self.means_ = data[indices] + jitter
+        global_variance = np.maximum(data.var(axis=0), _MIN_VARIANCE)
+        self.variances_ = np.tile(global_variance, (self.num_components, 1))
+        self.weights_ = np.full(self.num_components, 1.0 / self.num_components)
+
+    # -- public API -----------------------------------------------------------
+    def fit(self, data: np.ndarray) -> "GaussianMixture":
+        """Fit the mixture to an ``(n, d)`` sample matrix with EM."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {data.shape}")
+        if data.shape[0] < self.num_components:
+            raise ValueError(
+                f"need at least {self.num_components} samples, got {data.shape[0]}"
+            )
+        self._initialise(data)
+        previous = float("-inf")
+        for self.iterations_ in range(1, self.max_iterations + 1):
+            # E step: responsibilities via the log-sum-exp trick.
+            log_joint = self._log_joint(data)
+            log_total = np.logaddexp.reduce(log_joint, axis=1, keepdims=True)
+            responsibilities = np.exp(log_joint - log_total)
+            log_likelihood = float(log_total.mean())
+
+            # M step.
+            component_mass = responsibilities.sum(axis=0) + 1e-12
+            self.weights_ = component_mass / component_mass.sum()
+            self.means_ = (responsibilities.T @ data) / component_mass[:, None]
+            diff_sq = (data[:, None, :] - self.means_[None, :, :]) ** 2
+            self.variances_ = (
+                np.einsum("nk,nkd->kd", responsibilities, diff_sq) / component_mass[:, None]
+            )
+            self.variances_ = np.maximum(
+                self.variances_ + self.regularization, _MIN_VARIANCE
+            )
+
+            if abs(log_likelihood - previous) <= self.tolerance:
+                self.log_likelihood_ = log_likelihood
+                break
+            previous = log_likelihood
+            self.log_likelihood_ = log_likelihood
+        return self
+
+    def log_likelihood(self, data: np.ndarray) -> float:
+        """Mean per-sample log likelihood of *data* under the fitted mixture."""
+        self._check_fitted()
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim == 1:
+            data = data.reshape(1, -1)
+        return float(np.logaddexp.reduce(self._log_joint(data), axis=1).mean())
+
+    def responsibilities(self, data: np.ndarray) -> np.ndarray:
+        """Posterior component probabilities per sample, shape ``(n, k)``."""
+        self._check_fitted()
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim == 1:
+            data = data.reshape(1, -1)
+        log_joint = self._log_joint(data)
+        log_total = np.logaddexp.reduce(log_joint, axis=1, keepdims=True)
+        return np.exp(log_joint - log_total)
+
+    def sample(self, count: int, *, weights: np.ndarray | None = None) -> np.ndarray:
+        """Draw *count* synthetic samples.
+
+        A custom mixing-weight vector may be supplied — this is the hook the
+        augmentation baseline uses to over-sample rare components.
+        """
+        self._check_fitted()
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        assert self.means_ is not None and self.variances_ is not None
+        mixing = self.weights_ if weights is None else np.asarray(weights, dtype=np.float64)
+        if mixing.shape != (self.num_components,):
+            raise ValueError(
+                f"weights must have shape ({self.num_components},), got {mixing.shape}"
+            )
+        if np.any(mixing < 0) or mixing.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum to a positive value")
+        mixing = mixing / mixing.sum()
+        components = self.rng.choice(self.num_components, size=count, p=mixing)
+        noise = self.rng.normal(size=(count, self.means_.shape[1]))
+        return self.means_[components] + noise * np.sqrt(self.variances_[components])
+
+    def swapped_weights(self, *, fraction: float = 0.5) -> np.ndarray:
+        """Mixing weights with high- and low-probability components exchanged.
+
+        This is the rebalancing trick of the augmentation baseline: the
+        weight of the most likely component is swapped with the least likely
+        one, the second most likely with the second least likely, and so on,
+        for the given *fraction* of component pairs.  Sampling with these
+        weights emphasises rare regions of the original distribution while
+        keeping the component shapes (means/variances) untouched.
+        """
+        self._check_fitted()
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        assert self.weights_ is not None
+        swapped = self.weights_.copy()
+        order = np.argsort(self.weights_)  # ascending: rare first
+        pairs = int(np.floor(len(order) / 2 * fraction + 0.5))
+        for rank in range(pairs):
+            low = order[rank]
+            high = order[len(order) - 1 - rank]
+            swapped[low], swapped[high] = swapped[high], swapped[low]
+        return swapped

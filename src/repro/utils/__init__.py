@@ -1,0 +1,19 @@
+"""Shared utilities: deterministic RNG handling and validation helpers."""
+
+from repro.utils.rng import RngMixin, as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_same_length,
+)
+
+__all__ = [
+    "RngMixin",
+    "as_rng",
+    "spawn_rngs",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_same_length",
+]

@@ -1,0 +1,41 @@
+"""Workload layer: synthetic SPEC CPU 2017 profiles and SimPoint phases."""
+
+from repro.workloads.characteristics import (
+    INSTRUCTION_CLASSES,
+    BranchBehavior,
+    InstructionMix,
+    MemoryBehavior,
+    WorkloadProfile,
+)
+from repro.workloads.simpoints import (
+    INSTRUCTIONS_PER_CLUSTER,
+    MAX_SIMPOINT_CLUSTERS,
+    SimPoint,
+    SimPointSet,
+    generate_simpoints,
+)
+from repro.workloads.spec2017 import (
+    SPEC2017_WORKLOAD_NAMES,
+    TABLE2_TEST_WORKLOADS,
+    WorkloadSuite,
+    build_spec2017_profiles,
+    spec2017_suite,
+)
+
+__all__ = [
+    "INSTRUCTION_CLASSES",
+    "InstructionMix",
+    "BranchBehavior",
+    "MemoryBehavior",
+    "WorkloadProfile",
+    "SimPoint",
+    "SimPointSet",
+    "generate_simpoints",
+    "MAX_SIMPOINT_CLUSTERS",
+    "INSTRUCTIONS_PER_CLUSTER",
+    "SPEC2017_WORKLOAD_NAMES",
+    "TABLE2_TEST_WORKLOADS",
+    "WorkloadSuite",
+    "build_spec2017_profiles",
+    "spec2017_suite",
+]

@@ -1,0 +1,231 @@
+"""Workload characterisation used by the analytical CPU model.
+
+The gem5 + SPEC CPU 2017 pipeline of the paper is replaced by synthetic
+workload profiles.  A :class:`WorkloadProfile` captures the program-level
+quantities an analytical out-of-order performance model needs:
+
+* instruction mix (integer ALU / integer mul-div / FP ALU / FP mul-div /
+  loads / stores / branches),
+* exploitable instruction-level parallelism (the IPC the program could reach
+  on an ideal machine),
+* branch behaviour (misprediction rates under the two predictor types of
+  Table I, and return-stack pressure),
+* memory behaviour (working-set sizes for L1/L2, memory-level parallelism,
+  cache-line spatial locality),
+* a frequency-scaling exponent describing how memory-bound the program is.
+
+Profiles are deliberately diverse so that cross-workload transfer is hard in
+the same way Fig. 2 of the paper shows it to be for real SPEC workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+
+#: Canonical order of instruction classes in a mix vector.
+INSTRUCTION_CLASSES = (
+    "int_alu",
+    "int_muldiv",
+    "fp_alu",
+    "fp_muldiv",
+    "load",
+    "store",
+    "branch",
+)
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractions of dynamic instructions per class (must sum to 1)."""
+
+    int_alu: float
+    int_muldiv: float
+    fp_alu: float
+    fp_muldiv: float
+    load: float
+    store: float
+    branch: float
+
+    def __post_init__(self) -> None:
+        total = sum(self.as_dict().values())
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"instruction mix must sum to 1.0, got {total:.6f}")
+        for name, value in self.as_dict().items():
+            check_in_range(f"instruction mix fraction {name!r}", value, 0.0, 1.0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the mix as an ordered mapping (class name -> fraction)."""
+        return {name: getattr(self, name) for name in INSTRUCTION_CLASSES}
+
+    def as_array(self) -> np.ndarray:
+        """Return the mix as a vector ordered by :data:`INSTRUCTION_CLASSES`."""
+        return np.array([getattr(self, name) for name in INSTRUCTION_CLASSES])
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of instructions that access memory."""
+        return self.load + self.store
+
+    @property
+    def fp_fraction(self) -> float:
+        """Fraction of floating-point instructions."""
+        return self.fp_alu + self.fp_muldiv
+
+    @staticmethod
+    def from_dict(values: Mapping[str, float]) -> "InstructionMix":
+        """Build a mix from a mapping, normalising so the fractions sum to 1."""
+        raw = np.array([float(values.get(name, 0.0)) for name in INSTRUCTION_CLASSES])
+        if raw.sum() <= 0:
+            raise ValueError("instruction mix must have a positive total")
+        normalised = raw / raw.sum()
+        return InstructionMix(*normalised.tolist())
+
+
+@dataclass(frozen=True)
+class BranchBehavior:
+    """Branch-prediction related characteristics of a workload."""
+
+    #: Misprediction rate with the simpler BiMode predictor.
+    bimode_mispredict_rate: float
+    #: Misprediction rate with the Tournament predictor (usually lower).
+    tournament_mispredict_rate: float
+    #: Average call depth — drives sensitivity to the return-address stack size.
+    call_depth: float
+    #: Number of distinct branch targets (drives BTB pressure).
+    branch_target_footprint: int
+
+    def __post_init__(self) -> None:
+        check_in_range("bimode_mispredict_rate", self.bimode_mispredict_rate, 0.0, 0.5)
+        check_in_range("tournament_mispredict_rate", self.tournament_mispredict_rate, 0.0, 0.5)
+        check_positive("call_depth", self.call_depth)
+        check_positive("branch_target_footprint", self.branch_target_footprint)
+
+    def mispredict_rate(self, predictor: str) -> float:
+        """Misprediction rate under the named predictor type."""
+        if predictor == "BiModeBP":
+            return self.bimode_mispredict_rate
+        if predictor == "TournamentBP":
+            return self.tournament_mispredict_rate
+        raise ValueError(f"unknown branch predictor {predictor!r}")
+
+
+@dataclass(frozen=True)
+class MemoryBehavior:
+    """Memory-hierarchy related characteristics of a workload."""
+
+    #: Working-set size (KB) that must fit in L1 for a low L1 miss rate.
+    l1_working_set_kb: float
+    #: Working-set size (KB) that must fit in L2 for a low L2 miss rate.
+    l2_working_set_kb: float
+    #: Memory-level parallelism: average number of overlapping misses.
+    mlp: float
+    #: Spatial locality in [0, 1]; high values benefit from 64B cache lines.
+    spatial_locality: float
+    #: Fraction of accesses that are effectively random (conflict-prone).
+    access_irregularity: float
+
+    def __post_init__(self) -> None:
+        check_positive("l1_working_set_kb", self.l1_working_set_kb)
+        check_positive("l2_working_set_kb", self.l2_working_set_kb)
+        check_positive("mlp", self.mlp)
+        check_in_range("spatial_locality", self.spatial_locality, 0.0, 1.0)
+        check_in_range("access_irregularity", self.access_irregularity, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """The full characterisation of one workload (or one SimPoint phase)."""
+
+    name: str
+    mix: InstructionMix
+    branch: BranchBehavior
+    memory: MemoryBehavior
+    #: IPC the program could sustain on an ideal (infinitely wide) machine.
+    ideal_ipc: float
+    #: Average dependency-chain length in instructions; limits ROB usefulness.
+    dependency_chain_length: float
+    #: Sensitivity of memory latency (in core cycles) to core frequency; a
+    #: fully memory-bound program (1.0) sees miss penalties scale linearly
+    #: with frequency, a compute-bound one (0.0) is frequency-neutral.
+    memory_boundedness: float
+    #: Dynamic switching activity factor used by the power model.
+    activity_factor: float = 0.5
+    #: Arbitrary grouping tag (``int`` / ``fp`` / ``rand``) used in reports.
+    category: str = "int"
+    #: Optional phase weights when the profile is an aggregate of SimPoints.
+    phase_weights: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        check_positive("ideal_ipc", self.ideal_ipc)
+        check_positive("dependency_chain_length", self.dependency_chain_length)
+        check_in_range("memory_boundedness", self.memory_boundedness, 0.0, 1.0)
+        check_in_range("activity_factor", self.activity_factor, 0.0, 1.0)
+
+    def with_name(self, name: str) -> "WorkloadProfile":
+        """Return a copy of the profile under a different name."""
+        return replace(self, name=name)
+
+    def perturbed(self, rng: np.random.Generator, scale: float = 0.05) -> "WorkloadProfile":
+        """Return a slightly perturbed copy (used to synthesise SimPoint phases).
+
+        Multiplicative log-normal noise is applied to the continuous scalar
+        characteristics; the instruction mix is jittered with a Dirichlet
+        re-draw centred on the original mix.
+        """
+        def jitter(value: float, lo: float = 1e-6, hi: float = np.inf) -> float:
+            factor = float(np.exp(rng.normal(0.0, scale)))
+            return float(np.clip(value * factor, lo, hi))
+
+        mix_concentration = self.mix.as_array() * (1.0 / max(scale, 1e-3))
+        mix_concentration = np.maximum(mix_concentration, 1e-3)
+        new_mix = InstructionMix.from_dict(
+            dict(zip(INSTRUCTION_CLASSES, rng.dirichlet(mix_concentration)))
+        )
+        new_branch = BranchBehavior(
+            bimode_mispredict_rate=float(np.clip(jitter(self.branch.bimode_mispredict_rate), 1e-4, 0.5)),
+            tournament_mispredict_rate=float(
+                np.clip(jitter(self.branch.tournament_mispredict_rate), 1e-4, 0.5)
+            ),
+            call_depth=jitter(self.branch.call_depth, lo=1.0),
+            branch_target_footprint=int(max(16, jitter(self.branch.branch_target_footprint))),
+        )
+        new_memory = MemoryBehavior(
+            l1_working_set_kb=jitter(self.memory.l1_working_set_kb, lo=0.5),
+            l2_working_set_kb=jitter(self.memory.l2_working_set_kb, lo=1.0),
+            mlp=jitter(self.memory.mlp, lo=1.0, hi=16.0),
+            spatial_locality=float(np.clip(jitter(self.memory.spatial_locality), 0.0, 1.0)),
+            access_irregularity=float(np.clip(jitter(self.memory.access_irregularity), 0.0, 1.0)),
+        )
+        return replace(
+            self,
+            mix=new_mix,
+            branch=new_branch,
+            memory=new_memory,
+            ideal_ipc=jitter(self.ideal_ipc, lo=0.3, hi=12.0),
+            dependency_chain_length=jitter(self.dependency_chain_length, lo=1.0),
+            memory_boundedness=float(np.clip(jitter(self.memory_boundedness), 0.0, 1.0)),
+            activity_factor=float(np.clip(jitter(self.activity_factor), 0.05, 1.0)),
+        )
+
+    def summary(self) -> dict[str, float]:
+        """A flat numeric summary used for workload-signature baselines."""
+        return {
+            "ideal_ipc": self.ideal_ipc,
+            "dependency_chain_length": self.dependency_chain_length,
+            "memory_boundedness": self.memory_boundedness,
+            "memory_fraction": self.mix.memory_fraction,
+            "fp_fraction": self.mix.fp_fraction,
+            "branch_fraction": self.mix.branch,
+            "bimode_mispredict_rate": self.branch.bimode_mispredict_rate,
+            "tournament_mispredict_rate": self.branch.tournament_mispredict_rate,
+            "l1_working_set_kb": self.memory.l1_working_set_kb,
+            "l2_working_set_kb": self.memory.l2_working_set_kb,
+            "mlp": self.memory.mlp,
+            "spatial_locality": self.memory.spatial_locality,
+            "activity_factor": self.activity_factor,
+        }

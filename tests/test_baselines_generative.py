@@ -1,0 +1,146 @@
+"""Tests for the GMM-augmentation and workload-signature transfer baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gmm_augment import GMMAugmentationTransfer
+from repro.baselines.signature import SignatureTransfer
+from repro.datasets.tasks import holdout_task
+
+
+@pytest.fixture(scope="module")
+def target_task(small_dataset):
+    return holdout_task(
+        small_dataset["605.mcf_s"], metric="ipc", support_size=10, query_size=60, seed=1
+    )
+
+
+class TestGMMAugmentationTransfer:
+    def test_full_protocol(self, small_dataset, small_split, target_task):
+        model = GMMAugmentationTransfer(num_components=4, synthetic_samples=80, seed=0)
+        model.pretrain(small_dataset, small_split, metric="ipc")
+        model.adapt(target_task.support_x, target_task.support_y)
+        predictions = model.predict(target_task.query_x)
+        assert predictions.shape == (target_task.query_size,)
+        assert np.all(np.isfinite(predictions))
+        assert model.mixture_ is not None
+        assert set(model.selected_sources_) <= set(
+            small_split.train + small_split.validation
+        )
+
+    def test_zero_synthetic_samples_skips_the_mixture(
+        self, small_dataset, small_split, target_task
+    ):
+        model = GMMAugmentationTransfer(synthetic_samples=0, seed=0)
+        model.pretrain(small_dataset, small_split, metric="ipc")
+        model.adapt(target_task.support_x, target_task.support_y)
+        assert model.mixture_ is None
+        assert np.all(np.isfinite(model.predict(target_task.query_x)))
+
+    def test_augmented_rows_live_in_the_feature_space(self, small_dataset, small_split, target_task):
+        model = GMMAugmentationTransfer(num_components=3, synthetic_samples=50, seed=0)
+        model.pretrain(small_dataset, small_split, metric="ipc")
+        real_x = small_dataset["625.x264_s"].features
+        real_y = small_dataset["625.x264_s"].metric("ipc")
+        synthetic_x, synthetic_y = model._augment(real_x, real_y)
+        assert synthetic_x.shape == (50, real_x.shape[1])
+        assert synthetic_y.shape == (50,)
+        # Synthetic rows should stay within a few standard deviations of the
+        # real data (the mixture models the standardised joint distribution).
+        span = real_x.std(axis=0) * 6 + 1e-9
+        assert np.all(np.abs(synthetic_x.mean(axis=0) - real_x.mean(axis=0)) < span)
+
+    def test_adapt_before_pretrain_raises(self, target_task):
+        with pytest.raises(RuntimeError):
+            GMMAugmentationTransfer().adapt(target_task.support_x, target_task.support_y)
+
+    def test_predict_before_adapt_raises(self, small_dataset, small_split):
+        model = GMMAugmentationTransfer(seed=0).pretrain(small_dataset, small_split)
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((2, 22)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_components": 0},
+            {"synthetic_samples": -1},
+            {"target_weight": 0.0},
+        ],
+    )
+    def test_invalid_constructor_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            GMMAugmentationTransfer(**kwargs)
+
+
+class TestSignatureTransfer:
+    def test_full_protocol(self, small_dataset, small_split, target_task):
+        model = SignatureTransfer(n_estimators=40, seed=0)
+        model.pretrain(small_dataset, small_split, metric="ipc")
+        model.adapt(target_task.support_x, target_task.support_y)
+        predictions = model.predict(target_task.query_x)
+        assert predictions.shape == (target_task.query_size,)
+        assert np.all(np.isfinite(predictions))
+        assert len(model._selected) == 1
+
+    def test_rank_sources_is_a_deterministic_permutation(self, small_dataset, small_split):
+        model = SignatureTransfer(n_estimators=20, seed=0)
+        model.pretrain(small_dataset, small_split, metric="ipc")
+        labels = small_dataset["605.mcf_s"].metric("ipc")[:15]
+        first = model.rank_sources(labels)
+        second = model.rank_sources(labels)
+        assert first == second
+        assert sorted(first) == sorted(small_split.train + small_split.validation)
+
+    def test_source_matching_itself_ranks_first(self, small_dataset, small_split):
+        """A target whose labels come from a source workload matches that source."""
+        model = SignatureTransfer(n_estimators=20, seed=0)
+        model.pretrain(small_dataset, small_split, metric="ipc")
+        source = small_split.train[0]
+        labels = small_dataset[source].metric("ipc")
+        assert model.rank_sources(labels)[0] == source
+
+    def test_calibration_corrects_a_constant_offset(self, small_dataset, small_split):
+        """When target labels are shifted by a constant, the affine calibration
+        beats the raw (uncalibrated) source-model blend."""
+        model = SignatureTransfer(n_estimators=40, seed=0)
+        model.pretrain(small_dataset, small_split, metric="ipc")
+        source = small_split.train[0]
+        data = small_dataset[source]
+        offset = 0.75
+        support_x = data.features[:12]
+        support_y = data.metric("ipc")[:12] + offset
+        model.adapt(support_x, support_y)
+        query_x = data.features[20:60]
+        query_y = data.metric("ipc")[20:60] + offset
+        calibrated_error = float(np.mean(np.abs(model.predict(query_x) - query_y)))
+        raw_error = float(
+            np.mean(np.abs(model._blended_source_predictions(query_x) - query_y))
+        )
+        assert calibrated_error < raw_error
+        assert calibrated_error < offset
+
+    def test_blending_multiple_sources(self, small_dataset, small_split, target_task):
+        model = SignatureTransfer(blend_sources=2, n_estimators=20, seed=0)
+        model.pretrain(small_dataset, small_split, metric="ipc")
+        model.adapt(target_task.support_x, target_task.support_y)
+        assert len(model._selected) == 2
+        assert np.all(np.isfinite(model.predict(target_task.query_x)))
+
+    def test_usage_errors(self, small_dataset, small_split, target_task):
+        with pytest.raises(RuntimeError):
+            SignatureTransfer().adapt(target_task.support_x, target_task.support_y)
+        with pytest.raises(RuntimeError):
+            SignatureTransfer().rank_sources(target_task.support_y)
+        pretrained = SignatureTransfer(n_estimators=20, seed=0).pretrain(
+            small_dataset, small_split
+        )
+        with pytest.raises(RuntimeError):
+            pretrained.predict(np.zeros((2, 22)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"probe_points": 2}, {"blend_sources": 0}, {"ridge": -1.0}],
+    )
+    def test_invalid_constructor_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            SignatureTransfer(**kwargs)

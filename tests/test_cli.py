@@ -1,0 +1,207 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.io import load_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    """A small dataset archive generated through the CLI itself."""
+    path = tmp_path_factory.mktemp("cli") / "dataset.npz"
+    exit_code = main(
+        [
+            "generate",
+            "--output", str(path),
+            "--num-points", "40",
+            "--phases", "1",
+            "--seed", "11",
+        ]
+    )
+    assert exit_code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory, dataset_path):
+    """A MetaDSE model archive pre-trained through the CLI (tiny budget)."""
+    path = tmp_path_factory.mktemp("cli-model") / "model.npz"
+    exit_code = main(
+        [
+            "pretrain",
+            "--dataset", str(dataset_path),
+            "--output", str(path),
+            "--epochs", "1",
+            "--tasks-per-workload", "2",
+            "--seed", "0",
+        ]
+    )
+    assert exit_code == 0
+    return path
+
+
+class TestParser:
+    def test_every_command_is_registered(self):
+        parser = build_parser()
+        subactions = [
+            action for action in parser._actions if hasattr(action, "choices") and action.choices
+        ]
+        commands = set(subactions[0].choices)
+        assert commands == {"table1", "generate", "similarity", "pretrain", "evaluate", "explore"}
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestTable1:
+    def test_prints_the_design_space(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "22 parameters" in output
+        assert "rob_size" in output
+
+
+class TestGenerate:
+    def test_archive_contains_all_workloads_and_labels(self, dataset_path):
+        dataset = load_dataset(dataset_path)
+        assert len(dataset) == 17
+        assert dataset.num_points == 40
+        data = dataset["605.mcf_s"]
+        assert set(data.labels) == {"ipc", "power"}
+        assert np.all(np.isfinite(data.metric("ipc")))
+
+    def test_workload_subset_and_sampler(self, tmp_path):
+        path = tmp_path / "subset.npz"
+        exit_code = main(
+            [
+                "generate",
+                "--output", str(path),
+                "--num-points", "16",
+                "--phases", "1",
+                "--sampler", "lhs",
+                "--workloads", "605.mcf_s", "625.x264_s",
+            ]
+        )
+        assert exit_code == 0
+        dataset = load_dataset(path)
+        assert sorted(dataset.workloads) == ["605.mcf_s", "625.x264_s"]
+
+
+class TestSimilarity:
+    def test_prints_and_writes_rows(self, dataset_path, tmp_path, capsys):
+        output = tmp_path / "similarity.json"
+        exit_code = main(
+            [
+                "similarity",
+                "--dataset", str(dataset_path),
+                "--metric", "ipc",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "mean off-diagonal" in printed
+        payload = json.loads(output.read_text())
+        assert payload["metric"] == "ipc"
+        assert len(payload["rows"]) == 17
+
+
+class TestPretrainAndEvaluate:
+    def test_pretrain_writes_a_loadable_model(self, dataset_path, model_path):
+        from repro.core.config import default_config
+        from repro.core.metadse import MetaDSE
+
+        assert model_path.exists()
+        dataset = load_dataset(dataset_path)
+        restored = MetaDSE(dataset.space.num_parameters, config=default_config(seed=0))
+        restored.load_pretrained(model_path)
+        predictions = restored.predict(dataset["605.mcf_s"].features[:4])
+        assert predictions.shape == (4,)
+        assert np.all(np.isfinite(predictions))
+
+    def test_evaluate_reports_metrics(self, dataset_path, model_path, tmp_path, capsys):
+        output = tmp_path / "eval.json"
+        exit_code = main(
+            [
+                "evaluate",
+                "--dataset", str(dataset_path),
+                "--model", str(model_path),
+                "--workload", "605.mcf_s",
+                "--support-size", "8",
+                "--episodes", "2",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        assert "RMSE" in capsys.readouterr().out
+        payload = json.loads(output.read_text())
+        assert payload["workload"] == "605.mcf_s"
+        assert payload["episodes"] == 2
+        assert np.isfinite(payload["rmse"]) and payload["rmse"] >= 0
+
+    def test_evaluate_rejects_unknown_workload(self, dataset_path, model_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "evaluate",
+                    "--dataset", str(dataset_path),
+                    "--model", str(model_path),
+                    "--workload", "not_a_workload",
+                ]
+            )
+
+
+class TestExplore:
+    def test_active_exploration(self, tmp_path, capsys):
+        output = tmp_path / "front.json"
+        exit_code = main(
+            [
+                "explore",
+                "--workload", "605.mcf_s",
+                "--method", "active",
+                "--budget", "12",
+                "--candidate-pool", "60",
+                "--phases", "1",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        assert "Pareto-optimal" in capsys.readouterr().out
+        payload = json.loads(output.read_text())
+        assert payload["method"] == "active"
+        assert payload["pareto_front"]
+        first = payload["pareto_front"][0]
+        assert "ipc" in first and "power" in first and "configuration" in first
+        assert payload["rounds"]
+
+    def test_screen_exploration_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--workload", "605.mcf_s", "--method", "screen"])
+
+    def test_screen_exploration(self, dataset_path, tmp_path):
+        output = tmp_path / "screen.json"
+        exit_code = main(
+            [
+                "explore",
+                "--workload", "605.mcf_s",
+                "--method", "screen",
+                "--dataset", str(dataset_path),
+                "--budget", "8",
+                "--candidate-pool", "80",
+                "--phases", "1",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        assert payload["simulations"] == 8
+        assert payload["method"] == "screen"

@@ -1,0 +1,158 @@
+"""Tests for the MetaDSE facade and experiment configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    MetaDSEConfig,
+    PredictorConfig,
+    default_config,
+    experiment_config,
+    is_full_eval,
+    paper_scale_config,
+)
+from repro.core.metadse import MetaDSE
+from repro.datasets.tasks import holdout_task
+from repro.meta.maml import MAMLConfig
+from repro.metrics.regression import rmse
+
+
+def fast_config(seed=0, **maml_overrides):
+    """A deliberately tiny configuration so facade tests stay quick."""
+    maml = dict(
+        inner_lr=0.05, outer_lr=5e-3, inner_steps=2, meta_epochs=1,
+        tasks_per_workload=4, meta_batch_size=2, support_size=5, query_size=10,
+        seed=seed,
+    )
+    maml.update(maml_overrides)
+    config = default_config(seed=seed)
+    config.predictor = PredictorConfig(embed_dim=8, num_heads=2, num_layers=1, head_hidden=8)
+    config.maml = MAMLConfig(**maml)
+    config.wam.episodes_per_workload = 1
+    config.adaptation.steps = 5
+    config.adaptation.lr = 0.05
+    return config
+
+
+@pytest.fixture(scope="module")
+def pretrained(small_dataset, small_split):
+    model = MetaDSE(22, config=fast_config())
+    model.pretrain(small_dataset, small_split, metric="ipc")
+    return model
+
+
+class TestConfigs:
+    def test_default_config_is_small(self):
+        config = default_config()
+        assert config.maml.meta_epochs <= 8
+        assert config.use_wam
+
+    def test_paper_scale_config_matches_section_vi(self):
+        config = paper_scale_config()
+        assert config.maml.meta_epochs == 15
+        assert config.maml.tasks_per_workload == 200
+        assert config.maml.support_size == 5
+        assert config.maml.query_size == 45
+
+    def test_experiment_config_respects_env(self, monkeypatch):
+        monkeypatch.delenv("METADSE_FULL_EVAL", raising=False)
+        assert not is_full_eval()
+        assert experiment_config().maml.meta_epochs == default_config().maml.meta_epochs
+        monkeypatch.setenv("METADSE_FULL_EVAL", "1")
+        assert is_full_eval()
+        assert experiment_config().maml.meta_epochs == 15
+
+    def test_use_wam_flag(self):
+        assert default_config(use_wam=False).use_wam is False
+
+    def test_predictor_config_head_divisibility(self):
+        with pytest.raises(ValueError):
+            PredictorConfig(embed_dim=30, num_heads=4)
+
+
+class TestMetaDSEFacade:
+    def test_name_reflects_wam_usage(self):
+        assert MetaDSE(22, config=fast_config()).name == "MetaDSE"
+        assert MetaDSE(22, config=fast_config(), use_wam=False).name == "MetaDSE-w/o WAM"
+        assert MetaDSE(22, config=fast_config(), name="custom").name == "custom"
+
+    def test_invalid_num_parameters(self):
+        with pytest.raises(ValueError):
+            MetaDSE(0)
+
+    def test_pretrain_populates_report_and_mask(self, pretrained, small_split):
+        report = pretrained.pretrain_report
+        assert report is not None
+        assert report.train_workloads == small_split.train
+        assert report.metric == "ipc"
+        assert pretrained.mask is not None
+        assert pretrained.mask.bias.shape == (22, 22)
+        assert report.label_std > 0
+
+    def test_adapt_and_predict(self, pretrained, small_dataset):
+        task = holdout_task(small_dataset["605.mcf_s"], support_size=10,
+                            query_size=40, seed=0)
+        pretrained.adapt(task.support_x, task.support_y)
+        predictions = pretrained.predict(task.query_x)
+        assert predictions.shape == (40,)
+        assert np.all(np.isfinite(predictions))
+        assert pretrained.last_adaptation is not None
+        assert pretrained.last_adaptation.used_mask
+
+    def test_adaptation_improves_over_unadapted(self, small_dataset, small_split):
+        config = fast_config(seed=1, meta_epochs=2, tasks_per_workload=8)
+        model = MetaDSE(22, config=config)
+        model.pretrain(small_dataset, small_split, metric="ipc")
+        task = holdout_task(small_dataset["605.mcf_s"], support_size=15,
+                            query_size=60, seed=2)
+        unadapted_error = rmse(task.query_y, model.predict(task.query_x))
+        model.adapt(task.support_x, task.support_y)
+        adapted_error = rmse(task.query_y, model.predict(task.query_x))
+        assert adapted_error < unadapted_error
+
+    def test_without_wam_no_mask_used(self, small_dataset, small_split):
+        model = MetaDSE(22, config=fast_config(), use_wam=False)
+        model.pretrain(small_dataset, small_split, metric="ipc")
+        assert model.mask is None
+        task = holdout_task(small_dataset["620.omnetpp_s"], support_size=8,
+                            query_size=20, seed=0)
+        model.adapt(task.support_x, task.support_y)
+        assert model.last_adaptation.used_mask is False
+
+    def test_power_metric_pipeline(self, small_dataset, small_split):
+        model = MetaDSE(22, config=fast_config())
+        model.pretrain(small_dataset, small_split, metric="power")
+        task = holdout_task(small_dataset["605.mcf_s"], metric="power",
+                            support_size=8, query_size=20, seed=0)
+        model.adapt(task.support_x, task.support_y)
+        predictions = model.predict(task.query_x)
+        assert np.all(predictions > 0)  # power predictions stay in physical range
+
+    def test_errors_before_pretrain(self):
+        model = MetaDSE(22, config=fast_config())
+        with pytest.raises(RuntimeError):
+            model.adapt(np.zeros((2, 22)), np.zeros(2))
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((2, 22)))
+
+    def test_save_and_load_pretrained(self, pretrained, small_dataset, tmp_path):
+        path = tmp_path / "metadse.npz"
+        pretrained.save_pretrained(path)
+        clone = MetaDSE(22, config=fast_config())
+        clone.load_pretrained(path)
+        features = small_dataset["605.mcf_s"].features[:5]
+        np.testing.assert_allclose(
+            pretrained.meta_model.predict(features),
+            clone.meta_model.predict(features),
+        )
+        assert clone.mask is not None
+
+    def test_repeated_adaptation_is_independent(self, pretrained, small_dataset):
+        task_a = holdout_task(small_dataset["605.mcf_s"], support_size=8, query_size=20, seed=1)
+        task_b = holdout_task(small_dataset["620.omnetpp_s"], support_size=8, query_size=20, seed=1)
+        pretrained.adapt(task_a.support_x, task_a.support_y)
+        first = pretrained.predict(task_a.query_x)
+        pretrained.adapt(task_b.support_x, task_b.support_y)
+        pretrained.adapt(task_a.support_x, task_a.support_y)
+        second = pretrained.predict(task_a.query_x)
+        np.testing.assert_allclose(first, second)

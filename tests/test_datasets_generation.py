@@ -1,0 +1,103 @@
+"""Tests for repro.datasets.generation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generation import DSEDataset, WorkloadDataset, generate_dataset
+
+
+class TestWorkloadDataset:
+    @pytest.fixture()
+    def dataset(self, small_dataset):
+        return small_dataset["605.mcf_s"]
+
+    def test_len_and_features(self, dataset):
+        assert len(dataset) == 120
+        assert dataset.num_features == 22
+
+    def test_metric_lookup(self, dataset):
+        assert dataset.metric("ipc").shape == (120,)
+        assert dataset.metric("power").shape == (120,)
+
+    def test_unknown_metric(self, dataset):
+        with pytest.raises(KeyError, match="no metric"):
+            dataset.metric("energy_delay")
+
+    def test_subset(self, dataset):
+        subset = dataset.subset([0, 5, 10])
+        assert len(subset) == 3
+        np.testing.assert_allclose(subset.features[1], dataset.features[5])
+        assert subset.configs[2] == dataset.configs[10]
+
+    def test_split_is_disjoint_and_complete(self, dataset):
+        first, second = dataset.split(30, seed=0)
+        assert len(first) == 30
+        assert len(second) == 90
+        combined = np.concatenate([first.metric("ipc"), second.metric("ipc")])
+        assert sorted(combined) == sorted(dataset.metric("ipc").tolist())
+
+    def test_split_bad_size(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.split(1000)
+
+    def test_label_shape_mismatch_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            WorkloadDataset(
+                workload="bad",
+                features=dataset.features,
+                labels={"ipc": np.zeros(3)},
+            )
+
+
+class TestDSEDataset:
+    def test_workload_listing(self, small_dataset):
+        assert len(small_dataset) == 6
+        assert "605.mcf_s" in small_dataset
+
+    def test_num_points(self, small_dataset):
+        assert small_dataset.num_points == 120
+
+    def test_unknown_workload(self, small_dataset):
+        with pytest.raises(KeyError):
+            small_dataset["649.fotonik3d_s"]
+
+    def test_subset_workloads(self, small_dataset):
+        subset = small_dataset.subset_workloads(["625.x264_s", "602.gcc_s"])
+        assert subset.workloads == ["625.x264_s", "602.gcc_s"]
+
+    def test_shared_design_points_across_workloads(self, small_dataset):
+        a = small_dataset["605.mcf_s"].features
+        b = small_dataset["625.x264_s"].features
+        np.testing.assert_allclose(a, b)
+
+
+class TestGenerateDataset:
+    def test_generation_determinism(self, fast_simulator):
+        a = generate_dataset(fast_simulator, workloads=["602.gcc_s"], num_points=10, seed=3)
+        b = generate_dataset(fast_simulator, workloads=["602.gcc_s"], num_points=10, seed=3)
+        np.testing.assert_allclose(a["602.gcc_s"].metric("ipc"), b["602.gcc_s"].metric("ipc"))
+
+    def test_labels_differ_across_workloads(self, small_dataset):
+        mcf = small_dataset["605.mcf_s"].metric("ipc")
+        x264 = small_dataset["625.x264_s"].metric("ipc")
+        assert not np.allclose(mcf, x264)
+
+    def test_features_in_unit_interval(self, small_dataset):
+        features = small_dataset["602.gcc_s"].features
+        assert features.min() >= 0.0 and features.max() <= 1.0
+
+    def test_invalid_num_points(self, fast_simulator):
+        with pytest.raises(ValueError):
+            generate_dataset(fast_simulator, num_points=0)
+
+    def test_oa_sampler_generation(self, fast_simulator):
+        dataset = generate_dataset(
+            fast_simulator, workloads=["602.gcc_s"], num_points=12,
+            sampler_kind="oa", seed=1,
+        )
+        assert len(dataset["602.gcc_s"]) == 12
+
+    def test_labels_are_positive(self, small_dataset):
+        for workload in small_dataset.workloads:
+            assert np.all(small_dataset[workload].metric("ipc") > 0)
+            assert np.all(small_dataset[workload].metric("power") > 0)

@@ -1,0 +1,116 @@
+"""Tests for repro.datasets.similarity (Fig. 2 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.similarity import (
+    select_similar_sources,
+    similarity_matrix,
+    standardized_wasserstein,
+)
+
+
+class TestStandardizedWasserstein:
+    def test_identical_distributions_are_zero(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(size=200)
+        assert standardized_wasserstein(sample, sample) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=100), rng.normal(2.0, 1.0, size=100)
+        assert standardized_wasserstein(a, b) == pytest.approx(
+            standardized_wasserstein(b, a)
+        )
+
+    def test_constant_samples(self):
+        assert standardized_wasserstein(np.ones(10), np.ones(10)) == 0.0
+
+    def test_shifted_distributions_have_positive_distance(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0.0, 1.0, size=300)
+        b = rng.normal(3.0, 1.0, size=300)
+        assert standardized_wasserstein(a, b) > 0.5
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=5, max_size=40),
+        st.lists(st.floats(-100, 100), min_size=5, max_size=40),
+    )
+    def test_non_negative(self, a, b):
+        assert standardized_wasserstein(np.array(a), np.array(b)) >= 0.0
+
+
+class TestSimilarityMatrix:
+    def test_shape_and_symmetry(self, small_dataset):
+        matrix = similarity_matrix(small_dataset, metric="ipc")
+        n = len(small_dataset.workloads)
+        assert matrix.distances.shape == (n, n)
+        np.testing.assert_allclose(matrix.distances, matrix.distances.T)
+        np.testing.assert_allclose(np.diag(matrix.distances), 0.0)
+
+    def test_normalized_to_unit_maximum(self, small_dataset):
+        matrix = similarity_matrix(small_dataset, metric="ipc", normalize=True)
+        assert matrix.distances.max() == pytest.approx(1.0)
+
+    def test_unnormalized(self, small_dataset):
+        matrix = similarity_matrix(small_dataset, metric="ipc", normalize=False)
+        assert matrix.normalized is False
+
+    def test_workloads_are_dissimilar(self, small_dataset):
+        """The Fig. 2 motivation: many workload pairs are far apart."""
+        matrix = similarity_matrix(small_dataset, metric="ipc", normalize=False)
+        assert matrix.mean_offdiagonal() > 0.1
+
+    def test_distance_lookup(self, small_dataset):
+        matrix = similarity_matrix(small_dataset, metric="ipc")
+        value = matrix.distance("605.mcf_s", "625.x264_s")
+        assert value == matrix.distance("625.x264_s", "605.mcf_s")
+
+    def test_most_similar_excludes_self(self, small_dataset):
+        matrix = similarity_matrix(small_dataset, metric="ipc")
+        nearest = matrix.most_similar("605.mcf_s", count=3)
+        assert "605.mcf_s" not in nearest
+        assert len(nearest) == 3
+
+    def test_memory_bound_pair_is_closer_than_opposites(self, small_dataset):
+        matrix = similarity_matrix(small_dataset, metric="ipc", normalize=False)
+        similar = matrix.distance("605.mcf_s", "620.omnetpp_s")
+        dissimilar = matrix.distance("605.mcf_s", "638.imagick_s")
+        assert similar < dissimilar
+
+    def test_to_rows(self, small_dataset):
+        matrix = similarity_matrix(small_dataset, metric="power")
+        rows = matrix.to_rows()
+        assert len(rows) == len(small_dataset.workloads)
+        assert rows[0]["workload"] in small_dataset.workloads
+
+
+class TestSelectSimilarSources:
+    def test_selects_most_similar_source(self, small_dataset):
+        # Support labels drawn from omnetpp should rank mcf (another
+        # memory-bound workload) above imagick (compute-bound).
+        support = small_dataset["620.omnetpp_s"].metric("ipc")[:20]
+        ranked = select_similar_sources(
+            small_dataset,
+            support,
+            source_workloads=["605.mcf_s", "638.imagick_s", "625.x264_s"],
+            top_k=3,
+        )
+        assert ranked[0] == "605.mcf_s"
+
+    def test_top_k_limits_output(self, small_dataset):
+        support = small_dataset["602.gcc_s"].metric("ipc")[:10]
+        ranked = select_similar_sources(
+            small_dataset, support,
+            source_workloads=["605.mcf_s", "625.x264_s"], top_k=1,
+        )
+        assert len(ranked) == 1
+
+    def test_invalid_top_k(self, small_dataset):
+        with pytest.raises(ValueError):
+            select_similar_sources(
+                small_dataset, np.ones(5),
+                source_workloads=["605.mcf_s"], top_k=0,
+            )

@@ -1,0 +1,94 @@
+"""Tests for repro.datasets.tasks (episodic sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.tasks import Task, TaskSampler, holdout_task
+
+
+class TestTaskSampler:
+    @pytest.fixture()
+    def sampler(self, small_dataset):
+        return TaskSampler(small_dataset, metric="ipc", support_size=5, query_size=20, seed=0)
+
+    def test_task_shapes(self, sampler):
+        task = sampler.sample_task("605.mcf_s")
+        assert task.support_x.shape == (5, 22)
+        assert task.query_x.shape == (20, 22)
+        assert task.support_size == 5
+        assert task.query_size == 20
+
+    def test_support_and_query_are_disjoint(self, sampler, small_dataset):
+        task = sampler.sample_task("625.x264_s")
+        features = small_dataset["625.x264_s"].features
+        support_rows = {tuple(row) for row in task.support_x}
+        query_rows = {tuple(row) for row in task.query_x}
+        assert not (support_rows & query_rows)
+        assert support_rows <= {tuple(row) for row in features}
+
+    def test_labels_match_metric(self, sampler, small_dataset):
+        task = sampler.sample_task("602.gcc_s")
+        data = small_dataset["602.gcc_s"]
+        labels = data.metric("ipc")
+        # Every support label must exist in the workload's label vector.
+        for value in task.support_y:
+            assert np.any(np.isclose(labels, value))
+
+    def test_power_metric(self, small_dataset):
+        sampler = TaskSampler(small_dataset, metric="power", support_size=3, query_size=5, seed=1)
+        task = sampler.sample_task("605.mcf_s")
+        assert task.metric == "power"
+
+    def test_episode_too_large_raises(self, small_dataset):
+        sampler = TaskSampler(small_dataset, support_size=100, query_size=100, seed=0)
+        with pytest.raises(ValueError, match="needed"):
+            sampler.sample_task("605.mcf_s")
+
+    def test_sample_batch(self, sampler):
+        tasks = sampler.sample_batch(["605.mcf_s", "625.x264_s"], tasks_per_workload=3)
+        assert len(tasks) == 6
+        assert {t.workload for t in tasks} == {"605.mcf_s", "625.x264_s"}
+
+    def test_iterate_epoch_covers_requested_count(self, sampler):
+        batches = list(sampler.iterate_epoch(
+            ["605.mcf_s", "602.gcc_s"], tasks_per_workload=5, batch_size=3
+        ))
+        total = sum(len(batch) for batch in batches)
+        assert total == 10
+        assert all(len(batch) <= 3 for batch in batches)
+
+    def test_invalid_sizes(self, small_dataset):
+        with pytest.raises(ValueError):
+            TaskSampler(small_dataset, support_size=0, query_size=5)
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            Task(
+                workload="w", metric="ipc",
+                support_x=np.zeros((3, 2)), support_y=np.zeros(2),
+                query_x=np.zeros((2, 2)), query_y=np.zeros(2),
+            )
+
+
+class TestHoldoutTask:
+    def test_disjoint_and_exhaustive(self, small_dataset):
+        data = small_dataset["620.omnetpp_s"]
+        task = holdout_task(data, support_size=10, seed=0)
+        assert task.support_size == 10
+        assert task.query_size == len(data) - 10
+
+    def test_query_size_limit(self, small_dataset):
+        data = small_dataset["620.omnetpp_s"]
+        task = holdout_task(data, support_size=10, query_size=25, seed=0)
+        assert task.query_size == 25
+
+    def test_deterministic(self, small_dataset):
+        data = small_dataset["605.mcf_s"]
+        a = holdout_task(data, support_size=8, seed=5)
+        b = holdout_task(data, support_size=8, seed=5)
+        np.testing.assert_allclose(a.support_y, b.support_y)
+
+    def test_support_too_large(self, small_dataset):
+        data = small_dataset["605.mcf_s"]
+        with pytest.raises(ValueError):
+            holdout_task(data, support_size=len(data))

@@ -1,0 +1,102 @@
+"""Tests for repro.designspace.encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.designspace.encoding import OneHotEncoder, OrdinalEncoder, StandardScaler
+from repro.designspace.sampling import RandomSampler
+from repro.designspace.spec import build_table1_space
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_table1_space()
+
+
+class TestOrdinalEncoder:
+    def test_feature_dim(self, space):
+        assert OrdinalEncoder(space).feature_dim == space.num_parameters
+
+    def test_feature_names(self, space):
+        assert OrdinalEncoder(space).feature_names == space.parameter_names
+
+    def test_encode_bounds(self, space):
+        encoder = OrdinalEncoder(space)
+        configs = RandomSampler(space, seed=0).sample(20)
+        features = encoder.encode_batch(configs)
+        assert features.min() >= 0.0 and features.max() <= 1.0
+
+    def test_roundtrip(self, space):
+        encoder = OrdinalEncoder(space)
+        for config in RandomSampler(space, seed=1).sample(10):
+            assert encoder.decode(encoder.encode(config)) == config
+
+
+class TestOneHotEncoder:
+    def test_feature_dim_is_sum_of_cardinalities(self, space):
+        encoder = OneHotEncoder(space)
+        assert encoder.feature_dim == int(space.cardinalities().sum())
+
+    def test_each_block_has_exactly_one_hot(self, space):
+        encoder = OneHotEncoder(space)
+        config = RandomSampler(space, seed=2).sample(1)[0]
+        encoded = encoder.encode(config)
+        assert encoded.sum() == space.num_parameters
+        assert set(np.unique(encoded)) <= {0.0, 1.0}
+
+    def test_roundtrip(self, space):
+        encoder = OneHotEncoder(space)
+        for config in RandomSampler(space, seed=3).sample(10):
+            assert encoder.decode(encoder.encode(config)) == config
+
+    def test_decode_wrong_shape(self, space):
+        with pytest.raises(ValueError):
+            OneHotEncoder(space).decode(np.zeros(3))
+
+    def test_feature_names_count(self, space):
+        encoder = OneHotEncoder(space)
+        assert len(encoder.feature_names) == encoder.feature_dim
+
+    def test_encode_batch_empty(self, space):
+        assert OneHotEncoder(space).encode_batch([]).shape[0] == 0
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(5.0, 3.0, size=(200, 2))
+        scaled = StandardScaler().fit_transform(values)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=(50, 3)) * 10 + 2
+        scaler = StandardScaler().fit(values)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(values)), values, atol=1e-9
+        )
+
+    def test_constant_column_guard(self):
+        values = np.ones((10, 1)) * 4.0
+        scaled = StandardScaler().fit_transform(values)
+        assert np.all(np.isfinite(scaled))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 30), st.integers(1, 4)),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    def test_roundtrip_property(self, values):
+        scaler = StandardScaler().fit(values)
+        recovered = scaler.inverse_transform(scaler.transform(values))
+        np.testing.assert_allclose(recovered, values, rtol=1e-7, atol=1e-6)

@@ -1,0 +1,97 @@
+"""Tests for repro.designspace.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.designspace.sampling import (
+    LatinHypercubeSampler,
+    OrthogonalArraySampler,
+    RandomSampler,
+    make_sampler,
+)
+from repro.designspace.spec import build_table1_space
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_table1_space()
+
+
+class TestRandomSampler:
+    def test_count(self, space):
+        assert len(RandomSampler(space, seed=0).sample(25)) == 25
+
+    def test_zero(self, space):
+        assert RandomSampler(space, seed=0).sample(0) == []
+
+    def test_negative_rejected(self, space):
+        with pytest.raises(ValueError):
+            RandomSampler(space, seed=0).sample(-1)
+
+    def test_all_valid(self, space):
+        for config in RandomSampler(space, seed=1).sample(30):
+            assert space.is_valid(config)
+
+    def test_deterministic(self, space):
+        a = RandomSampler(space, seed=5).sample(10)
+        b = RandomSampler(space, seed=5).sample(10)
+        assert a == b
+
+    def test_unique_sampling(self, space):
+        configs = RandomSampler(space, seed=0).sample(40, unique=True)
+        keys = {tuple(space.to_indices(c)) for c in configs}
+        assert len(keys) == len(configs) == 40
+
+
+class TestLatinHypercubeSampler:
+    def test_count_and_validity(self, space):
+        configs = LatinHypercubeSampler(space, seed=0).sample(32)
+        assert len(configs) == 32
+        assert all(space.is_valid(c) for c in configs)
+
+    def test_stratification_of_wide_parameter(self, space):
+        # With n samples, an LHS should cover the ROB range far more evenly
+        # than the worst case; check that we see many distinct levels.
+        configs = LatinHypercubeSampler(space, seed=3).sample(60)
+        rob_values = {c["rob_size"] for c in configs}
+        assert len(rob_values) >= 10
+
+    def test_zero(self, space):
+        assert LatinHypercubeSampler(space, seed=0).sample(0) == []
+
+
+class TestOrthogonalArraySampler:
+    def test_level_balance(self, space):
+        sampler = OrthogonalArraySampler(space, seed=0)
+        configs = sampler.sample(48)
+        # The cache line parameter has 2 levels; each should appear ~24 times.
+        values = [c["cacheline_bytes"] for c in configs]
+        assert abs(values.count(32) - values.count(64)) <= 2
+
+    def test_foldover_mirrors_indices(self, space):
+        sampler = OrthogonalArraySampler(space, seed=0)
+        configs = sampler.sample(5)
+        folded = sampler.foldover(configs)
+        for original, mirrored in zip(configs, folded):
+            idx = space.to_indices(original)
+            mirrored_idx = space.to_indices(mirrored)
+            np.testing.assert_array_equal(
+                mirrored_idx, space.cardinalities() - 1 - idx
+            )
+
+    def test_foldover_of_empty_list(self, space):
+        assert OrthogonalArraySampler(space, seed=0).foldover([]) == []
+
+
+class TestMakeSampler:
+    @pytest.mark.parametrize("kind,cls", [
+        ("random", RandomSampler),
+        ("lhs", LatinHypercubeSampler),
+        ("oa", OrthogonalArraySampler),
+    ])
+    def test_factory(self, space, kind, cls):
+        assert isinstance(make_sampler(kind, space, seed=0), cls)
+
+    def test_unknown_kind(self, space):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            make_sampler("sobol", space)

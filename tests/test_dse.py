@@ -1,0 +1,143 @@
+"""Tests for the DSE utilities (Pareto analysis and the guided explorer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dse.explorer import PredictorGuidedExplorer
+from repro.dse.pareto import (
+    crowding_distance,
+    hypervolume_2d,
+    pareto_front,
+    pareto_mask,
+    to_minimization,
+)
+
+
+class TestParetoMask:
+    def test_simple_domination(self):
+        objectives = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 3.0]])
+        mask = pareto_mask(objectives)
+        assert mask.tolist() == [True, False, True]
+
+    def test_all_non_dominated_on_a_line(self):
+        objectives = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        assert pareto_mask(objectives).all()
+
+    def test_duplicates_are_kept(self):
+        objectives = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert pareto_mask(objectives).sum() >= 1
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            pareto_mask(np.array([1.0, 2.0]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(1, 30), st.integers(2, 3)),
+                   elements=st.floats(-10, 10)),
+    )
+    def test_front_members_are_mutually_non_dominated(self, objectives):
+        front = pareto_front(objectives)
+        selected = objectives[front]
+        for i in range(len(selected)):
+            for j in range(len(selected)):
+                if i == j:
+                    continue
+                dominates = np.all(selected[j] <= selected[i]) and np.any(
+                    selected[j] < selected[i]
+                )
+                assert not dominates
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d(np.array([[0.0, 0.0]]), [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_two_points(self):
+        front = np.array([[0.0, 0.5], [0.5, 0.0]])
+        assert hypervolume_2d(front, [1.0, 1.0]) == pytest.approx(0.75)
+
+    def test_points_beyond_reference_ignored(self):
+        front = np.array([[2.0, 2.0]])
+        assert hypervolume_2d(front, [1.0, 1.0]) == 0.0
+
+    def test_dominated_points_do_not_add_volume(self):
+        base = hypervolume_2d(np.array([[0.0, 0.0]]), [1.0, 1.0])
+        extended = hypervolume_2d(np.array([[0.0, 0.0], [0.5, 0.5]]), [1.0, 1.0])
+        assert extended == pytest.approx(base)
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d(np.zeros((2, 3)), [1, 1, 1])
+
+
+class TestToMinimization:
+    def test_negates_maximised_columns(self):
+        values = np.array([[1.0, 2.0]])
+        out = to_minimization(values, [True, False])
+        np.testing.assert_allclose(out, [[-1.0, 2.0]])
+
+    def test_flag_length_check(self):
+        with pytest.raises(ValueError):
+            to_minimization(np.zeros((2, 2)), [True])
+
+
+class TestCrowdingDistance:
+    def test_extremes_are_infinite(self):
+        objectives = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        distance = crowding_distance(objectives)
+        assert np.isinf(distance[0]) and np.isinf(distance[-1])
+        assert np.all(np.isfinite(distance[1:-1]))
+
+    def test_empty(self):
+        assert crowding_distance(np.empty((0, 2))).size == 0
+
+
+class TestPredictorGuidedExplorer:
+    @pytest.fixture(scope="class")
+    def explorer(self, table1_space, fast_simulator):
+        return PredictorGuidedExplorer(table1_space, fast_simulator, seed=0)
+
+    def test_random_search_budget(self, explorer):
+        result = explorer.random_search("625.x264_s", simulation_budget=10)
+        assert result.simulations_used == 10
+        assert result.measured_objectives.shape == (10, 2)
+        assert len(result.pareto_indices) >= 1
+
+    def test_guided_exploration_with_oracle_predictors(self, explorer, fast_simulator, table1_space):
+        """With oracle predictors the guided front must beat random search."""
+        from repro.designspace.encoding import OrdinalEncoder
+
+        encoder = OrdinalEncoder(table1_space)
+
+        def oracle(metric):
+            def predict(features):
+                values = []
+                for row in features:
+                    config = encoder.decode(row)
+                    result = fast_simulator.run(config, "625.x264_s")
+                    values.append(result.ipc if metric == "ipc" else result.power_w)
+                return np.array(values)
+            return predict
+
+        guided = explorer.explore(
+            "625.x264_s",
+            predictors={"ipc": oracle("ipc"), "power": oracle("power")},
+            candidate_pool=60,
+            simulation_budget=12,
+        )
+        assert guided.simulations_used <= 12
+        assert guided.candidates_screened == 60
+        # The best measured IPC among simulated points should be near the pool's top.
+        assert guided.measured_objectives[:, 0].max() > 1.0
+
+    def test_explore_requires_predictors(self, explorer):
+        with pytest.raises(ValueError):
+            explorer.explore("625.x264_s", predictors={})
+
+    def test_pareto_configs_accessor(self, explorer):
+        result = explorer.random_search("605.mcf_s", simulation_budget=6)
+        assert len(result.pareto_configs) == len(result.pareto_indices)
+        assert result.pareto_objectives.shape[0] == len(result.pareto_indices)

@@ -1,0 +1,155 @@
+"""Tests for the DSE constraint layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.constraints import (
+    Constraint,
+    best_feasible,
+    feasible_mask,
+    penalized_objectives,
+)
+from repro.dse.pareto import to_minimization
+
+OBJECTIVE_NAMES = ("ipc", "power")
+OBJECTIVES = np.array(
+    [
+        [0.8, 2.0],
+        [1.2, 4.0],
+        [1.5, 6.0],
+        [0.5, 1.0],
+    ]
+)
+
+
+class TestConstraint:
+    def test_upper_bound(self):
+        constraint = Constraint("power", 4.0)
+        assert constraint.satisfied(np.array([3.0, 4.0, 5.0])).tolist() == [True, True, False]
+        assert constraint.violation(np.array([3.0, 5.5])).tolist() == [0.0, 1.5]
+
+    def test_lower_bound(self):
+        constraint = Constraint("ipc", 1.0, sense=">=")
+        assert constraint.satisfied(np.array([0.8, 1.0, 1.4])).tolist() == [False, True, True]
+        assert constraint.violation(np.array([0.25, 2.0])).tolist() == [0.75, 0.0]
+
+    def test_invalid_sense_and_bound(self):
+        with pytest.raises(ValueError):
+            Constraint("power", 4.0, sense="<")
+        with pytest.raises(ValueError):
+            Constraint("power", float("inf"))
+
+
+class TestFeasibleMask:
+    def test_combined_constraints(self):
+        mask = feasible_mask(
+            OBJECTIVES,
+            OBJECTIVE_NAMES,
+            [Constraint("power", 4.0), Constraint("ipc", 0.7, sense=">=")],
+        )
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_no_constraints_means_everything_feasible(self):
+        assert feasible_mask(OBJECTIVES, OBJECTIVE_NAMES, []).all()
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError):
+            feasible_mask(OBJECTIVES, OBJECTIVE_NAMES, [Constraint("area", 10.0)])
+
+    def test_non_2d_matrix_raises(self):
+        with pytest.raises(ValueError):
+            feasible_mask(np.zeros(4), OBJECTIVE_NAMES, [])
+
+
+class TestPenalizedObjectives:
+    def test_feasible_points_are_untouched(self):
+        minimised = to_minimization(OBJECTIVES, [True, False])
+        penalized = penalized_objectives(
+            minimised, OBJECTIVES, OBJECTIVE_NAMES, [Constraint("power", 10.0)]
+        )
+        assert np.allclose(penalized, minimised)
+
+    def test_infeasible_points_are_pushed_behind_feasible_ones(self):
+        minimised = to_minimization(OBJECTIVES, [True, False])
+        penalized = penalized_objectives(
+            minimised, OBJECTIVES, OBJECTIVE_NAMES, [Constraint("power", 4.0)]
+        )
+        feasible = feasible_mask(OBJECTIVES, OBJECTIVE_NAMES, [Constraint("power", 4.0)])
+        # Every infeasible row is now worse than every feasible row in the
+        # first (negated-IPC) column.
+        assert penalized[~feasible, 0].min() > penalized[feasible, 0].max()
+        # Feasible rows keep their original values.
+        assert np.allclose(penalized[feasible], minimised[feasible])
+
+    def test_more_violation_is_worse(self):
+        minimised = to_minimization(OBJECTIVES, [True, False])
+        penalized = penalized_objectives(
+            minimised, OBJECTIVES, OBJECTIVE_NAMES, [Constraint("power", 3.0)]
+        )
+        # Rows 1 (power 4) and 2 (power 6) both violate; row 2 violates more.
+        assert penalized[2, 0] > penalized[1, 0]
+
+    def test_shape_mismatch_and_bad_scale(self):
+        minimised = to_minimization(OBJECTIVES, [True, False])
+        with pytest.raises(ValueError):
+            penalized_objectives(minimised[:2], OBJECTIVES, OBJECTIVE_NAMES, [])
+        with pytest.raises(ValueError):
+            penalized_objectives(
+                minimised, OBJECTIVES, OBJECTIVE_NAMES, [], penalty_scale=0.0
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(bound=st.floats(min_value=0.5, max_value=7.0), seed=st.integers(0, 2**16))
+    def test_penalty_never_helps_an_infeasible_point(self, bound, seed):
+        rng = np.random.default_rng(seed)
+        objectives = np.column_stack(
+            [rng.uniform(0.2, 2.0, size=12), rng.uniform(0.5, 8.0, size=12)]
+        )
+        minimised = to_minimization(objectives, [True, False])
+        constraint = Constraint("power", bound)
+        penalized = penalized_objectives(
+            minimised, objectives, OBJECTIVE_NAMES, [constraint]
+        )
+        assert np.all(penalized >= minimised - 1e-12)
+
+
+class TestBestFeasible:
+    def test_max_ipc_under_a_power_cap(self):
+        index = best_feasible(
+            OBJECTIVES, OBJECTIVE_NAMES, [Constraint("power", 4.0)], optimize="ipc"
+        )
+        assert index == 1  # ipc 1.2 at power 4.0
+
+    def test_min_power_with_an_ipc_floor(self):
+        index = best_feasible(
+            OBJECTIVES,
+            OBJECTIVE_NAMES,
+            [Constraint("ipc", 1.0, sense=">=")],
+            optimize="power",
+            maximize=False,
+        )
+        assert index == 1
+
+    def test_no_feasible_candidate_raises(self):
+        with pytest.raises(ValueError):
+            best_feasible(
+                OBJECTIVES, OBJECTIVE_NAMES, [Constraint("power", 0.1)], optimize="ipc"
+            )
+
+    def test_end_to_end_with_the_simulator(self, table1_space, fast_simulator):
+        """Max-IPC-under-a-power-cap query over a small simulated pool."""
+        from repro.designspace.sampling import RandomSampler
+
+        configs = RandomSampler(table1_space, seed=3).sample(40)
+        rows = np.array(
+            [[r.ipc, r.power_w] for r in fast_simulator.run_batch(configs, "625.x264_s")]
+        )
+        cap = float(np.median(rows[:, 1]))
+        index = best_feasible(
+            rows, OBJECTIVE_NAMES, [Constraint("power", cap)], optimize="ipc"
+        )
+        assert rows[index, 1] <= cap
+        feasible = rows[rows[:, 1] <= cap]
+        assert rows[index, 0] == pytest.approx(feasible[:, 0].max())

@@ -1,0 +1,136 @@
+"""Tests for the NSGA-II surrogate-driven explorer."""
+
+import numpy as np
+import pytest
+
+from repro.dse.nsga2 import NSGA2Explorer, fast_non_dominated_sort
+from repro.dse.pareto import pareto_mask, to_minimization
+
+
+class TestFastNonDominatedSort:
+    def test_known_fronts(self):
+        objectives = np.array(
+            [
+                [1.0, 1.0],  # front 0
+                [2.0, 2.0],  # front 1 (dominated by row 0)
+                [0.5, 3.0],  # front 0
+                [3.0, 3.0],  # front 2
+            ]
+        )
+        fronts = fast_non_dominated_sort(objectives)
+        assert sorted(fronts[0].tolist()) == [0, 2]
+        assert fronts[1].tolist() == [1]
+        assert fronts[2].tolist() == [3]
+
+    def test_every_index_appears_exactly_once(self):
+        rng = np.random.default_rng(0)
+        objectives = rng.normal(size=(40, 3))
+        fronts = fast_non_dominated_sort(objectives)
+        flattened = sorted(int(i) for front in fronts for i in front)
+        assert flattened == list(range(40))
+
+    def test_first_front_is_the_pareto_mask(self):
+        rng = np.random.default_rng(1)
+        objectives = rng.normal(size=(30, 2))
+        fronts = fast_non_dominated_sort(objectives)
+        assert set(fronts[0].tolist()) == set(np.nonzero(pareto_mask(objectives))[0].tolist())
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            fast_non_dominated_sort(np.zeros((0, 2)))
+
+
+def _surrogates(space):
+    """Deterministic toy objectives over the encoded features."""
+
+    def ipc(features):
+        return features.sum(axis=1) / features.shape[1]
+
+    def power(features):
+        return features[:, 0] * 2.0 + features[:, 1] + 1.0
+
+    return {"ipc": ipc, "power": power}
+
+
+class TestNSGA2Explorer:
+    def test_explore_returns_valid_configurations(self, table1_space):
+        explorer = NSGA2Explorer(table1_space, population_size=16, generations=3, seed=0)
+        result = explorer.explore(_surrogates(table1_space))
+        assert len(result.configs) == 16
+        for config in result.configs:
+            assert table1_space.is_valid(config)
+        assert result.objectives.shape == (16, 2)
+        assert result.objective_names == ("ipc", "power")
+        assert result.evaluations == 16 * (3 + 1)
+        assert len(result.front_sizes) == 3
+
+    def test_pareto_indices_are_non_dominated(self, table1_space):
+        explorer = NSGA2Explorer(table1_space, population_size=12, generations=2, seed=1)
+        result = explorer.explore(_surrogates(table1_space))
+        minimised = to_minimization(result.objectives, [True, False])
+        mask = pareto_mask(minimised)
+        assert set(result.pareto_indices.tolist()) == set(np.nonzero(mask)[0].tolist())
+        assert len(result.pareto_configs) == len(result.pareto_indices)
+        assert result.pareto_objectives.shape[0] == len(result.pareto_indices)
+
+    def test_search_improves_over_the_initial_population(self, table1_space):
+        """The genetic loop pushes the predicted-IPC maximum upward."""
+        surrogates = _surrogates(table1_space)
+        short = NSGA2Explorer(table1_space, population_size=16, generations=1, seed=3)
+        long = NSGA2Explorer(table1_space, population_size=16, generations=12, seed=3)
+        best_short = short.explore(surrogates).objectives[:, 0].max()
+        best_long = long.explore(surrogates).objectives[:, 0].max()
+        assert best_long >= best_short
+
+    def test_single_objective_search(self, table1_space):
+        explorer = NSGA2Explorer(table1_space, population_size=8, generations=2, seed=0)
+        result = explorer.explore({"ipc": _surrogates(table1_space)["ipc"]})
+        assert result.objectives.shape == (8, 1)
+        assert len(result.pareto_indices) >= 1
+
+    def test_maximize_override(self, table1_space):
+        explorer = NSGA2Explorer(table1_space, population_size=8, generations=1, seed=0)
+        surrogates = _surrogates(table1_space)
+        result = explorer.explore(surrogates, maximize={"ipc": False, "power": False})
+        minimised = to_minimization(result.objectives, [False, False])
+        assert set(result.pareto_indices.tolist()) == set(
+            np.nonzero(pareto_mask(minimised))[0].tolist()
+        )
+
+    def test_empty_predictors_raise(self, table1_space):
+        explorer = NSGA2Explorer(table1_space, population_size=8, generations=1)
+        with pytest.raises(ValueError):
+            explorer.explore({})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 3},
+            {"population_size": 7},
+            {"generations": 0},
+            {"crossover_rate": 1.5},
+            {"mutation_rate": -0.1},
+            {"tournament_size": 1},
+        ],
+    )
+    def test_invalid_constructor_arguments(self, table1_space, kwargs):
+        with pytest.raises(ValueError):
+            NSGA2Explorer(table1_space, **kwargs)
+
+    def test_mutation_stays_inside_the_space(self, table1_space):
+        explorer = NSGA2Explorer(table1_space, population_size=8, generations=1, seed=5,
+                                 mutation_rate=1.0)
+        cardinalities = table1_space.cardinalities()
+        individual = np.zeros(table1_space.num_parameters, dtype=np.int64)
+        for _ in range(20):
+            mutated = explorer._mutate(individual)
+            assert np.all(mutated >= 0)
+            assert np.all(mutated < cardinalities)
+
+    def test_crossover_mixes_parents(self, table1_space):
+        explorer = NSGA2Explorer(table1_space, population_size=8, generations=1, seed=7,
+                                 crossover_rate=1.0)
+        parent_a = np.zeros(table1_space.num_parameters, dtype=np.int64)
+        parent_b = np.ones(table1_space.num_parameters, dtype=np.int64)
+        child = explorer._crossover(parent_a, parent_b)
+        assert set(np.unique(child).tolist()) <= {0, 1}

@@ -1,0 +1,116 @@
+"""Tests for the DSE quality metrics (ADRS, coverage, hypervolume ratio)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.dse.quality import (
+    adrs,
+    hypervolume_ratio,
+    normalize_objectives,
+    pareto_coverage,
+)
+
+REFERENCE = np.array([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]])
+
+
+class TestNormalizeObjectives:
+    def test_reference_spans_unit_box(self):
+        points, reference = normalize_objectives(REFERENCE.copy(), REFERENCE)
+        assert reference.min(axis=0) == pytest.approx([0.0, 0.0])
+        assert reference.max(axis=0) == pytest.approx([1.0, 1.0])
+        assert np.allclose(points, reference)
+
+    def test_constant_objective_does_not_divide_by_zero(self):
+        reference = np.array([[1.0, 5.0], [2.0, 5.0]])
+        points, scaled_reference = normalize_objectives(reference.copy(), reference)
+        assert np.all(np.isfinite(points))
+        assert np.allclose(scaled_reference[:, 1], 0.0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            normalize_objectives(np.zeros((2, 3)), REFERENCE)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            normalize_objectives(np.zeros((0, 2)), REFERENCE)
+
+
+class TestADRS:
+    def test_zero_when_reference_is_recovered(self):
+        assert adrs(REFERENCE.copy(), REFERENCE) == pytest.approx(0.0)
+
+    def test_zero_when_found_dominates_the_reference(self):
+        better = REFERENCE - 0.5
+        assert adrs(better, REFERENCE) == pytest.approx(0.0)
+
+    def test_positive_when_found_falls_short(self):
+        worse = REFERENCE + 0.5
+        assert adrs(worse, REFERENCE) > 0.0
+
+    def test_known_value_single_reference_point(self):
+        reference = np.array([[0.0, 0.0], [2.0, 2.0]])
+        found = np.array([[1.0, 1.0]])
+        # Normalised ranges are 2; shortfall to [0,0] is 0.5, to [2,2] is 0.
+        assert adrs(found, reference) == pytest.approx(0.25)
+
+    def test_closer_fronts_score_lower(self):
+        near = REFERENCE + 0.1
+        far = REFERENCE + 1.0
+        assert adrs(near, REFERENCE) < adrs(far, REFERENCE)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        found=npst.arrays(
+            np.float64,
+            shape=st.tuples(st.integers(1, 10), st.just(2)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    def test_non_negative_and_finite(self, found):
+        value = adrs(found, REFERENCE)
+        assert value >= 0.0
+        assert np.isfinite(value)
+
+
+class TestParetoCoverage:
+    def test_full_coverage_when_identical(self):
+        assert pareto_coverage(REFERENCE.copy(), REFERENCE) == 1.0
+
+    def test_partial_coverage(self):
+        found = np.array([[1.0, 3.0], [10.0, 10.0]])
+        assert pareto_coverage(found, REFERENCE) == pytest.approx(1 / 3)
+
+    def test_zero_coverage_when_found_is_strictly_worse(self):
+        assert pareto_coverage(REFERENCE + 1.0, REFERENCE) == 0.0
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pareto_coverage(np.zeros((2, 3)), REFERENCE)
+
+
+class TestHypervolumeRatio:
+    def test_identical_fronts_have_ratio_one(self):
+        assert hypervolume_ratio(REFERENCE.copy(), REFERENCE) == pytest.approx(1.0)
+
+    def test_dominating_front_exceeds_one(self):
+        assert hypervolume_ratio(REFERENCE - 0.5, REFERENCE) > 1.0
+
+    def test_dominated_front_below_one(self):
+        assert hypervolume_ratio(REFERENCE + 0.5, REFERENCE) < 1.0
+
+    def test_explicit_reference_point(self):
+        ratio = hypervolume_ratio(
+            REFERENCE.copy(), REFERENCE, reference_point=np.array([4.0, 4.0])
+        )
+        assert ratio == pytest.approx(1.0)
+
+    def test_requires_two_objectives(self):
+        with pytest.raises(ValueError):
+            hypervolume_ratio(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_bounded_below_by_zero(self):
+        ratio = hypervolume_ratio(REFERENCE + 100.0, REFERENCE)
+        assert ratio >= 0.0

@@ -1,0 +1,155 @@
+"""Tests for the ranking-quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.metrics.ranking import kendall_tau, regret_at_k, spearman_rho, top_k_recall
+
+
+class TestSpearman:
+    def test_identical_ordering_is_one(self):
+        values = np.array([3.0, 1.0, 4.0, 1.5, 9.0])
+        assert spearman_rho(values, values * 2.0 + 1.0) == pytest.approx(1.0)
+
+    def test_reversed_ordering_is_minus_one(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rho(values, -values) == pytest.approx(-1.0)
+
+    def test_constant_prediction_is_zero(self):
+        assert spearman_rho(np.array([1.0, 2.0, 3.0]), np.zeros(3)) == 0.0
+
+    def test_ties_are_averaged(self):
+        # Two tied predictions: correlation below 1 but clearly positive.
+        rho = spearman_rho(np.array([1.0, 2.0, 3.0, 4.0]), np.array([1.0, 2.0, 2.0, 4.0]))
+        assert 0.8 < rho < 1.0
+
+    def test_single_value(self):
+        assert spearman_rho([1.0], [5.0]) == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            spearman_rho([], [])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=npst.arrays(
+            np.float64,
+            shape=st.integers(2, 50),
+            elements=st.floats(-1e3, 1e3, allow_nan=False),
+        )
+    )
+    def test_bounded_and_symmetric(self, values):
+        noise = np.sin(values * 13.7)  # deterministic pseudo-prediction
+        rho = spearman_rho(values, noise)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+        assert spearman_rho(noise, values) == pytest.approx(rho, abs=1e-9)
+
+
+class TestKendall:
+    def test_identical_ordering_is_one(self):
+        values = np.array([0.1, 0.5, 0.3, 0.9])
+        assert kendall_tau(values, values) == pytest.approx(1.0)
+
+    def test_reversed_ordering_is_minus_one(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert kendall_tau(values, -values) == pytest.approx(-1.0)
+
+    def test_known_partial_agreement(self):
+        # Swapping one adjacent pair in a 3-element ranking: 2 of 3 pairs agree.
+        tau = kendall_tau(np.array([1.0, 2.0, 3.0]), np.array([2.0, 1.0, 3.0]))
+        assert tau == pytest.approx(1 / 3)
+
+    def test_agrees_in_sign_with_spearman(self):
+        rng = np.random.default_rng(0)
+        true = rng.normal(size=30)
+        pred = true + rng.normal(scale=0.3, size=30)
+        assert kendall_tau(true, pred) > 0
+        assert spearman_rho(true, pred) > 0
+
+
+class TestTopKRecall:
+    def test_perfect_predictor(self):
+        values = np.arange(20, dtype=float)
+        assert top_k_recall(values, values, k=5) == 1.0
+
+    def test_anti_predictor(self):
+        values = np.arange(20, dtype=float)
+        assert top_k_recall(values, -values, k=5) == 0.0
+
+    def test_minimisation_sense(self):
+        true = np.array([5.0, 1.0, 3.0, 4.0])
+        pred = np.array([9.0, 0.5, 7.0, 8.0])
+        assert top_k_recall(true, pred, k=1, maximize=False) == 1.0
+
+    def test_partial_overlap(self):
+        true = np.array([10.0, 9.0, 1.0, 2.0])
+        pred = np.array([10.0, 1.0, 9.0, 2.0])
+        assert top_k_recall(true, pred, k=2) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("k", [0, 5])
+    def test_invalid_k_raises(self, k):
+        with pytest.raises(ValueError):
+            top_k_recall(np.arange(4.0), np.arange(4.0), k=k)
+
+
+class TestRegretAtK:
+    def test_zero_when_best_is_found(self):
+        true = np.array([0.2, 0.9, 0.5])
+        pred = np.array([0.1, 0.8, 0.3])
+        assert regret_at_k(true, pred, k=1) == pytest.approx(0.0)
+
+    def test_positive_when_best_is_missed(self):
+        true = np.array([0.2, 0.9, 0.5])
+        pred = np.array([0.9, 0.1, 0.5])  # ranks the worst config first
+        assert regret_at_k(true, pred, k=1) == pytest.approx(0.9 - 0.2)
+
+    def test_full_budget_has_zero_regret(self):
+        rng = np.random.default_rng(1)
+        true = rng.normal(size=15)
+        pred = rng.normal(size=15)
+        assert regret_at_k(true, pred, k=15) == pytest.approx(0.0)
+
+    def test_minimisation_sense(self):
+        true = np.array([3.0, 1.0, 2.0])
+        pred = np.array([1.0, 3.0, 2.0])  # predicts index 0 as smallest
+        assert regret_at_k(true, pred, k=1, maximize=False) == pytest.approx(2.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(2, 40),
+        k=st.integers(1, 10),
+        seed=st.integers(0, 2**16),
+    )
+    def test_regret_non_negative_and_monotone_in_k(self, n, k, seed):
+        k = min(k, n)
+        rng = np.random.default_rng(seed)
+        true = rng.normal(size=n)
+        pred = rng.normal(size=n)
+        value = regret_at_k(true, pred, k=k)
+        assert value >= 0
+        if k < n:
+            assert regret_at_k(true, pred, k=k + 1) <= value + 1e-12
+
+    def test_surrogate_ranking_quality_on_the_substrate(self, small_dataset):
+        """A GBRT trained on a workload ranks unseen points far better than chance."""
+        from repro.baselines.trees import GradientBoostingRegressor
+
+        data = small_dataset["625.x264_s"]
+        train_x, train_y = data.features[:80], data.metric("ipc")[:80]
+        test_x, test_y = data.features[80:], data.metric("ipc")[80:]
+        surrogate = GradientBoostingRegressor(n_estimators=60, max_depth=3, seed=0)
+        surrogate.fit(train_x, train_y)
+        predictions = surrogate.predict(test_x)
+        assert spearman_rho(test_y, predictions) > 0.7
+        assert top_k_recall(test_y, predictions, k=10) >= 0.3
+        # Screening view: simulating the predicted top-5 loses little IPC
+        # relative to the true optimum of the held-out pool.
+        span = float(test_y.max() - test_y.min())
+        assert regret_at_k(test_y, predictions, k=5) <= 0.25 * span

@@ -1,0 +1,165 @@
+"""Tests for repro.nn.layers and repro.nn.module."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import MLP, Dropout, LayerNorm, Linear, ParameterEmbedding, Sequential
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, seed=0)
+        assert layer(Tensor(np.zeros((5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, seed=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_deterministic_initialisation(self):
+        a, b = Linear(4, 3, seed=7), Linear(4, 3, seed=7)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_gradients_flow_to_parameters(self):
+        layer = Linear(3, 2, seed=0)
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        layer = LayerNorm(8)
+        rng = np.random.default_rng(0)
+        out = layer(Tensor(rng.normal(3.0, 5.0, size=(6, 8))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_learned_scale_and_shift(self):
+        layer = LayerNorm(4)
+        layer.gamma.data[:] = 2.0
+        layer.beta.data[:] = 1.0
+        out = layer(Tensor(np.random.default_rng(1).normal(size=(3, 4))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, seed=0)
+        layer.eval()
+        x = np.random.default_rng(0).normal(size=(10, 10))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_training_mode_zeroes_entries(self):
+        layer = Dropout(0.5, seed=0)
+        out = layer(Tensor(np.ones((50, 50))))
+        assert (out.data == 0).mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_scaling_preserves_expectation(self):
+        layer = Dropout(0.3, seed=1)
+        out = layer(Tensor(np.ones((200, 200))))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestSequentialAndMLP:
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Linear(4, 8, seed=0), Linear(8, 2, seed=1))
+        assert len(model) == 2
+        assert model(Tensor(np.zeros((3, 4)))).shape == (3, 2)
+
+    def test_mlp_shapes(self):
+        model = MLP(6, [16, 16], 1, seed=0)
+        assert model(Tensor(np.zeros((5, 6)))).shape == (5, 1)
+
+    def test_mlp_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP(4, [8], 1, activation="swishh")
+
+    def test_mlp_can_fit_linear_function(self):
+        from repro.nn.losses import mse_loss
+        from repro.nn.optim import Adam
+
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(128, 3))
+        y = x @ np.array([1.0, -2.0, 0.5])
+        model = MLP(3, [32], 1, seed=0)
+        optimizer = Adam(model.parameters(), 1e-2)
+        for _ in range(150):
+            optimizer.zero_grad()
+            loss = mse_loss(model(Tensor(x)).reshape(128), y)
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.01
+
+
+class TestParameterEmbedding:
+    def test_token_shape(self):
+        embed = ParameterEmbedding(22, 16, seed=0)
+        tokens = embed(Tensor(np.random.default_rng(0).random((4, 22))))
+        assert tokens.shape == (4, 22, 16)
+
+    def test_wrong_input_shape(self):
+        embed = ParameterEmbedding(5, 8, seed=0)
+        with pytest.raises(ValueError):
+            embed(Tensor(np.zeros((2, 7))))
+
+    def test_positional_component_differs_per_parameter(self):
+        embed = ParameterEmbedding(6, 8, seed=0)
+        tokens = embed(Tensor(np.zeros((1, 6))))
+        # With a zero value input, tokens equal the positional embeddings.
+        assert not np.allclose(tokens.data[0, 0], tokens.data[0, 1])
+
+
+class TestModuleInfrastructure:
+    def test_state_dict_roundtrip(self):
+        model = MLP(4, [8], 2, seed=0)
+        state = model.state_dict()
+        other = MLP(4, [8], 2, seed=99)
+        other.load_state_dict(state)
+        x = Tensor(np.random.default_rng(0).random((3, 4)))
+        np.testing.assert_allclose(model(x).data, other(x).data)
+
+    def test_state_dict_mismatch_rejected(self):
+        model = MLP(4, [8], 2, seed=0)
+        with pytest.raises(ValueError):
+            model.load_state_dict({"bogus": np.zeros(3)})
+
+    def test_clone_is_independent(self):
+        model = Linear(3, 3, seed=0)
+        duplicate = model.clone()
+        duplicate.weight.data += 10.0
+        assert not np.allclose(model.weight.data, duplicate.weight.data)
+
+    def test_parameter_count(self):
+        model = Linear(4, 3, seed=0)
+        assert model.parameter_count() == 4 * 3 + 3
+
+    def test_named_parameters_are_prefixed(self):
+        model = Sequential(Linear(2, 2, seed=0), Linear(2, 1, seed=0))
+        names = [name for name, _ in model.named_parameters()]
+        assert any(name.startswith("layer0.") for name in names)
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Linear(2, 2, seed=0))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+
+    def test_register_parameter_type_check(self):
+        module = Module()
+        with pytest.raises(TypeError):
+            module.register_parameter("x", np.zeros(3))

@@ -1,0 +1,184 @@
+"""Tests for optimisers, losses and model serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.losses import huber_loss, mae_loss, mse_loss
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, clip_grad_norm
+from repro.nn.serialization import load_model, load_state, save_model
+from repro.nn.tensor import Tensor
+
+
+def quadratic_problem():
+    """A 2-parameter quadratic with minimum at (3, -2)."""
+    theta = Tensor(np.zeros(2), requires_grad=True)
+    target = np.array([3.0, -2.0])
+
+    def loss_fn():
+        diff = theta - Tensor(target)
+        return (diff * diff).sum()
+
+    return theta, loss_fn
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        theta, loss_fn = quadratic_problem()
+        optimizer = SGD([theta], 0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        np.testing.assert_allclose(theta.data, [3.0, -2.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        theta_plain, loss_plain = quadratic_problem()
+        theta_momentum, loss_momentum = quadratic_problem()
+        plain = SGD([theta_plain], 0.01)
+        momentum = SGD([theta_momentum], 0.01, momentum=0.9)
+        for _ in range(30):
+            plain.zero_grad(); loss_plain().backward(); plain.step()
+            momentum.zero_grad(); loss_momentum().backward(); momentum.step()
+        assert loss_momentum().item() < loss_plain().item()
+
+    def test_weight_decay_shrinks_parameters(self):
+        theta = Tensor(np.ones(3), requires_grad=True)
+        optimizer = SGD([theta], 0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (theta.sum() * 0.0).backward()
+        optimizer.step()
+        assert np.all(np.abs(theta.data) < 1.0)
+
+    def test_lr_scales(self):
+        fast = Tensor(np.zeros(1), requires_grad=True)
+        slow = Tensor(np.zeros(1), requires_grad=True)
+        optimizer = SGD([fast, slow], 0.1, lr_scales=[10.0, 1.0])
+        optimizer.zero_grad()
+        ((fast + slow) * 1.0).sum().backward()
+        optimizer.step()
+        assert abs(fast.data[0]) > abs(slow.data[0])
+
+    def test_invalid_hyperparameters(self):
+        theta = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([theta], -0.1)
+        with pytest.raises(ValueError):
+            SGD([theta], 0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], 0.1)
+        with pytest.raises(ValueError):
+            SGD([theta], 0.1, lr_scales=[1.0, 2.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        theta, loss_fn = quadratic_problem()
+        optimizer = Adam([theta], 0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        np.testing.assert_allclose(theta.data, [3.0, -2.0], atol=1e-2)
+
+    def test_skips_parameters_without_gradients(self):
+        used = Tensor(np.zeros(1), requires_grad=True)
+        unused = Tensor(np.ones(1), requires_grad=True)
+        optimizer = Adam([used, unused], 0.1)
+        optimizer.zero_grad()
+        (used * 2.0).sum().backward()
+        optimizer.step()
+        np.testing.assert_allclose(unused.data, [1.0])
+
+    def test_invalid_betas(self):
+        theta = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([theta], 0.1, betas=(1.0, 0.9))
+
+
+class TestCosineAnnealing:
+    def test_decays_to_eta_min(self):
+        theta = Tensor(np.zeros(1), requires_grad=True)
+        optimizer = SGD([theta], 1.0)
+        scheduler = CosineAnnealingLR(optimizer, total_steps=10, eta_min=0.1)
+        rates = [scheduler.step() for _ in range(10)]
+        assert rates[0] < 1.0
+        assert rates[-1] == pytest.approx(0.1)
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_invalid_arguments(self):
+        theta = Tensor(np.zeros(1), requires_grad=True)
+        optimizer = SGD([theta], 1.0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, total_steps=0)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        theta = Tensor(np.zeros(4), requires_grad=True)
+        theta.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([theta], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(theta.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients_untouched(self):
+        theta = Tensor(np.zeros(2), requires_grad=True)
+        theta.grad = np.array([0.1, 0.1])
+        clip_grad_norm([theta], max_norm=5.0)
+        np.testing.assert_allclose(theta.grad, [0.1, 0.1])
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], 0.0)
+
+
+class TestLosses:
+    def test_mse_matches_numpy(self):
+        predictions = Tensor([1.0, 2.0, 3.0])
+        targets = np.array([1.5, 2.0, 2.0])
+        expected = np.mean((predictions.data - targets) ** 2)
+        assert mse_loss(predictions, targets).item() == pytest.approx(expected)
+
+    def test_mae_matches_numpy(self):
+        predictions = Tensor([1.0, -2.0])
+        targets = np.array([0.0, 0.0])
+        assert mae_loss(predictions, targets).item() == pytest.approx(1.5)
+
+    def test_huber_between_mse_and_mae_for_outliers(self):
+        predictions = Tensor([10.0])
+        targets = np.array([0.0])
+        huber = huber_loss(predictions, targets, delta=1.0).item()
+        assert huber < mse_loss(predictions, targets).item()
+        assert huber > mae_loss(predictions, targets).item() - 1.0
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError):
+            huber_loss(Tensor([1.0]), np.array([1.0]), delta=0.0)
+
+    def test_losses_are_differentiable(self):
+        theta = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        for loss_fn in (mse_loss, mae_loss, huber_loss):
+            theta.zero_grad()
+            loss_fn(theta * 2.0, np.array([1.0, 1.0])).backward()
+            assert theta.grad is not None
+
+
+class TestSerialization:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        model = Linear(4, 2, seed=0)
+        path = save_model(model, tmp_path / "model", header={"kind": "linear"})
+        other = Linear(4, 2, seed=99)
+        header = load_model(other, path)
+        assert header["kind"] == "linear"
+        np.testing.assert_allclose(model.weight.data, other.weight.data)
+
+    def test_load_state_returns_header(self, tmp_path):
+        model = Linear(2, 2, seed=0)
+        path = save_model(model, tmp_path / "m.npz", header={"metric": "ipc"})
+        state, header = load_state(path)
+        assert "weight" in state
+        assert header["metric"] == "ipc"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(tmp_path / "nope.npz")

@@ -1,0 +1,188 @@
+"""Tests for the autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.tensor import Tensor, concatenate, ones, tensor, zeros
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued function."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(op, shape=(3, 4), seed=0, atol=1e-5):
+    """Compare autograd gradients of ``op(Tensor).sum()`` with finite differences."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.2, 1.5, size=shape)
+
+    def scalar_fn(values):
+        return op(Tensor(values)).sum().item()
+
+    leaf = Tensor(x.copy(), requires_grad=True)
+    out = op(leaf).sum()
+    out.backward()
+    numeric = numeric_gradient(scalar_fn, x.copy())
+    np.testing.assert_allclose(leaf.grad, numeric, atol=atol, rtol=1e-4)
+
+
+class TestBasicOps:
+    def test_add_and_shapes(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        np.testing.assert_allclose((a + b).data, [4.0, 6.0])
+
+    def test_scalar_ops(self):
+        a = Tensor([2.0])
+        assert (a * 3).item() == 6.0
+        assert (1 + a).item() == 3.0
+        assert (a - 1).item() == 1.0
+        assert (4 / a).item() == 2.0
+        assert (1 - a).item() == -1.0
+
+    def test_item_and_numpy(self):
+        t = Tensor([[5.0]])
+        assert t.item() == 5.0
+        assert t.numpy().shape == (1, 1)
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert b._parents == ()
+
+    def test_constructors(self):
+        assert zeros((2, 3)).data.shape == (2, 3)
+        assert ones((4,)).data.sum() == 4.0
+        assert tensor([1, 2]).data.dtype == np.float64
+
+
+class TestGradients:
+    @pytest.mark.parametrize("op", [
+        lambda t: t * t,
+        lambda t: t + t * 2.0,
+        lambda t: t / (t + 1.0),
+        lambda t: t ** 3,
+        lambda t: t.exp(),
+        lambda t: t.log(),
+        lambda t: t.sqrt(),
+        lambda t: t.tanh(),
+        lambda t: t.sigmoid(),
+        lambda t: t.relu(),
+        lambda t: t.gelu(),
+        lambda t: t.abs(),
+        lambda t: t.softmax(axis=-1),
+        lambda t: t.log_softmax(axis=-1),
+        lambda t: t.mean(axis=0),
+        lambda t: t.var(axis=-1),
+        lambda t: t.reshape(12),
+        lambda t: t.transpose(1, 0),
+        lambda t: t[1:, :2],
+    ], ids=lambda f: "op")
+    def test_elementwise_and_shape_ops(self, op):
+        check_gradient(op)
+
+    def test_matmul_gradient(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(4, 2))
+        check_gradient(lambda t: t @ Tensor(w))
+
+    def test_batched_matmul_gradient(self):
+        rng = np.random.default_rng(1)
+        other = rng.normal(size=(2, 4, 3))
+
+        def op(t):
+            return t @ Tensor(other)
+
+        check_gradient(op, shape=(2, 3, 4), seed=2)
+
+    def test_broadcast_add_gradient(self):
+        bias = np.array([0.5, -0.5, 1.0, 2.0])
+        check_gradient(lambda t: t + Tensor(bias))
+
+    def test_broadcast_mul_accumulates_on_small_operand(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_gradient_accumulates_over_reuse(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = a * a + a
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])  # d(a^2 + a)/da = 2a + 1
+
+    def test_backward_requires_scalar_or_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 2).backward(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(a.grad, [2.0, 4.0, 6.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 3).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_concatenate_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        (out * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((3, 2), 2.0))
+
+    def test_pow_requires_scalar_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestNumericalStability:
+    def test_softmax_handles_large_logits(self):
+        out = Tensor([1000.0, 1000.0, -1000.0]).softmax()
+        assert np.all(np.isfinite(out.data))
+        assert out.data.sum() == pytest.approx(1.0)
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        out = Tensor(rng.normal(size=(5, 7))).softmax(axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 5), st.integers(1, 6)),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    def test_softmax_property(self, values):
+        out = Tensor(values).softmax(axis=-1)
+        assert np.all(out.data >= 0)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, rtol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 6), st.integers(2, 6)),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    def test_var_is_non_negative(self, values):
+        assert np.all(Tensor(values).var(axis=-1).data >= -1e-12)

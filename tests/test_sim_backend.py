@@ -1,0 +1,85 @@
+"""Tests for repro.sim.backend."""
+
+import pytest
+
+from repro.sim.backend import BackendModel
+from repro.sim.cache import CacheHierarchyModel
+from repro.workloads.spec2017 import build_spec2017_profiles
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return BackendModel()
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return build_spec2017_profiles()
+
+
+def evaluate(backend, workload, **overrides):
+    cache = CacheHierarchyModel().evaluate(
+        l1_size_kb=32, l1_assoc=4, l2_size_kb=256, l2_assoc=4,
+        cacheline_bytes=64, frequency_ghz=2.0, workload=workload,
+    )
+    kwargs = dict(
+        pipeline_width=6, rob_size=160, inst_queue_size=48,
+        int_rf_size=160, fp_rf_size=160, load_queue_size=32, store_queue_size=32,
+        int_alu_count=6, int_muldiv_count=2, fp_alu_count=3, fp_muldiv_count=2,
+        fetch_buffer_bytes=64, fetch_queue_uops=32,
+        cache=cache, workload=workload,
+    )
+    kwargs.update(overrides)
+    return backend.evaluate(**kwargs)
+
+
+class TestBackendLimits:
+    def test_core_ipc_never_exceeds_width(self, backend, profiles):
+        for workload in profiles.values():
+            for width in (1, 4, 12):
+                result = evaluate(backend, workload, pipeline_width=width)
+                assert result.core_ipc <= width + 1e-9
+
+    def test_bigger_rob_helps_up_to_ilp(self, backend, profiles):
+        workload = profiles["607.cactuBSSN_s"]
+        small = evaluate(backend, workload, rob_size=32)
+        large = evaluate(backend, workload, rob_size=256)
+        assert large.window_limit > small.window_limit
+        assert large.window_limit <= workload.ideal_ipc + 1e-9
+
+    def test_fp_units_limit_fp_codes(self, backend, profiles):
+        workload = profiles["638.imagick_s"]  # FP-heavy
+        starved = evaluate(backend, workload, fp_alu_count=1, fp_muldiv_count=1)
+        provisioned = evaluate(backend, workload, fp_alu_count=4, fp_muldiv_count=4)
+        assert provisioned.functional_unit_limit > starved.functional_unit_limit
+
+    def test_fp_units_do_not_matter_for_integer_codes(self, backend, profiles):
+        workload = profiles["998.specrand_is"]  # pure integer
+        few = evaluate(backend, workload, fp_alu_count=1, fp_muldiv_count=1)
+        many = evaluate(backend, workload, fp_alu_count=4, fp_muldiv_count=4)
+        assert few.functional_unit_limit == pytest.approx(many.functional_unit_limit)
+
+    def test_small_load_queue_constrains_memory_codes(self, backend, profiles):
+        workload = profiles["605.mcf_s"]
+        small = evaluate(backend, workload, load_queue_size=20)
+        large = evaluate(backend, workload, load_queue_size=48)
+        assert small.effective_window <= large.effective_window
+
+    def test_larger_window_exposes_more_mlp(self, backend, profiles):
+        workload = profiles["605.mcf_s"]
+        small = evaluate(backend, workload, rob_size=32, inst_queue_size=16)
+        large = evaluate(backend, workload, rob_size=256, inst_queue_size=80)
+        assert large.exposed_mlp >= small.exposed_mlp
+        assert large.memory_stall_cpi <= small.memory_stall_cpi
+
+    def test_memory_stalls_dominate_for_memory_bound_code(self, backend, profiles):
+        mcf = evaluate(backend, profiles["605.mcf_s"])
+        exchange = evaluate(backend, profiles["648.exchange2_s"])
+        assert mcf.memory_stall_cpi > exchange.memory_stall_cpi
+
+    def test_results_are_positive(self, backend, profiles):
+        for workload in profiles.values():
+            result = evaluate(backend, workload)
+            assert result.core_ipc > 0
+            assert result.memory_stall_cpi >= 0
+            assert result.effective_window > 0

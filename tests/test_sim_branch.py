@@ -1,0 +1,67 @@
+"""Tests for repro.sim.branch."""
+
+import pytest
+
+from repro.sim.branch import BranchPredictorModel
+from repro.workloads.spec2017 import build_spec2017_profiles
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BranchPredictorModel()
+
+
+@pytest.fixture(scope="module")
+def branchy_workload():
+    # xalancbmk: branch-heavy with deep call stacks and a large target set.
+    return build_spec2017_profiles()["623.xalancbmk_s"]
+
+
+class TestBranchModel:
+    def test_tournament_beats_bimode(self, model, branchy_workload):
+        kwargs = dict(ras_size=32, btb_size=4096, pipeline_width=4, workload=branchy_workload)
+        bimode = model.evaluate(predictor="BiModeBP", **kwargs)
+        tournament = model.evaluate(predictor="TournamentBP", **kwargs)
+        assert tournament.cpi_contribution < bimode.cpi_contribution
+
+    def test_bigger_ras_reduces_overflow(self, model, branchy_workload):
+        kwargs = dict(predictor="TournamentBP", btb_size=4096, pipeline_width=4,
+                      workload=branchy_workload)
+        small = model.evaluate(ras_size=16, **kwargs)
+        large = model.evaluate(ras_size=40, **kwargs)
+        assert large.ras_overflow_rate < small.ras_overflow_rate
+        assert large.cpi_contribution <= small.cpi_contribution
+
+    def test_bigger_btb_reduces_misses(self, model, branchy_workload):
+        kwargs = dict(predictor="TournamentBP", ras_size=32, pipeline_width=4,
+                      workload=branchy_workload)
+        small = model.evaluate(btb_size=1024, **kwargs)
+        large = model.evaluate(btb_size=4096, **kwargs)
+        assert large.btb_miss_rate < small.btb_miss_rate
+
+    def test_wider_pipeline_pays_more_per_flush(self, model, branchy_workload):
+        kwargs = dict(predictor="BiModeBP", ras_size=32, btb_size=2048,
+                      workload=branchy_workload)
+        narrow = model.evaluate(pipeline_width=1, **kwargs)
+        wide = model.evaluate(pipeline_width=12, **kwargs)
+        assert wide.mispredict_penalty_cycles > narrow.mispredict_penalty_cycles
+
+    def test_rates_are_probabilities(self, model):
+        for workload in build_spec2017_profiles().values():
+            result = model.evaluate(
+                predictor="BiModeBP", ras_size=16, btb_size=1024,
+                pipeline_width=8, workload=workload,
+            )
+            assert 0.0 <= result.effective_mispredict_rate <= 0.6
+            assert 0.0 <= result.btb_miss_rate <= 1.0
+            assert result.cpi_contribution >= 0.0
+
+    def test_branch_light_workload_has_small_penalty(self, model):
+        profiles = build_spec2017_profiles()
+        stencil = profiles["649.fotonik3d_s"]   # ~2 % branches, predictable
+        pointer = profiles["623.xalancbmk_s"]   # 17 % branches, hard to predict
+        kwargs = dict(predictor="BiModeBP", ras_size=24, btb_size=2048, pipeline_width=6)
+        assert (
+            model.evaluate(workload=stencil, **kwargs).cpi_contribution
+            < model.evaluate(workload=pointer, **kwargs).cpi_contribution
+        )

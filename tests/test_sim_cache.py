@@ -1,0 +1,99 @@
+"""Tests for repro.sim.cache."""
+
+import pytest
+
+from repro.sim.cache import CacheHierarchyModel
+from repro.workloads.spec2017 import build_spec2017_profiles
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CacheHierarchyModel()
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return build_spec2017_profiles()
+
+
+def evaluate(model, workload, **overrides):
+    kwargs = dict(
+        l1_size_kb=32, l1_assoc=4, l2_size_kb=256, l2_assoc=4,
+        cacheline_bytes=64, frequency_ghz=2.0, workload=workload,
+    )
+    kwargs.update(overrides)
+    return model.evaluate(**kwargs)
+
+
+class TestCapacityModel:
+    def test_fitting_working_set_has_low_miss_rate(self, model):
+        assert model.capacity_miss_rate(8.0, 32.0, 0.02) < 0.02
+
+    def test_oversized_working_set_misses_more(self, model):
+        small = model.capacity_miss_rate(64.0, 32.0, 0.02)
+        large = model.capacity_miss_rate(512.0, 32.0, 0.02)
+        assert large > small
+
+    def test_miss_rate_bounded(self, model):
+        assert model.capacity_miss_rate(1e9, 16.0, 0.02) <= 1.0
+
+    def test_invalid_capacity(self, model):
+        with pytest.raises(ValueError):
+            model.capacity_miss_rate(10.0, 0.0, 0.02)
+
+
+class TestConflictAndLineSize:
+    def test_higher_associativity_reduces_conflicts(self, model):
+        assert model.conflict_factor(4, 0.8) < model.conflict_factor(2, 0.8)
+
+    def test_regular_workloads_unaffected_by_associativity(self, model):
+        assert model.conflict_factor(2, 0.0) == pytest.approx(1.0)
+
+    def test_invalid_associativity(self, model):
+        with pytest.raises(ValueError):
+            model.conflict_factor(0, 0.5)
+
+    def test_long_lines_help_streaming_codes(self, model):
+        assert model.line_size_factor(64, 0.9) < model.line_size_factor(32, 0.9)
+
+    def test_long_lines_hurt_irregular_codes(self, model):
+        assert model.line_size_factor(64, 0.0) > 1.0
+
+    def test_unsupported_line_size(self, model):
+        with pytest.raises(ValueError):
+            model.line_size_factor(128, 0.5)
+
+
+class TestHierarchy:
+    def test_bigger_l1_reduces_misses(self, model, profiles):
+        workload = profiles["600.perlbench_s"]
+        small = evaluate(model, workload, l1_size_kb=16)
+        large = evaluate(model, workload, l1_size_kb=64)
+        assert large.l1d_miss_rate < small.l1d_miss_rate
+        assert large.amat_cycles < small.amat_cycles
+
+    def test_bigger_l2_reduces_misses(self, model, profiles):
+        workload = profiles["602.gcc_s"]
+        small = evaluate(model, workload, l2_size_kb=128)
+        large = evaluate(model, workload, l2_size_kb=256)
+        assert large.l2_miss_rate < small.l2_miss_rate
+
+    def test_memory_bound_workload_misses_more(self, model, profiles):
+        mcf = evaluate(model, profiles["605.mcf_s"])
+        exchange = evaluate(model, profiles["648.exchange2_s"])
+        assert mcf.l1d_miss_rate > exchange.l1d_miss_rate
+        assert mcf.dram_mpki > exchange.dram_mpki
+
+    def test_higher_frequency_increases_dram_cycles(self, model, profiles):
+        workload = profiles["605.mcf_s"]
+        slow = evaluate(model, workload, frequency_ghz=1.0)
+        fast = evaluate(model, workload, frequency_ghz=3.0)
+        assert fast.dram_cycles > slow.dram_cycles
+
+    def test_all_rates_are_probabilities(self, model, profiles):
+        for workload in profiles.values():
+            result = evaluate(model, workload)
+            assert 0.0 <= result.l1d_miss_rate <= 1.0
+            assert 0.0 <= result.l1i_miss_rate <= 1.0
+            assert 0.0 <= result.l2_miss_rate <= 1.0
+            assert result.amat_cycles >= result.l1_hit_cycles

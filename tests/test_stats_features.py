@@ -1,0 +1,96 @@
+"""Tests for the distributional workload features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.stats.features import (
+    DISTRIBUTION_FEATURE_NAMES,
+    distribution_features,
+    workload_feature_matrix,
+)
+
+
+class TestDistributionFeatures:
+    def test_feature_vector_matches_names(self):
+        features = distribution_features(np.arange(100, dtype=float))
+        assert features.shape == (len(DISTRIBUTION_FEATURE_NAMES),)
+
+    def test_known_values_for_uniform_ramp(self):
+        values = np.arange(101, dtype=float)  # 0..100
+        features = dict(zip(DISTRIBUTION_FEATURE_NAMES, distribution_features(values)))
+        assert features["mean"] == pytest.approx(50.0)
+        assert features["median"] == pytest.approx(50.0)
+        assert features["q25"] == pytest.approx(25.0)
+        assert features["q75"] == pytest.approx(75.0)
+        assert features["iqr"] == pytest.approx(50.0)
+        assert features["skewness"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_constant_sample_has_zero_shape_terms(self):
+        features = dict(
+            zip(DISTRIBUTION_FEATURE_NAMES, distribution_features(np.full(20, 3.5)))
+        )
+        assert features["std"] == 0.0
+        assert features["skewness"] == 0.0
+        assert features["kurtosis"] == 0.0
+        assert features["iqr"] == 0.0
+
+    def test_right_skewed_sample_has_positive_skewness(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(scale=1.0, size=2000)
+        features = dict(zip(DISTRIBUTION_FEATURE_NAMES, distribution_features(values)))
+        assert features["skewness"] > 1.0
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            distribution_features(np.array([]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=npst.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=1, max_value=200),
+            elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        )
+    )
+    def test_invariants(self, values):
+        """Finite output, ordered quantiles, non-negative spread terms."""
+        features = dict(zip(DISTRIBUTION_FEATURE_NAMES, distribution_features(values)))
+        assert all(np.isfinite(v) for v in features.values())
+        assert features["q10"] <= features["q25"] <= features["median"]
+        assert features["median"] <= features["q75"] <= features["q90"]
+        assert features["std"] >= 0
+        assert features["iqr"] >= 0
+
+
+class TestWorkloadFeatureMatrix:
+    def test_shape_and_standardisation(self, small_dataset):
+        names = small_dataset.workloads[:4]
+        matrix = workload_feature_matrix(small_dataset, names, metric="ipc")
+        assert matrix.shape == (4, len(DISTRIBUTION_FEATURE_NAMES))
+        # Standardised columns are zero-mean (constant columns stay at zero).
+        assert np.allclose(matrix.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_unstandardised_matrix_matches_per_workload_features(self, small_dataset):
+        names = small_dataset.workloads[:3]
+        matrix = workload_feature_matrix(
+            small_dataset, names, metric="ipc", standardize=False
+        )
+        expected = distribution_features(small_dataset[names[1]].metric("ipc"))
+        assert np.allclose(matrix[1], expected)
+
+    def test_distinguishes_memory_bound_from_compute_bound(self, small_dataset):
+        matrix = workload_feature_matrix(
+            small_dataset,
+            ["605.mcf_s", "648.exchange2_s"],
+            metric="ipc",
+            standardize=False,
+        )
+        # mcf (memory bound) has a clearly lower mean IPC than exchange2.
+        assert matrix[0, 0] < matrix[1, 0]
+
+    def test_empty_workload_list_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            workload_feature_matrix(small_dataset, [])

@@ -1,0 +1,145 @@
+"""Tests for the Gaussian mixture model substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.gmm import GaussianMixture
+
+
+def _two_component_data(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=(-3.0, 0.0), scale=0.4, size=(n // 2, 2))
+    b = rng.normal(loc=(3.0, 1.0), scale=0.4, size=(n // 2, 2))
+    return np.concatenate([a, b], axis=0)
+
+
+class TestGaussianMixtureFit:
+    def test_recovers_two_separated_components(self):
+        data = _two_component_data()
+        gmm = GaussianMixture(2, seed=0).fit(data)
+        means = gmm.means_[np.argsort(gmm.means_[:, 0])]
+        assert means[0, 0] == pytest.approx(-3.0, abs=0.3)
+        assert means[1, 0] == pytest.approx(3.0, abs=0.3)
+        assert np.allclose(gmm.weights_.sum(), 1.0)
+        assert np.all(gmm.weights_ > 0.3)  # roughly balanced
+
+    def test_log_likelihood_higher_on_training_data_than_outliers(self):
+        data = _two_component_data(seed=1)
+        gmm = GaussianMixture(2, seed=0).fit(data)
+        inside = gmm.log_likelihood(data[:10])
+        outside = gmm.log_likelihood(np.full((10, 2), 50.0))
+        assert inside > outside
+
+    def test_more_components_do_not_hurt_likelihood(self):
+        data = _two_component_data(seed=2)
+        ll_2 = GaussianMixture(2, seed=0).fit(data).log_likelihood(data)
+        ll_4 = GaussianMixture(4, seed=0).fit(data).log_likelihood(data)
+        assert ll_4 >= ll_2 - 0.1
+
+    def test_variances_stay_positive(self):
+        data = np.tile(np.array([[1.0, 2.0]]), (30, 1))  # degenerate: zero variance
+        gmm = GaussianMixture(2, seed=0).fit(data)
+        assert np.all(gmm.variances_ > 0)
+        assert np.all(np.isfinite(gmm.log_likelihood(data)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_components": 0},
+            {"num_components": 2, "max_iterations": 0},
+            {"num_components": 2, "regularization": -1.0},
+        ],
+    )
+    def test_invalid_constructor_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            GaussianMixture(**kwargs)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(5).fit(np.zeros((3, 2)))
+
+    def test_unfitted_usage_raises(self):
+        gmm = GaussianMixture(2)
+        with pytest.raises(RuntimeError):
+            gmm.sample(3)
+        with pytest.raises(RuntimeError):
+            gmm.log_likelihood(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            gmm.responsibilities(np.zeros((2, 2)))
+
+
+class TestResponsibilitiesAndSampling:
+    def test_responsibilities_sum_to_one(self):
+        data = _two_component_data(seed=3)
+        gmm = GaussianMixture(3, seed=0).fit(data)
+        responsibilities = gmm.responsibilities(data[:25])
+        assert responsibilities.shape == (25, 3)
+        assert np.allclose(responsibilities.sum(axis=1), 1.0)
+        assert np.all(responsibilities >= 0)
+
+    def test_sample_shape_and_spread(self):
+        data = _two_component_data(seed=4)
+        gmm = GaussianMixture(2, seed=0).fit(data)
+        samples = gmm.sample(500)
+        assert samples.shape == (500, 2)
+        # Samples should land near both modes.
+        assert (samples[:, 0] < 0).any() and (samples[:, 0] > 0).any()
+
+    def test_sample_with_custom_weights_respects_them(self):
+        data = _two_component_data(seed=5)
+        gmm = GaussianMixture(2, seed=0).fit(data)
+        left = int(np.argmin(gmm.means_[:, 0]))
+        weights = np.zeros(2)
+        weights[left] = 1.0
+        samples = gmm.sample(200, weights=weights)
+        assert np.mean(samples[:, 0] < 0) > 0.95
+
+    def test_sample_invalid_arguments(self):
+        gmm = GaussianMixture(2, seed=0).fit(_two_component_data(seed=6))
+        with pytest.raises(ValueError):
+            gmm.sample(0)
+        with pytest.raises(ValueError):
+            gmm.sample(5, weights=np.array([0.5, 0.4, 0.1]))
+        with pytest.raises(ValueError):
+            gmm.sample(5, weights=np.array([-1.0, 2.0]))
+
+
+class TestSwappedWeights:
+    def test_swap_is_a_permutation_that_inverts_order(self):
+        data = np.concatenate(
+            [
+                np.random.default_rng(0).normal(loc=0.0, size=(180, 1)),
+                np.random.default_rng(1).normal(loc=8.0, size=(20, 1)),
+            ]
+        )
+        gmm = GaussianMixture(2, seed=0).fit(data)
+        swapped = gmm.swapped_weights(fraction=1.0)
+        assert sorted(swapped.tolist()) == pytest.approx(sorted(gmm.weights_.tolist()))
+        # The dominant component loses its weight to the rare one.
+        assert np.argmax(swapped) == np.argmin(gmm.weights_)
+
+    def test_zero_fraction_is_identity(self):
+        gmm = GaussianMixture(3, seed=0).fit(_two_component_data(seed=7))
+        assert np.allclose(gmm.swapped_weights(fraction=0.0), gmm.weights_)
+
+    def test_invalid_fraction_raises(self):
+        gmm = GaussianMixture(2, seed=0).fit(_two_component_data(seed=8))
+        with pytest.raises(ValueError):
+            gmm.swapped_weights(fraction=1.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=5),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_swapped_weights_always_a_valid_distribution(self, k, fraction, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(max(4 * k, 12), 2))
+        gmm = GaussianMixture(k, seed=seed).fit(data)
+        swapped = gmm.swapped_weights(fraction=fraction)
+        assert swapped.shape == (k,)
+        assert np.all(swapped >= 0)
+        assert swapped.sum() == pytest.approx(1.0)

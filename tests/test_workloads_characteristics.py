@@ -1,0 +1,113 @@
+"""Tests for repro.workloads.characteristics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.characteristics import (
+    INSTRUCTION_CLASSES,
+    BranchBehavior,
+    InstructionMix,
+    MemoryBehavior,
+    WorkloadProfile,
+)
+from repro.workloads.spec2017 import build_spec2017_profiles
+
+
+class TestInstructionMix:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            InstructionMix(0.5, 0.1, 0.1, 0.1, 0.1, 0.1, 0.5)
+
+    def test_from_dict_normalises(self):
+        mix = InstructionMix.from_dict({"int_alu": 2.0, "load": 1.0, "branch": 1.0})
+        assert np.isclose(sum(mix.as_dict().values()), 1.0)
+        assert mix.int_alu == pytest.approx(0.5)
+
+    def test_from_dict_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            InstructionMix.from_dict({"int_alu": 0.0})
+
+    def test_as_array_order(self):
+        mix = InstructionMix.from_dict({name: 1.0 for name in INSTRUCTION_CLASSES})
+        np.testing.assert_allclose(mix.as_array(), 1.0 / len(INSTRUCTION_CLASSES))
+
+    def test_memory_and_fp_fractions(self):
+        mix = InstructionMix.from_dict(
+            {"int_alu": 0.4, "fp_alu": 0.2, "load": 0.2, "store": 0.1, "branch": 0.1}
+        )
+        assert mix.memory_fraction == pytest.approx(0.3)
+        assert mix.fp_fraction == pytest.approx(0.2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.01, 10.0), min_size=7, max_size=7))
+    def test_from_dict_always_valid(self, weights):
+        mix = InstructionMix.from_dict(dict(zip(INSTRUCTION_CLASSES, weights)))
+        assert np.isclose(sum(mix.as_dict().values()), 1.0)
+
+
+class TestBranchBehavior:
+    def test_mispredict_rate_lookup(self):
+        behavior = BranchBehavior(0.08, 0.05, 10, 1000)
+        assert behavior.mispredict_rate("BiModeBP") == 0.08
+        assert behavior.mispredict_rate("TournamentBP") == 0.05
+
+    def test_unknown_predictor(self):
+        behavior = BranchBehavior(0.08, 0.05, 10, 1000)
+        with pytest.raises(ValueError):
+            behavior.mispredict_rate("perceptron")
+
+    def test_rejects_out_of_range_rate(self):
+        with pytest.raises(ValueError):
+            BranchBehavior(0.9, 0.05, 10, 1000)
+
+
+class TestMemoryBehavior:
+    def test_rejects_negative_working_set(self):
+        with pytest.raises(ValueError):
+            MemoryBehavior(-1.0, 100.0, 2.0, 0.5, 0.5)
+
+    def test_rejects_bad_locality(self):
+        with pytest.raises(ValueError):
+            MemoryBehavior(10.0, 100.0, 2.0, 1.5, 0.5)
+
+
+class TestWorkloadProfile:
+    @pytest.fixture()
+    def profile(self):
+        return build_spec2017_profiles()["605.mcf_s"]
+
+    def test_summary_contains_key_fields(self, profile):
+        summary = profile.summary()
+        for key in ("ideal_ipc", "memory_boundedness", "mlp", "branch_fraction"):
+            assert key in summary
+
+    def test_with_name(self, profile):
+        renamed = profile.with_name("phase-0")
+        assert renamed.name == "phase-0"
+        assert renamed.ideal_ipc == profile.ideal_ipc
+
+    def test_perturbed_stays_valid(self, profile):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            perturbed = profile.perturbed(rng, scale=0.1)
+            assert 0.0 <= perturbed.memory_boundedness <= 1.0
+            assert perturbed.ideal_ipc > 0
+            assert np.isclose(sum(perturbed.mix.as_dict().values()), 1.0)
+
+    def test_perturbed_changes_values(self, profile):
+        rng = np.random.default_rng(1)
+        perturbed = profile.perturbed(rng, scale=0.2)
+        assert perturbed.ideal_ipc != profile.ideal_ipc
+
+    def test_rejects_invalid_memory_boundedness(self, profile):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                name="bad",
+                mix=profile.mix,
+                branch=profile.branch,
+                memory=profile.memory,
+                ideal_ipc=2.0,
+                dependency_chain_length=4.0,
+                memory_boundedness=1.5,
+            )

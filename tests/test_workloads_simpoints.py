@@ -1,0 +1,76 @@
+"""Tests for repro.workloads.simpoints."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.simpoints import (
+    INSTRUCTIONS_PER_CLUSTER,
+    MAX_SIMPOINT_CLUSTERS,
+    SimPoint,
+    SimPointSet,
+    generate_simpoints,
+)
+from repro.workloads.spec2017 import build_spec2017_profiles
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return build_spec2017_profiles()["602.gcc_s"]
+
+
+class TestGenerateSimpoints:
+    def test_weights_sum_to_one(self, profile):
+        simpoints = generate_simpoints(profile, seed=0)
+        assert np.isclose(simpoints.weights.sum(), 1.0)
+
+    def test_respects_max_clusters(self, profile):
+        simpoints = generate_simpoints(profile, max_clusters=6, seed=0)
+        assert 1 <= len(simpoints) <= 6
+
+    def test_paper_limit_is_default(self, profile):
+        simpoints = generate_simpoints(profile, seed=1)
+        assert len(simpoints) <= MAX_SIMPOINT_CLUSTERS
+
+    def test_deterministic_for_seed(self, profile):
+        a = generate_simpoints(profile, seed=42)
+        b = generate_simpoints(profile, seed=42)
+        np.testing.assert_allclose(a.weights, b.weights)
+        assert [p.profile.ideal_ipc for p in a] == [p.profile.ideal_ipc for p in b]
+
+    def test_phases_are_perturbations_of_the_profile(self, profile):
+        simpoints = generate_simpoints(profile, seed=3, phase_diversity=0.05)
+        for point in simpoints:
+            assert 0.5 * profile.ideal_ipc < point.profile.ideal_ipc < 2.0 * profile.ideal_ipc
+
+    def test_invalid_max_clusters(self, profile):
+        with pytest.raises(ValueError):
+            generate_simpoints(profile, max_clusters=0)
+
+    def test_total_instructions(self, profile):
+        simpoints = generate_simpoints(profile, max_clusters=5, seed=0)
+        assert simpoints.total_instructions == len(simpoints) * INSTRUCTIONS_PER_CLUSTER
+
+
+class TestSimPointSet:
+    def test_weighted_average(self, profile):
+        points = (
+            SimPoint(index=0, weight=0.25, profile=profile),
+            SimPoint(index=1, weight=0.75, profile=profile),
+        )
+        simpoints = SimPointSet(workload_name=profile.name, points=points)
+        assert simpoints.weighted_average(np.array([1.0, 3.0])) == pytest.approx(2.5)
+
+    def test_weighted_average_length_check(self, profile):
+        points = (SimPoint(index=0, weight=1.0, profile=profile),)
+        simpoints = SimPointSet(workload_name=profile.name, points=points)
+        with pytest.raises(ValueError):
+            simpoints.weighted_average(np.array([1.0, 2.0]))
+
+    def test_weights_must_sum_to_one(self, profile):
+        points = (SimPoint(index=0, weight=0.5, profile=profile),)
+        with pytest.raises(ValueError):
+            SimPointSet(workload_name=profile.name, points=points)
+
+    def test_empty_rejected(self, profile):
+        with pytest.raises(ValueError):
+            SimPointSet(workload_name=profile.name, points=())
