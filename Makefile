@@ -1,0 +1,26 @@
+# Developer chores for the MetaDSE reproduction.
+#
+#   make test      - tier-1 verification (the command ROADMAP.md pins)
+#   make unit      - fast unit tests only (tests/)
+#   make bench     - regenerate the paper tables/figures (benchmarks/)
+#   make examples  - run every example script end to end
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test unit bench examples
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+unit:
+	$(PYTHON) -m pytest tests -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+examples:
+	@set -e; for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script; \
+	done

@@ -6,13 +6,26 @@ throughput (predictions per second).  They also document the speed-up that
 motivates surrogate-model DSE in the first place — a prediction must be
 orders of magnitude cheaper than a simulation for the whole approach to make
 sense (with gem5 the gap is ~10^6; here it is smaller but still large).
+
+Since the substrate grew a vectorized batch path, this module also records
+the batch-vs-scalar speed-up (``Simulator.run_batch`` against the
+``Simulator.run_scalar`` reference loop) that every sweep-style consumer
+now benefits from.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.designspace.sampling import RandomSampler
+
+#: Batch size for the batch-vs-scalar comparison.
+SPEEDUP_BATCH = 256
+
+#: Minimum acceptable run_batch speed-up over the scalar reference loop.
+MIN_SPEEDUP = 3.0
 
 
 def test_simulator_throughput(benchmark, simulator, dataset, record):
@@ -24,6 +37,60 @@ def test_simulator_throughput(benchmark, simulator, dataset, record):
     values = benchmark(simulate_batch)
     assert len(values) == 20
     assert all(v > 0 for v in values)
+
+
+def test_batch_simulation_throughput(benchmark, simulator, dataset):
+    """Design points per second through the vectorized batch path."""
+    configs = RandomSampler(simulator.space, seed=3).sample(SPEEDUP_BATCH)
+
+    def simulate_batch():
+        return simulator.run_batch(configs, "602.gcc_s")
+
+    batch = benchmark(simulate_batch)
+    assert len(batch) == SPEEDUP_BATCH
+    assert np.all(batch.ipc > 0) and np.all(batch.power_w > 0)
+
+
+def test_batch_vs_scalar_speedup(simulator, record):
+    """The batch path must beat the scalar loop by >= 3x on 256 configs.
+
+    Both paths are timed best-of-three so a scheduling hiccup during a
+    single measurement cannot fail the suite (the measured margin is ~20x).
+    """
+    configs = RandomSampler(simulator.space, seed=5).sample(SPEEDUP_BATCH)
+    workload = "605.mcf_s"
+    simulator.run_batch(configs[:2], workload)  # warm the SimPoint caches
+
+    def best_of_three(run_once):
+        seconds = []
+        for _ in range(3):
+            start = time.perf_counter()
+            result = run_once()
+            seconds.append(time.perf_counter() - start)
+        return min(seconds), result
+
+    scalar_seconds, scalar_results = best_of_three(
+        lambda: [simulator.run_scalar(config, workload) for config in configs]
+    )
+    scalar_ipc = [result.ipc for result in scalar_results]
+    batch_seconds, batch = best_of_three(lambda: simulator.run_batch(configs, workload))
+
+    np.testing.assert_allclose(batch.ipc, scalar_ipc, rtol=0, atol=1e-12)
+    speedup = scalar_seconds / batch_seconds
+    record(
+        "substrate_batch_speedup",
+        {
+            "batch_size": SPEEDUP_BATCH,
+            "simpoint_phases": batch.num_phases,
+            "scalar_seconds": scalar_seconds,
+            "batch_seconds": batch_seconds,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"run_batch is only {speedup:.1f}x faster than the scalar loop "
+        f"({batch_seconds * 1e3:.1f} ms vs {scalar_seconds * 1e3:.1f} ms)"
+    )
 
 
 def test_surrogate_inference_throughput(benchmark, metadse_ipc, dataset):

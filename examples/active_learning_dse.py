@@ -49,9 +49,8 @@ BUDGET = 60
 
 def measured_front(simulator, configs, workload):
     """Simulate configurations and return their (ipc, power) rows + front."""
-    rows = np.array(
-        [[r.ipc, r.power_w] for r in (simulator.run(c, workload) for c in configs)]
-    )
+    batch = simulator.run_batch(configs, workload)
+    rows = np.stack([batch.ipc, batch.power_w], axis=1)
     minimised = to_minimization(rows, [True, False])
     return rows, rows[pareto_front(minimised)]
 

@@ -27,7 +27,7 @@ The package is organised bottom-up:
 from repro.core import MetaDSE, MetaDSEConfig, default_config, paper_scale_config
 from repro.datasets import generate_dataset
 from repro.designspace import build_table1_space, default_design_space
-from repro.sim import Simulator
+from repro.sim import BatchSimulationResult, SimulationResult, Simulator
 from repro.workloads import spec2017_suite
 
 __version__ = "1.0.0"
@@ -38,6 +38,8 @@ __all__ = [
     "default_config",
     "paper_scale_config",
     "Simulator",
+    "SimulationResult",
+    "BatchSimulationResult",
     "generate_dataset",
     "build_table1_space",
     "default_design_space",

@@ -173,11 +173,12 @@ def generate_dataset(
     features = encoder.encode_batch(configs)
 
     per_workload: dict[str, WorkloadDataset] = {}
-    for name in names:
-        results = simulator.run_batch(configs, name)
+    # run_batch returns freshly-allocated metric arrays, so the labels can
+    # be stored without defensive copies.
+    for name, batch in simulator.run_sweep(configs, names).items():
         labels = {
-            "ipc": np.array([r.ipc for r in results], dtype=np.float64),
-            "power": np.array([r.power_w for r in results], dtype=np.float64),
+            "ipc": batch.ipc,
+            "power": batch.power_w,
         }
         per_workload[name] = WorkloadDataset(
             workload=name, features=features.copy(), labels=labels, configs=list(configs)

@@ -110,14 +110,11 @@ class ActiveLearningExplorer:
     def _measure(
         self, configs: Sequence[Configuration], workload: str, objective_names: tuple[str, ...]
     ) -> np.ndarray:
-        rows = []
-        for config in configs:
-            result = self.simulator.run(config, workload)
-            record = result.as_dict()
-            # Accept the dataset-layer alias "power" for the simulator's "power_w".
-            record.setdefault("power", record["power_w"])
-            rows.append([record[name] for name in objective_names])
-        return np.asarray(rows, dtype=np.float64)
+        # One vectorized simulator call per acquisition batch; objective()
+        # accepts the dataset-layer alias "power" for the simulator's
+        # "power_w".
+        batch = self.simulator.run_batch(configs, workload)
+        return np.stack([batch.objective(name) for name in objective_names], axis=1)
 
     @staticmethod
     def _exploration_bonus(

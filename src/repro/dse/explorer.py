@@ -125,13 +125,10 @@ class PredictorGuidedExplorer:
         selected = front[:simulation_budget]
 
         selected_configs = [candidates[int(i)] for i in selected]
-        measured_rows = []
-        for config in selected_configs:
-            result = self.simulator.run(config, workload)
-            measured_rows.append([getattr(result, "ipc") if name == "ipc" else result.power_w
-                                  if name == "power" else result.as_dict()[name]
-                                  for name in objective_names])
-        measured = np.asarray(measured_rows, dtype=np.float64)
+        batch = self.simulator.run_batch(selected_configs, workload)
+        measured = np.stack(
+            [batch.objective(name) for name in objective_names], axis=1
+        )
         measured_min = to_minimization(measured, maximize_flags)
         return ExplorationResult(
             simulated_configs=selected_configs,
@@ -158,19 +155,10 @@ class PredictorGuidedExplorer:
         maximize = maximize or {}
         maximize_flags = [maximize.get(name, name == "ipc") for name in objective_names]
         configs = self.sampler.sample(simulation_budget)
-        measured_rows = []
-        for config in configs:
-            result = self.simulator.run(config, workload)
-            row = []
-            for name in objective_names:
-                if name == "ipc":
-                    row.append(result.ipc)
-                elif name == "power":
-                    row.append(result.power_w)
-                else:
-                    row.append(result.as_dict()[name])
-            measured_rows.append(row)
-        measured = np.asarray(measured_rows, dtype=np.float64)
+        batch = self.simulator.run_batch(configs, workload)
+        measured = np.stack(
+            [batch.objective(name) for name in objective_names], axis=1
+        )
         measured_min = to_minimization(measured, maximize_flags)
         return ExplorationResult(
             simulated_configs=configs,

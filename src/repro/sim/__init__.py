@@ -1,27 +1,53 @@
-"""Analytical CPU simulation substrate (gem5 + McPAT substitute)."""
+"""Analytical CPU simulation substrate (gem5 + McPAT substitute).
 
-from repro.sim.backend import BackendModel, BackendModelResult
-from repro.sim.branch import BranchModelResult, BranchPredictorModel
-from repro.sim.cache import CacheHierarchyModel, CacheHierarchyResult
-from repro.sim.performance import PerformanceModel, PerformanceResult
-from repro.sim.power import AreaBreakdown, PowerModel, PowerResult
-from repro.sim.simulator import SimulationResult, Simulator
+Every model exposes a scalar ``evaluate`` (one configuration per call) and a
+vectorized ``evaluate_batch`` (``(n_configs,)`` parameter vectors per call);
+the :class:`Simulator` facade front-ends both through ``run`` / ``run_batch``.
+"""
+
+from repro.sim.backend import BackendModel, BackendModelBatchResult, BackendModelResult
+from repro.sim.branch import BranchModelBatchResult, BranchModelResult, BranchPredictorModel
+from repro.sim.cache import (
+    CacheHierarchyBatchResult,
+    CacheHierarchyModel,
+    CacheHierarchyResult,
+)
+from repro.sim.performance import (
+    PerformanceBatchResult,
+    PerformanceModel,
+    PerformanceResult,
+)
+from repro.sim.power import (
+    AreaBatchBreakdown,
+    AreaBreakdown,
+    PowerBatchResult,
+    PowerModel,
+    PowerResult,
+)
+from repro.sim.simulator import BatchSimulationResult, SimulationResult, Simulator
 from repro.sim.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
 
 __all__ = [
     "BranchPredictorModel",
     "BranchModelResult",
+    "BranchModelBatchResult",
     "CacheHierarchyModel",
     "CacheHierarchyResult",
+    "CacheHierarchyBatchResult",
     "BackendModel",
     "BackendModelResult",
+    "BackendModelBatchResult",
     "PerformanceModel",
     "PerformanceResult",
+    "PerformanceBatchResult",
     "PowerModel",
     "PowerResult",
+    "PowerBatchResult",
     "AreaBreakdown",
+    "AreaBatchBreakdown",
     "Simulator",
     "SimulationResult",
+    "BatchSimulationResult",
     "TechnologyParameters",
     "DEFAULT_TECHNOLOGY",
 ]

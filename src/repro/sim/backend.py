@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sim.cache import CacheHierarchyResult
+from repro.sim.cache import CacheHierarchyBatchResult, CacheHierarchyResult
 from repro.workloads.characteristics import WorkloadProfile
 
 
@@ -39,6 +39,24 @@ class BackendModelResult:
     memory_stall_cpi: float
     effective_window: float
     exposed_mlp: float
+
+
+@dataclass(frozen=True)
+class BackendModelBatchResult:
+    """Vectorized companion of :class:`BackendModelResult`.
+
+    Every field holds an ``(n_configs,)`` array; row ``i`` corresponds to the
+    ``i``-th configuration handed to :meth:`BackendModel.evaluate_batch`.
+    """
+
+    width_limit: np.ndarray
+    window_limit: np.ndarray
+    functional_unit_limit: np.ndarray
+    frontend_supply_limit: np.ndarray
+    core_ipc: np.ndarray
+    memory_stall_cpi: np.ndarray
+    effective_window: np.ndarray
+    exposed_mlp: np.ndarray
 
 
 class BackendModel:
@@ -146,6 +164,105 @@ class BackendModel:
         return BackendModelResult(
             width_limit=float(pipeline_width),
             window_limit=float(window_limit),
+            functional_unit_limit=functional_unit_limit,
+            frontend_supply_limit=frontend_supply_limit,
+            core_ipc=core_ipc,
+            memory_stall_cpi=memory_stall_cpi,
+            effective_window=effective_window,
+            exposed_mlp=exposed_mlp,
+        )
+
+    def evaluate_batch(
+        self,
+        *,
+        pipeline_width: np.ndarray,
+        rob_size: np.ndarray,
+        inst_queue_size: np.ndarray,
+        int_rf_size: np.ndarray,
+        fp_rf_size: np.ndarray,
+        load_queue_size: np.ndarray,
+        store_queue_size: np.ndarray,
+        int_alu_count: np.ndarray,
+        int_muldiv_count: np.ndarray,
+        fp_alu_count: np.ndarray,
+        fp_muldiv_count: np.ndarray,
+        fetch_buffer_bytes: np.ndarray,
+        fetch_queue_uops: np.ndarray,
+        cache: CacheHierarchyBatchResult,
+        workload: WorkloadProfile,
+    ) -> BackendModelBatchResult:
+        """Evaluate sustainable IPC for ``(n_configs,)`` parameter vectors.
+
+        Mirrors :meth:`evaluate` arithmetic exactly (same operations in the
+        same order) so batch and scalar results agree to floating-point
+        round-off.
+        """
+        mix = workload.mix
+
+        # ---- effective instruction window -------------------------------
+        int_rename_headroom = np.maximum(int_rf_size - 32, 8) / max(1.0 - mix.fp_fraction, 0.05)
+        load_window = load_queue_size / max(mix.load, 0.02)
+        store_window = store_queue_size / max(mix.store, 0.02)
+        iq_window = inst_queue_size * 3.0
+        effective_window = np.minimum(rob_size, iq_window)
+        effective_window = np.minimum(effective_window, int_rename_headroom)
+        if mix.fp_fraction > 0.01:
+            fp_rename_headroom = np.maximum(fp_rf_size - 32, 8) / max(mix.fp_fraction, 0.05)
+            effective_window = np.minimum(effective_window, fp_rename_headroom)
+        effective_window = np.minimum(effective_window, load_window)
+        effective_window = np.minimum(effective_window, store_window)
+
+        # ---- ILP extracted from the window -------------------------------
+        chain = workload.dependency_chain_length
+        window_limit = workload.ideal_ipc * (
+            1.0 - np.exp(-effective_window / (chain * self.WINDOW_SCALE))
+        )
+
+        # ---- functional-unit throughput ----------------------------------
+        functional_unit_limit = None
+        for fraction, units in (
+            (mix.int_alu, int_alu_count),
+            (mix.int_muldiv, int_muldiv_count * 0.5),  # long-latency, half throughput
+            (mix.fp_alu, fp_alu_count),
+            (mix.fp_muldiv, fp_muldiv_count * 0.5),
+            (mix.load + mix.store, np.broadcast_to(self.MEMORY_ISSUE_PORTS, pipeline_width.shape)),
+            (mix.branch, np.maximum(int_alu_count * 0.5, 1.0)),
+        ):
+            if fraction > 1e-3:
+                limit = units / fraction
+                functional_unit_limit = (
+                    limit if functional_unit_limit is None
+                    else np.minimum(functional_unit_limit, limit)
+                )
+        if functional_unit_limit is None:
+            functional_unit_limit = pipeline_width.astype(np.float64)
+
+        # ---- front-end supply --------------------------------------------
+        fetch_per_cycle = fetch_buffer_bytes / 4.0
+        icache_supply = fetch_per_cycle * (1.0 - cache.l1i_miss_rate * 0.6)
+        queue_smoothing = 1.0 - np.exp(-fetch_queue_uops / (4.0 * np.maximum(pipeline_width, 1)))
+        frontend_supply_limit = icache_supply * (0.6 + 0.4 * queue_smoothing)
+
+        core_ipc = np.minimum(pipeline_width, window_limit)
+        core_ipc = np.minimum(core_ipc, functional_unit_limit)
+        core_ipc = np.minimum(core_ipc, frontend_supply_limit)
+        core_ipc = np.maximum(core_ipc, 0.05)
+
+        # ---- memory stalls -------------------------------------------------
+        exposed_mlp = np.minimum(workload.memory.mlp, 1.0 + effective_window / 20.0)
+        miss_latency = cache.l2_hit_cycles + cache.l2_miss_rate * cache.dram_cycles
+        memory_stall_cpi = (
+            mix.memory_fraction
+            * cache.l1d_miss_rate
+            * miss_latency
+            / np.maximum(exposed_mlp, 1.0)
+        )
+        hide_fraction = 0.35 * (1.0 - workload.memory_boundedness)
+        memory_stall_cpi = memory_stall_cpi * (1.0 - hide_fraction)
+
+        return BackendModelBatchResult(
+            width_limit=pipeline_width.astype(np.float64),
+            window_limit=window_limit,
             functional_unit_limit=functional_unit_limit,
             frontend_supply_limit=frontend_supply_limit,
             core_ipc=core_ipc,

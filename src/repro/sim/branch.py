@@ -35,6 +35,23 @@ class BranchModelResult:
     cpi_contribution: float
 
 
+@dataclass(frozen=True)
+class BranchModelBatchResult:
+    """Vectorized companion of :class:`BranchModelResult`.
+
+    Every field holds an ``(n_configs,)`` array; row ``i`` corresponds to the
+    ``i``-th configuration handed to
+    :meth:`BranchPredictorModel.evaluate_batch`.
+    """
+
+    predictor_mispredict_rate: np.ndarray
+    ras_overflow_rate: np.ndarray
+    btb_miss_rate: np.ndarray
+    effective_mispredict_rate: np.ndarray
+    mispredict_penalty_cycles: np.ndarray
+    cpi_contribution: np.ndarray
+
+
 class BranchPredictorModel:
     """Analytical model of the front-end branch behaviour."""
 
@@ -91,4 +108,53 @@ class BranchPredictorModel:
             effective_mispredict_rate=effective_rate,
             mispredict_penalty_cycles=penalty,
             cpi_contribution=float(cpi),
+        )
+
+    def evaluate_batch(
+        self,
+        *,
+        is_tournament: np.ndarray,
+        ras_size: np.ndarray,
+        btb_size: np.ndarray,
+        pipeline_width: np.ndarray,
+        workload: WorkloadProfile,
+    ) -> BranchModelBatchResult:
+        """Evaluate branch behaviour for ``(n_configs,)`` parameter vectors.
+
+        ``is_tournament`` is a boolean vector selecting between the two
+        Table I predictor types per configuration.  Mirrors :meth:`evaluate`
+        arithmetic exactly so batch and scalar results agree to
+        floating-point round-off.
+        """
+        base_rate = np.where(
+            is_tournament,
+            workload.branch.tournament_mispredict_rate,
+            workload.branch.bimode_mispredict_rate,
+        )
+
+        depth_ratio = workload.branch.call_depth / np.maximum(ras_size, 1)
+        ras_overflow = self.CALL_RETURN_FRACTION / (1.0 + np.exp(-4.0 * (depth_ratio - 1.0)))
+
+        footprint_ratio = workload.branch.branch_target_footprint / np.maximum(btb_size, 1)
+        btb_miss = 1.0 - np.exp(-0.45 * footprint_ratio)
+
+        effective_rate = (
+            base_rate
+            + ras_overflow
+            + btb_miss * self.BTB_MISS_PENALTY_FRACTION * base_rate
+        )
+        effective_rate = np.clip(effective_rate, 0.0, 0.6)
+
+        penalty = (
+            self.technology.frontend_depth
+            + self.technology.flush_refill_per_width * pipeline_width
+        )
+        cpi = workload.mix.branch * effective_rate * penalty
+        return BranchModelBatchResult(
+            predictor_mispredict_rate=base_rate,
+            ras_overflow_rate=ras_overflow,
+            btb_miss_rate=btb_miss,
+            effective_mispredict_rate=effective_rate,
+            mispredict_penalty_cycles=penalty,
+            cpi_contribution=cpi,
         )

@@ -38,6 +38,25 @@ class CacheHierarchyResult:
     dram_mpki: float
 
 
+@dataclass(frozen=True)
+class CacheHierarchyBatchResult:
+    """Vectorized companion of :class:`CacheHierarchyResult`.
+
+    Every field holds an ``(n_configs,)`` array; row ``i`` corresponds to the
+    ``i``-th configuration handed to
+    :meth:`CacheHierarchyModel.evaluate_batch`.
+    """
+
+    l1d_miss_rate: np.ndarray
+    l1i_miss_rate: np.ndarray
+    l2_miss_rate: np.ndarray
+    l1_hit_cycles: np.ndarray
+    l2_hit_cycles: np.ndarray
+    dram_cycles: np.ndarray
+    amat_cycles: np.ndarray
+    dram_mpki: np.ndarray
+
+
 class CacheHierarchyModel:
     """Analytical two-level cache hierarchy."""
 
@@ -151,4 +170,89 @@ class CacheHierarchyModel:
             dram_cycles=float(dram),
             amat_cycles=float(amat),
             dram_mpki=float(dram_mpki),
+        )
+
+    # -- vectorized hierarchy ----------------------------------------------
+    def _capacity_miss_rate_batch(
+        self, working_set_kb: float, capacity_kb: np.ndarray, base_rate: float
+    ) -> np.ndarray:
+        """Vectorized :meth:`capacity_miss_rate` over per-config capacities."""
+        ratio = working_set_kb / capacity_kb
+        overflow = np.minimum(
+            1.0, base_rate + (1.0 - base_rate) * (1.0 - ratio ** -self.CAPACITY_EXPONENT)
+        )
+        return np.where(ratio <= 1.0, base_rate * ratio, overflow)
+
+    def evaluate_batch(
+        self,
+        *,
+        l1_size_kb: np.ndarray,
+        l1_assoc: np.ndarray,
+        l2_size_kb: np.ndarray,
+        l2_assoc: np.ndarray,
+        cacheline_bytes: np.ndarray,
+        frequency_ghz: np.ndarray,
+        workload: WorkloadProfile,
+    ) -> CacheHierarchyBatchResult:
+        """Evaluate the hierarchy for ``(n_configs,)`` parameter vectors.
+
+        Mirrors :meth:`evaluate` arithmetic exactly (same operations in the
+        same order) so batch and scalar results agree to floating-point
+        round-off; inputs are assumed pre-validated by the design space.
+        """
+        memory = workload.memory
+        spatial = memory.spatial_locality
+        line_factor = np.where(
+            cacheline_bytes == 32, 1.0, 1.0 - 0.45 * spatial + 0.10 * (1.0 - spatial)
+        )
+
+        reuse_factor = 1.0 - self.REUSE_SHIELD * (1.0 - memory.access_irregularity * 0.5)
+        l1d_miss = (
+            self._capacity_miss_rate_batch(
+                memory.l1_working_set_kb, l1_size_kb, self.L1_BASE_MISS
+            )
+            * (1.0 + memory.access_irregularity * 0.8 / l1_assoc)
+            * line_factor
+            * reuse_factor
+        )
+        l1d_miss = np.clip(l1d_miss, 0.0, 1.0)
+
+        l1i_miss = (
+            self._capacity_miss_rate_batch(
+                memory.l1_working_set_kb * self.ICACHE_FOOTPRINT_FRACTION,
+                l1_size_kb,
+                self.L1_BASE_MISS * 0.5,
+            )
+            * (1.0 + memory.access_irregularity * 0.5 * 0.8 / l1_assoc)
+        )
+        l1i_miss = np.clip(l1i_miss, 0.0, 1.0)
+
+        l2_miss = (
+            self._capacity_miss_rate_batch(
+                memory.l2_working_set_kb, l2_size_kb, self.L2_BASE_MISS
+            )
+            * (1.0 + memory.access_irregularity * 0.8 / l2_assoc)
+            * (0.85 + 0.15 * line_factor)
+            * reuse_factor
+        )
+        l2_miss = np.clip(l2_miss, 0.0, 1.0)
+
+        l1_hit = np.broadcast_to(
+            np.float64(self.technology.l1_hit_cycles), frequency_ghz.shape
+        )
+        l2_hit = self.technology.l2_latency_cycles(frequency_ghz)
+        dram = self.technology.dram_latency_cycles(frequency_ghz)
+
+        amat = l1_hit + l1d_miss * (l2_hit + l2_miss * dram)
+        accesses_per_kiloinst = workload.mix.memory_fraction * 1000.0
+        dram_mpki = accesses_per_kiloinst * l1d_miss * l2_miss
+        return CacheHierarchyBatchResult(
+            l1d_miss_rate=l1d_miss,
+            l1i_miss_rate=l1i_miss,
+            l2_miss_rate=l2_miss,
+            l1_hit_cycles=np.asarray(l1_hit, dtype=np.float64),
+            l2_hit_cycles=l2_hit,
+            dram_cycles=dram,
+            amat_cycles=amat,
+            dram_mpki=dram_mpki,
         )

@@ -17,12 +17,12 @@ also exposed separately because classic DSE studies trade PPA, and the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Optional
 
 import numpy as np
 
 from repro.designspace.space import DesignSpace
-from repro.sim.performance import PerformanceResult
+from repro.sim.performance import PerformanceBatchResult, PerformanceResult
 from repro.sim.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
 from repro.workloads.characteristics import WorkloadProfile
 
@@ -52,6 +52,30 @@ class AreaBreakdown:
 
 
 @dataclass(frozen=True)
+class AreaBatchBreakdown:
+    """Vectorized companion of :class:`AreaBreakdown` (``(n_configs,)`` arrays)."""
+
+    core_logic: np.ndarray
+    register_files: np.ndarray
+    queues: np.ndarray
+    caches: np.ndarray
+    branch_unit: np.ndarray
+    functional_units: np.ndarray
+
+    @property
+    def total(self) -> np.ndarray:
+        """Per-config total modelled area in mm^2."""
+        return (
+            self.core_logic
+            + self.register_files
+            + self.queues
+            + self.caches
+            + self.branch_unit
+            + self.functional_units
+        )
+
+
+@dataclass(frozen=True)
 class PowerResult:
     """Dynamic/static power breakdown for one (config, workload) pair."""
 
@@ -67,6 +91,25 @@ class PowerResult:
     @property
     def area_mm2(self) -> float:
         """Total area in mm^2 (convenience alias)."""
+        return self.area.total
+
+
+@dataclass(frozen=True)
+class PowerBatchResult:
+    """Vectorized companion of :class:`PowerResult` (``(n_configs,)`` arrays)."""
+
+    dynamic_power_w: np.ndarray
+    static_power_w: np.ndarray
+    area: AreaBatchBreakdown
+
+    @property
+    def total_power_w(self) -> np.ndarray:
+        """Per-config total power in Watts."""
+        return self.dynamic_power_w + self.static_power_w
+
+    @property
+    def area_mm2(self) -> np.ndarray:
+        """Per-config total area in mm^2 (convenience alias)."""
         return self.area.total
 
 
@@ -162,5 +205,98 @@ class PowerModel:
         return PowerResult(
             dynamic_power_w=float(dynamic),
             static_power_w=float(static),
+            area=area,
+        )
+
+    # -- vectorized area/power ------------------------------------------------
+    def area_batch(self, params: Mapping[str, np.ndarray]) -> AreaBatchBreakdown:
+        """Vectorized :meth:`area` over pre-validated parameter vectors.
+
+        *params* follows the convention of
+        :meth:`repro.sim.performance.PerformanceModel.evaluate_batch`.  Area
+        depends only on the configuration (not on the workload phase), so one
+        call covers every SimPoint phase of a batched simulation.
+        """
+        width = params["pipeline_width"]
+
+        core_logic = 0.7 + 0.18 * width ** 1.6
+        register_files = 0.004 * (params["int_rf_size"] + params["fp_rf_size"]) * (
+            1.0 + 0.08 * width
+        )
+        queues = (
+            0.006 * params["rob_size"]
+            + 0.01 * params["inst_queue_size"]
+            + 0.008 * (params["load_queue_size"] + params["store_queue_size"])
+            + 0.002 * params["fetch_queue_uops"]
+        )
+        l1_kb = 2.0 * params["l1i_size_kb"]  # split I + D of equal size
+        l2_kb = params["l2_size_kb"]
+        caches = (l1_kb + l2_kb) / 64.0 * (1.0 + 0.05 * params["l2_assoc"])
+        branch_unit = (
+            0.05
+            + 0.00008 * params["btb_size"]
+            + 0.002 * params["ras_size"]
+            + np.where(params["is_tournament"], 0.25, 0.12)
+        )
+        functional_units = (
+            0.09 * params["int_alu_count"]
+            + 0.22 * params["int_muldiv_count"]
+            + 0.28 * params["fp_alu_count"]
+            + 0.42 * params["fp_muldiv_count"]
+        )
+        return AreaBatchBreakdown(
+            core_logic=core_logic,
+            register_files=register_files,
+            queues=queues,
+            caches=caches,
+            branch_unit=branch_unit,
+            functional_units=functional_units,
+        )
+
+    def evaluate_batch(
+        self,
+        params: Mapping[str, np.ndarray],
+        workload: WorkloadProfile,
+        performance: PerformanceBatchResult,
+        *,
+        area: Optional[AreaBatchBreakdown] = None,
+    ) -> PowerBatchResult:
+        """Vectorized :meth:`evaluate` over pre-validated parameter vectors.
+
+        Pass a precomputed *area* (from :meth:`area_batch`) to amortise the
+        workload-independent area model across SimPoint phases.  Mirrors the
+        scalar arithmetic exactly so batch and scalar results agree to
+        floating-point round-off.
+        """
+        frequency = params["core_frequency_ghz"]
+        vdd = self.technology.vdd_at(frequency)
+        if area is None:
+            area = self.area_batch(params)
+
+        width = params["pipeline_width"]
+        utilisation = np.clip(performance.ipc / np.maximum(width, 1.0), 0.02, 1.0)
+        activity = workload.activity_factor
+
+        mem_traffic = performance.cache.dram_mpki / 1000.0
+        switched_capacitance = (
+            area.core_logic * (0.35 + 0.65 * utilisation)
+            + area.register_files * utilisation
+            + area.queues * (0.3 + 0.7 * utilisation)
+            + area.functional_units * utilisation * (0.5 + 0.5 * workload.mix.fp_fraction * 2.0)
+            + area.branch_unit * workload.mix.branch * 4.0
+            + area.caches * (0.2 + 0.8 * workload.mix.memory_fraction)
+            + 2.5 * mem_traffic  # off-chip DRAM traffic energy
+        )
+        dynamic = (
+            self.technology.dynamic_energy_scale
+            * switched_capacitance
+            * activity
+            * vdd ** 2
+            * frequency
+        )
+        static = self.technology.leakage_w_per_mm2 * area.total * (vdd / self.technology.nominal_vdd)
+        return PowerBatchResult(
+            dynamic_power_w=dynamic,
+            static_power_w=static,
             area=area,
         )

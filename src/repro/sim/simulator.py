@@ -1,6 +1,6 @@
 """The `Simulator` facade — the drop-in substitute for gem5 + McPAT.
 
-A :class:`Simulator` evaluates a configuration of the Table I design space on
+A :class:`Simulator` evaluates configurations of the Table I design space on
 a workload and returns IPC and power:
 
 * the workload is first decomposed into SimPoint phases (cached per
@@ -11,16 +11,30 @@ a workload and returns IPC and power:
 * optional log-normal measurement noise models run-to-run variation of a
   real simulation campaign (disabled by default so datasets are exactly
   reproducible).
+
+Two evaluation paths share those semantics:
+
+* the **batch path** (:meth:`Simulator.run_batch`) encodes a whole list of
+  configurations into ``(n_configs,)`` parameter vectors once, evaluates the
+  analytical models over NumPy arrays per SimPoint phase, and aggregates the
+  per-phase matrix with the SimPoint weights in a single matmul.  This is
+  the path every dataset/DSE consumer uses and the one that scales;
+* the **scalar reference path** (:meth:`Simulator.run_scalar`) evaluates one
+  configuration per call through the scalar model methods.  It is kept as
+  the executable specification the batch path is tested against.
+
+:meth:`Simulator.run` is a thin wrapper over the batch path, so single-pair
+lookups and batched sweeps produce identical labels.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Iterator, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.designspace.space import Configuration, DesignSpace
+from repro.designspace.space import DesignSpace
 from repro.designspace.spec import build_table1_space
 from repro.sim.performance import PerformanceModel, PerformanceResult
 from repro.sim.power import PowerModel, PowerResult
@@ -29,6 +43,10 @@ from repro.utils.rng import SeedLike, as_rng
 from repro.workloads.characteristics import WorkloadProfile
 from repro.workloads.simpoints import SimPointSet, generate_simpoints
 from repro.workloads.spec2017 import WorkloadSuite, spec2017_suite
+
+#: Parameter produced by :meth:`Simulator.encode_batch` for the categorical
+#: branch-predictor choice (`True` selects ``TournamentBP``).
+IS_TOURNAMENT_KEY = "is_tournament"
 
 
 @dataclass(frozen=True)
@@ -56,6 +74,72 @@ class SimulationResult:
         }
 
 
+@dataclass(frozen=True)
+class BatchSimulationResult:
+    """Aggregated metrics of many configurations on one workload.
+
+    Metric fields are ``(n_configs,)`` arrays whose row order follows the
+    configuration list handed to :meth:`Simulator.run_batch`.  The container
+    also behaves as a sequence of :class:`SimulationResult` (``len``,
+    indexing, iteration), so legacy per-config consumers keep working.
+    """
+
+    workload: str
+    ipc: np.ndarray
+    power_w: np.ndarray
+    area_mm2: np.ndarray
+    bips: np.ndarray
+    energy_per_instruction_nj: np.ndarray
+    #: Number of SimPoint phases aggregated into every row.
+    num_phases: int
+
+    def __len__(self) -> int:
+        return int(self.ipc.shape[0])
+
+    def __getitem__(self, index: int) -> SimulationResult:
+        """Scalar view of the *index*-th configuration's result."""
+        i = int(index)
+        return SimulationResult(
+            workload=self.workload,
+            ipc=float(self.ipc[i]),
+            power_w=float(self.power_w[i]),
+            area_mm2=float(self.area_mm2[i]),
+            bips=float(self.bips[i]),
+            energy_per_instruction_nj=float(self.energy_per_instruction_nj[i]),
+            num_phases=self.num_phases,
+        )
+
+    def __iter__(self) -> Iterator[SimulationResult]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        """Flat dictionary of metric vectors (used when exporting datasets)."""
+        return {
+            "ipc": self.ipc,
+            "power_w": self.power_w,
+            "area_mm2": self.area_mm2,
+            "bips": self.bips,
+            "energy_per_instruction_nj": self.energy_per_instruction_nj,
+        }
+
+    def objective(self, name: str) -> np.ndarray:
+        """Metric vector by objective name.
+
+        Accepts the simulator's metric names plus the dataset-layer alias
+        ``"power"`` for ``"power_w"``.
+        """
+        if name == "power":
+            name = "power_w"
+        try:
+            return self.as_dict()[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown objective {name!r}; available: "
+                f"{sorted(self.as_dict()) + ['power']}"
+            ) from None
+
+
 class Simulator:
     """Evaluate design points on workloads (gem5 + McPAT substitute).
 
@@ -76,6 +160,11 @@ class Simulator:
         ``0`` (default) gives deterministic labels.
     seed:
         Seed controlling phase generation and measurement noise.
+    evaluation_cache:
+        When true, every aggregated (configuration, workload) result is
+        memoized by value, so re-simulating a configuration an active-DSE
+        loop has already measured is free.  Only available in noise-free
+        mode (a cache would break the run-to-run variation noise models).
     """
 
     def __init__(
@@ -87,11 +176,17 @@ class Simulator:
         simpoint_phases: int = 8,
         noise_std: float = 0.0,
         seed: SeedLike = 2017,
+        evaluation_cache: bool = False,
     ) -> None:
         if simpoint_phases < 1:
             raise ValueError(f"simpoint_phases must be >= 1, got {simpoint_phases}")
         if noise_std < 0:
             raise ValueError(f"noise_std must be >= 0, got {noise_std}")
+        if evaluation_cache and noise_std > 0:
+            raise ValueError(
+                "evaluation_cache requires noise-free mode (noise_std == 0): "
+                "cached labels would hide the modelled run-to-run variation"
+            )
         self.space = space if space is not None else build_table1_space()
         self.suite = suite if suite is not None else spec2017_suite()
         self.technology = technology
@@ -102,8 +197,17 @@ class Simulator:
         self.performance_model = PerformanceModel(technology)
         self.power_model = PowerModel(technology)
         self._simpoint_cache: dict[str, SimPointSet] = {}
+        #: Per-workload memoized (weights, phase profiles) pair used by the
+        #: batch path, so repeated sweeps skip the SimPointSet unpacking.
+        self._phase_table_cache: dict[str, tuple[np.ndarray, tuple[WorkloadProfile, ...]]] = {}
+        #: Keyed (workload, config-values) -> metric row cache; see
+        #: ``evaluation_cache`` above.
+        self._evaluation_cache: Optional[dict[tuple, np.ndarray]] = (
+            {} if evaluation_cache else None
+        )
         #: Number of (config, phase) evaluations performed; exposed so
         #: experiments can report simulation budgets like the paper does.
+        #: Evaluation-cache hits are free and therefore not counted.
         self.evaluation_count = 0
 
     # -- workload handling ---------------------------------------------------
@@ -139,11 +243,197 @@ class Simulator:
         self._simpoint_cache[profile.name] = simpoints
         return simpoints
 
+    def _phase_table(
+        self, profile: WorkloadProfile
+    ) -> tuple[np.ndarray, tuple[WorkloadProfile, ...]]:
+        """Memoized (weights, phase profiles) view of a workload's SimPoints."""
+        cached = self._phase_table_cache.get(profile.name)
+        if cached is not None:
+            return cached
+        simpoints = self.simpoints_for(profile)
+        table = (simpoints.weights, tuple(point.profile for point in simpoints))
+        self._phase_table_cache[profile.name] = table
+        return table
+
+    # -- batch encoding --------------------------------------------------------
+    def encode_batch(
+        self, configs: Sequence[Mapping]
+    ) -> tuple[dict[str, np.ndarray], list[tuple]]:
+        """Validate and encode configurations into model-ready vectors.
+
+        Returns
+        -------
+        params:
+            Mapping from parameter name to an ``(n_configs,)`` ``float64``
+            vector, plus the boolean vector :data:`IS_TOURNAMENT_KEY`
+            encoding the categorical branch-predictor choice.
+        keys:
+            One hashable per configuration (its values in declaration
+            order); used by the evaluation cache.
+        """
+        validated = [self.space.validate(config) for config in configs]
+        names = self.space.parameter_names
+        keys = [tuple(cfg[name] for name in names) for cfg in validated]
+        params: dict[str, np.ndarray] = {
+            name: np.array([cfg[name] for cfg in validated], dtype=np.float64)
+            for name in names
+            if name != "branch_predictor"
+        }
+        params[IS_TOURNAMENT_KEY] = np.array(
+            [cfg["branch_predictor"] == "TournamentBP" for cfg in validated], dtype=bool
+        )
+        return params, keys
+
     # -- evaluation ------------------------------------------------------------
     def run(
         self, config: Mapping, workload: "str | WorkloadProfile"
     ) -> SimulationResult:
-        """Simulate one configuration on one workload."""
+        """Simulate one configuration on one workload.
+
+        Thin wrapper over :meth:`run_batch` with a single-element batch, so
+        scalar lookups and batched sweeps produce identical labels (and, in
+        noisy mode, consume the measurement-noise stream identically).
+        """
+        return self.run_batch([config], workload)[0]
+
+    def run_batch(
+        self, configs: Sequence[Mapping], workload: "str | WorkloadProfile"
+    ) -> BatchSimulationResult:
+        """Simulate a list of configurations on one workload, vectorized.
+
+        The configurations are encoded once into ``(n_configs,)`` parameter
+        vectors; every SimPoint phase is then a handful of NumPy array
+        operations instead of ``n_configs`` Python-level model calls, and the
+        per-phase metric matrix is aggregated with the SimPoint weights in
+        one matmul.  With ``evaluation_cache`` enabled, configurations seen
+        before (per workload) are served from the cache and only the novel
+        ones are evaluated.
+        """
+        profile = self._resolve_workload(workload)
+        params, keys = self.encode_batch(configs)
+        return self._run_batch_encoded(profile, params, keys)
+
+    def _run_batch_encoded(
+        self,
+        profile: WorkloadProfile,
+        params: dict[str, np.ndarray],
+        keys: list[tuple],
+    ) -> BatchSimulationResult:
+        """Batch evaluation core over already-encoded configurations.
+
+        Shared by :meth:`run_batch` (which encodes first) and
+        :meth:`run_sweep` (which encodes once for many workloads).
+        """
+        weights, phases = self._phase_table(profile)
+        n = len(keys)
+
+        metric_rows = np.empty((n, 5), dtype=np.float64)
+        if self._evaluation_cache is not None:
+            missing = []
+            for i, key in enumerate(keys):
+                cached = self._evaluation_cache.get((profile.name, key))
+                if cached is None:
+                    missing.append(i)
+                else:
+                    metric_rows[i] = cached
+        else:
+            missing = list(range(n))
+
+        if missing:
+            if len(missing) == n:
+                fresh_params = params
+            else:
+                index = np.asarray(missing, dtype=np.int64)
+                fresh_params = {name: values[index] for name, values in params.items()}
+            fresh_rows = self._evaluate_encoded(fresh_params, weights, phases)
+            metric_rows[missing] = fresh_rows
+            if self._evaluation_cache is not None:
+                for row, i in zip(fresh_rows, missing):
+                    self._evaluation_cache[(profile.name, keys[i])] = row
+
+        return BatchSimulationResult(
+            workload=profile.name,
+            ipc=metric_rows[:, 0].copy(),
+            power_w=metric_rows[:, 1].copy(),
+            area_mm2=metric_rows[:, 2].copy(),
+            bips=metric_rows[:, 3].copy(),
+            energy_per_instruction_nj=metric_rows[:, 4].copy(),
+            num_phases=len(phases),
+        )
+
+    def _evaluate_encoded(
+        self,
+        params: dict[str, np.ndarray],
+        weights: np.ndarray,
+        phases: tuple[WorkloadProfile, ...],
+    ) -> np.ndarray:
+        """Vectorized evaluation core: encoded params -> ``(n, 5)`` metric rows.
+
+        Row layout: ``ipc, power_w, area_mm2, bips, energy_per_instruction_nj``.
+        """
+        n = params["core_frequency_ghz"].shape[0]
+        num_phases = len(phases)
+        ipc_phases = np.empty((num_phases, n), dtype=np.float64)
+        power_phases = np.empty((num_phases, n), dtype=np.float64)
+
+        # Area only depends on the configuration; compute it once and share
+        # it across phases (the scalar path recomputes it per phase).
+        area = self.power_model.area_batch(params)
+        for row, phase_profile in enumerate(phases):
+            performance = self.performance_model.evaluate_batch(params, phase_profile)
+            power = self.power_model.evaluate_batch(
+                params, phase_profile, performance, area=area
+            )
+            ipc_phases[row] = performance.ipc
+            power_phases[row] = power.total_power_w
+        self.evaluation_count += num_phases * n
+
+        ipc = weights @ ipc_phases
+        power_w = weights @ power_phases
+        if self.noise_std > 0:
+            # Draw per-config (ipc, power) noise pairs in row-major order so
+            # the stream matches the legacy one-pair-per-run() consumption.
+            noise = self._rng.normal(0.0, self.noise_std, size=(n, 2))
+            ipc = ipc * np.exp(noise[:, 0])
+            power_w = power_w * np.exp(noise[:, 1])
+
+        frequency = params["core_frequency_ghz"]
+        bips = ipc * frequency
+        # Energy per instruction: power / instruction throughput.
+        energy_nj = power_w / np.maximum(bips, 1e-9)
+        return np.stack([ipc, power_w, area.total, bips, energy_nj], axis=1)
+
+    def run_sweep(
+        self,
+        configs: Sequence[Mapping],
+        workloads: Optional[Sequence["str | WorkloadProfile"]] = None,
+    ) -> dict[str, BatchSimulationResult]:
+        """Simulate the same configurations on many workloads.
+
+        The cross-workload layout every dataset in the reproduction uses
+        (Fig. 2 compares label distributions over a common configuration
+        set).  Defaults to every workload the simulator knows.  The
+        configurations are validated and encoded once, not per workload.
+        """
+        targets = list(workloads) if workloads is not None else self.workload_names()
+        params, keys = self.encode_batch(configs)
+        sweep: dict[str, BatchSimulationResult] = {}
+        for workload in targets:
+            profile = self._resolve_workload(workload)
+            sweep[profile.name] = self._run_batch_encoded(profile, params, keys)
+        return sweep
+
+    def run_scalar(
+        self, config: Mapping, workload: "str | WorkloadProfile"
+    ) -> SimulationResult:
+        """Reference scalar path: one configuration through the scalar models.
+
+        Kept as the executable specification of :meth:`run_batch` — the
+        equivalence tests assert that the vectorized path reproduces these
+        labels, and the throughput benchmark measures its speed-up against
+        this loop.  Semantically identical to :meth:`run` (in noisy mode both
+        consume one (ipc, power) noise pair per call).
+        """
         profile = self._resolve_workload(workload)
         simpoints = self.simpoints_for(profile)
         cfg = self.space.validate(config)
@@ -183,12 +473,6 @@ class Simulator:
             energy_per_instruction_nj=float(energy_nj),
             num_phases=len(simpoints),
         )
-
-    def run_batch(
-        self, configs: list[Configuration], workload: "str | WorkloadProfile"
-    ) -> list[SimulationResult]:
-        """Simulate a list of configurations on one workload."""
-        return [self.run(config, workload) for config in configs]
 
     def ipc(self, config: Mapping, workload: "str | WorkloadProfile") -> float:
         """Convenience accessor for the IPC of one run."""

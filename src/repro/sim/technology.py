@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class TechnologyParameters:
@@ -43,10 +45,14 @@ class TechnologyParameters:
     #: Dynamic energy scale factor tying switched capacitance to Watts.
     dynamic_energy_scale: float = 0.065
 
-    def vdd_at(self, frequency_ghz: float) -> float:
-        """Supply voltage needed to sustain *frequency_ghz* (simple DVFS line)."""
+    def vdd_at(self, frequency_ghz):
+        """Supply voltage needed to sustain *frequency_ghz* (simple DVFS line).
+
+        Accepts a scalar or an ``(n,)`` frequency vector (the scalar and
+        batch power paths share this one definition of the DVFS model).
+        """
         delta = frequency_ghz - self.reference_frequency_ghz
-        return max(0.6, self.nominal_vdd + self.vdd_slope_per_ghz * delta)
+        return np.maximum(0.6, self.nominal_vdd + self.vdd_slope_per_ghz * delta)
 
     def dram_latency_cycles(self, frequency_ghz: float) -> float:
         """DRAM latency expressed in core cycles at *frequency_ghz*."""

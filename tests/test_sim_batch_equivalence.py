@@ -1,0 +1,130 @@
+"""Equivalence of the vectorized batch path and the scalar reference path.
+
+``Simulator.run_scalar`` is the executable specification: it pushes one
+configuration at a time through the scalar analytical models, exactly as the
+original substrate did.  ``Simulator.run_batch`` must reproduce its labels to
+within 1e-12 in noise-free mode for every metric, workload, and SimPoint
+setting — that is the contract that lets every consumer switch to the batch
+path without re-validating downstream results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.designspace.sampling import RandomSampler
+from repro.sim.simulator import BatchSimulationResult, SimulationResult, Simulator
+
+METRIC_FIELDS = ("ipc", "power_w", "area_mm2", "bips", "energy_per_instruction_nj")
+
+WORKLOAD_SAMPLE = ("605.mcf_s", "602.gcc_s", "638.imagick_s", "620.omnetpp_s")
+
+
+def _max_abs_diff(batch: BatchSimulationResult, scalars: list[SimulationResult], field: str) -> float:
+    reference = np.array([getattr(result, field) for result in scalars])
+    return float(np.max(np.abs(getattr(batch, field) - reference)))
+
+
+class TestBatchScalarEquivalence:
+    @pytest.mark.parametrize("workload", WORKLOAD_SAMPLE)
+    def test_phased_equivalence(self, table1_space, suite, workload):
+        simulator = Simulator(table1_space, suite, simpoint_phases=6, seed=41)
+        configs = RandomSampler(table1_space, seed=17).sample(24)
+        batch = simulator.run_batch(configs, workload)
+        scalars = [simulator.run_scalar(config, workload) for config in configs]
+        for field in METRIC_FIELDS:
+            assert _max_abs_diff(batch, scalars, field) <= 1e-12, field
+
+    def test_single_phase_equivalence(self, fast_simulator, table1_space):
+        configs = RandomSampler(table1_space, seed=29).sample(16)
+        batch = fast_simulator.run_batch(configs, "625.x264_s")
+        scalars = [fast_simulator.run_scalar(config, "625.x264_s") for config in configs]
+        for field in METRIC_FIELDS:
+            assert _max_abs_diff(batch, scalars, field) <= 1e-12, field
+
+    def test_run_is_batch_of_one(self, fast_simulator, default_configuration):
+        single = fast_simulator.run(default_configuration, "602.gcc_s")
+        batch = fast_simulator.run_batch([default_configuration], "602.gcc_s")
+        assert single == batch[0]
+
+    def test_noise_stream_matches_scalar_path(self, table1_space, suite):
+        configs = RandomSampler(table1_space, seed=5).sample(6)
+        batched = Simulator(table1_space, suite, simpoint_phases=1, noise_std=0.05, seed=9)
+        scalar = Simulator(table1_space, suite, simpoint_phases=1, noise_std=0.05, seed=9)
+        batch = batched.run_batch(configs, "602.gcc_s")
+        reference = [scalar.run_scalar(config, "602.gcc_s") for config in configs]
+        # Both consume one (ipc, power) normal pair per configuration, in
+        # configuration order, from identical generator states.
+        for field in ("ipc", "power_w"):
+            assert _max_abs_diff(batch, reference, field) <= 1e-12, field
+
+    def test_evaluation_count_matches_scalar_semantics(self, table1_space, suite):
+        simulator = Simulator(table1_space, suite, simpoint_phases=3, seed=3)
+        configs = RandomSampler(table1_space, seed=1).sample(5)
+        before = simulator.evaluation_count
+        batch = simulator.run_batch(configs, "605.mcf_s")
+        assert simulator.evaluation_count == before + len(configs) * batch.num_phases
+
+
+class TestBatchResultContainer:
+    def test_sequence_protocol(self, fast_simulator, table1_space):
+        configs = RandomSampler(table1_space, seed=2).sample(4)
+        batch = fast_simulator.run_batch(configs, "605.mcf_s")
+        assert len(batch) == 4
+        assert all(isinstance(result, SimulationResult) for result in batch)
+        assert [result.ipc for result in batch] == list(batch.ipc)
+
+    def test_objective_aliases(self, fast_simulator, table1_space):
+        configs = RandomSampler(table1_space, seed=2).sample(3)
+        batch = fast_simulator.run_batch(configs, "605.mcf_s")
+        np.testing.assert_array_equal(batch.objective("power"), batch.power_w)
+        np.testing.assert_array_equal(batch.objective("ipc"), batch.ipc)
+        with pytest.raises(KeyError):
+            batch.objective("latency")
+
+    def test_run_sweep_covers_workloads(self, fast_simulator, table1_space):
+        configs = RandomSampler(table1_space, seed=8).sample(3)
+        sweep = fast_simulator.run_sweep(configs, ["605.mcf_s", "602.gcc_s"])
+        assert sorted(sweep) == ["602.gcc_s", "605.mcf_s"]
+        assert all(len(batch) == 3 for batch in sweep.values())
+
+
+class TestEvaluationCache:
+    def test_repeated_configs_are_free(self, table1_space, suite):
+        simulator = Simulator(
+            table1_space, suite, simpoint_phases=2, seed=11, evaluation_cache=True
+        )
+        configs = RandomSampler(table1_space, seed=3).sample(8)
+        first = simulator.run_batch(configs, "605.mcf_s")
+        count_after_first = simulator.evaluation_count
+        second = simulator.run_batch(configs, "605.mcf_s")
+        assert simulator.evaluation_count == count_after_first
+        for field in METRIC_FIELDS:
+            np.testing.assert_array_equal(getattr(first, field), getattr(second, field))
+
+    def test_partial_hits_only_evaluate_novel_configs(self, table1_space, suite):
+        simulator = Simulator(
+            table1_space, suite, simpoint_phases=2, seed=11, evaluation_cache=True
+        )
+        configs = RandomSampler(table1_space, seed=3).sample(8)
+        simulator.run_batch(configs[:5], "605.mcf_s")
+        count = simulator.evaluation_count
+        mixed = simulator.run_batch(configs, "605.mcf_s")
+        phases = mixed.num_phases
+        assert simulator.evaluation_count == count + 3 * phases
+        # Cached and fresh rows agree with an uncached simulator.
+        plain = Simulator(table1_space, suite, simpoint_phases=2, seed=11)
+        reference = plain.run_batch(configs, "605.mcf_s")
+        np.testing.assert_allclose(mixed.ipc, reference.ipc, rtol=0, atol=1e-12)
+
+    def test_cache_is_per_workload(self, table1_space, suite):
+        simulator = Simulator(
+            table1_space, suite, simpoint_phases=1, seed=11, evaluation_cache=True
+        )
+        configs = RandomSampler(table1_space, seed=3).sample(4)
+        a = simulator.run_batch(configs, "605.mcf_s")
+        b = simulator.run_batch(configs, "602.gcc_s")
+        assert not np.array_equal(a.ipc, b.ipc)
+
+    def test_cache_rejected_with_noise(self, table1_space, suite):
+        with pytest.raises(ValueError):
+            Simulator(table1_space, suite, noise_std=0.05, evaluation_cache=True)
