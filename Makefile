@@ -1,14 +1,16 @@
 # Developer chores for the MetaDSE reproduction.
 #
-#   make test      - tier-1 verification (the command ROADMAP.md pins)
-#   make unit      - fast unit tests only (tests/)
-#   make bench     - regenerate the paper tables/figures (benchmarks/)
-#   make examples  - run every example script end to end
+#   make test       - tier-1 verification (the command ROADMAP.md pins)
+#   make unit       - fast unit tests only (tests/)
+#   make bench      - regenerate the paper tables/figures (benchmarks/,
+#                     includes the meta-training throughput benchmark)
+#   make bench-meta - just the meta-training throughput benchmark
+#   make examples   - run every example script end to end
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test unit bench examples
+.PHONY: test unit bench bench-meta examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,6 +20,9 @@ unit:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+bench-meta:
+	$(PYTHON) -m pytest benchmarks/test_meta_throughput.py -q
 
 examples:
 	@set -e; for script in examples/*.py; do \

@@ -29,7 +29,11 @@ from repro.core.config import MetaDSEConfig, default_config
 from repro.datasets.generation import DSEDataset, WorkloadDataset
 from repro.datasets.splits import WorkloadSplit
 from repro.datasets.tasks import TaskSampler
-from repro.meta.adaptation import AdaptationResult, adapt_predictor
+from repro.meta.adaptation import (
+    AdaptationResult,
+    adapt_predictor,
+    adapt_predictor_batch,
+)
 from repro.meta.maml import MAMLTrainer, MetaTrainingHistory
 from repro.meta.wam import ArchitecturalMask, generate_wam
 from repro.nn.transformer import TransformerPredictor
@@ -191,6 +195,41 @@ class MetaDSE(CrossWorkloadModel):
         self.adapted = result.predictor
         self.last_adaptation = result
         return self
+
+    def adapt_many(
+        self, supports: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> list[AdaptationResult]:
+        """Adapt the meta-trained predictor to many target tasks at once.
+
+        All targets fine-tune in one stacked-parameter graph (see
+        :func:`repro.meta.adaptation.adapt_predictor_batch`) — the fast path
+        for benchmark tables that adapt the same initialisation to every test
+        workload.  Labels are standardised with the source statistics, like
+        :meth:`adapt`; the framework's ``adapted`` state is left on the
+        *last* target so ``predict`` keeps its usual meaning for sequential
+        use, while each returned result carries its own adapted predictor.
+        Note the returned predictors emit *standardised* labels; assign one
+        to ``self.adapted`` (or reuse ``predict`` per target) to get physical
+        units back.
+        """
+        if self.meta_model is None:
+            raise RuntimeError("adapt_many() called before pretrain()")
+        prepared = []
+        for support_x, support_y in supports:
+            support_x = as_2d(support_x)
+            prepared.append(
+                (support_x, self._scale(as_1d(support_y, support_x.shape[0])))
+            )
+        results = adapt_predictor_batch(
+            self.meta_model,
+            prepared,
+            mask=self.mask if self.config.use_wam else None,
+            config=self.config.adaptation,
+        )
+        if results:
+            self.adapted = results[-1].predictor
+            self.last_adaptation = results[-1]
+        return results
 
     # -- inference -----------------------------------------------------------------------
     def predict(self, features: np.ndarray) -> np.ndarray:

@@ -16,13 +16,13 @@ samples from the *target* workload, the adaptation stage:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.meta.wam import ArchitecturalMask
 from repro.nn.losses import mse_loss
-from repro.nn.optim import SGD, Adam, CosineAnnealingLR
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, StackedSGD
 from repro.nn.tensor import Tensor
 from repro.nn.transformer import TransformerPredictor
 
@@ -90,9 +90,116 @@ def adapt_predictor(
 
     The meta-trained model is never modified: adaptation operates on a clone
     so the same initialisation can be reused for many target workloads (or
-    many support sizes, as in Table III).
+    many support sizes, as in Table III).  With the default SGD optimiser the
+    call is a batch-of-one wrapper over :func:`adapt_predictor_batch` (the
+    stacked functional path); Adam keeps the stateful per-model loop.
     """
     config = config if config is not None else AdaptationConfig()
+    if config.optimizer == "sgd":
+        return adapt_predictor_batch(
+            meta_trained,
+            [(support_x, support_y)],
+            mask=mask,
+            config=config,
+        )[0]
+    return _adapt_predictor_stateful(
+        meta_trained, support_x, support_y, mask=mask, config=config
+    )
+
+
+def adapt_predictor_batch(
+    meta_trained: TransformerPredictor,
+    supports: Sequence[tuple[np.ndarray, np.ndarray]],
+    *,
+    mask: Optional[ArchitecturalMask] = None,
+    config: Optional[AdaptationConfig] = None,
+) -> list[AdaptationResult]:
+    """Adapt the meta-trained predictor to many target tasks in one graph.
+
+    *supports* is a sequence of ``(support_x, support_y)`` pairs — one per
+    target workload (or per support-size sweep point).  The meta-trained
+    parameters are stacked along a leading task axis and every target's
+    fine-tuning runs in the same stacked-tensor graph, exactly like the
+    batched MAML inner loop.  Targets with ragged support sizes, or an Adam
+    config, fall back to the per-target loop.  Returns one
+    :class:`AdaptationResult` per target, in input order.
+    """
+    config = config if config is not None else AdaptationConfig()
+    supports = [
+        (
+            np.asarray(sx, dtype=np.float64),
+            np.asarray(sy, dtype=np.float64),
+        )
+        for sx, sy in supports
+    ]
+    if not supports:
+        raise ValueError("adapt_predictor_batch needs at least one support set")
+    ragged = len({sx.shape for sx, _ in supports}) > 1
+    if config.optimizer != "sgd" or ragged:
+        return [
+            _adapt_predictor_stateful(meta_trained, sx, sy, mask=mask, config=config)
+            for sx, sy in supports
+        ]
+
+    template: TransformerPredictor = meta_trained.clone()
+    used_mask = False
+    if mask is not None:
+        template.install_mask(
+            mask.bias,
+            learnable=config.learnable_mask,
+            all_layers=config.mask_all_layers,
+        )
+        used_mask = True
+
+    n_tasks = len(supports)
+    params = template.stack_parameters(n_tasks)
+    lr_scales = {
+        name: config.mask_lr_multiplier
+        for name in params
+        if name.endswith(".mask") or name == "mask"
+    }
+    optimizer = StackedSGD(config.lr, lr_scales=lr_scales)
+    scheduler = (
+        CosineAnnealingLR(optimizer, config.steps) if config.cosine_annealing else None
+    )
+
+    x = Tensor(np.stack([sx for sx, _ in supports]))
+    y = np.stack([sy for _, sy in supports])
+    step_losses: list[np.ndarray] = []
+    for _ in range(config.steps):
+        predictions = template.functional_call(params, x)
+        diff = predictions - Tensor(y)
+        per_task = (diff * diff).mean(axis=-1)
+        per_task.sum().backward()
+        params = optimizer.step(params)
+        if scheduler is not None:
+            scheduler.step()
+        step_losses.append(per_task.data.copy())
+
+    results: list[AdaptationResult] = []
+    for index in range(n_tasks):
+        predictor: TransformerPredictor = template.clone()
+        predictor.load_state_dict(template.unstack_state(params, index))
+        predictor.eval()
+        results.append(
+            AdaptationResult(
+                predictor=predictor,
+                support_losses=[float(losses[index]) for losses in step_losses],
+                used_mask=used_mask,
+            )
+        )
+    return results
+
+
+def _adapt_predictor_stateful(
+    meta_trained: TransformerPredictor,
+    support_x: np.ndarray,
+    support_y: np.ndarray,
+    *,
+    mask: Optional[ArchitecturalMask],
+    config: AdaptationConfig,
+) -> AdaptationResult:
+    """Per-model reference loop (and the Adam path, which carries state)."""
     predictor: TransformerPredictor = meta_trained.clone()
 
     used_mask = False

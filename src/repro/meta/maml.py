@@ -22,6 +22,18 @@ Two meta-gradient flavours are implemented:
 * ``"reptile"`` — the Reptile update ``theta <- theta + eps * (theta_hat - theta)``,
   provided as an ablation of the meta-gradient choice.
 
+Both flavours run **task-batched**: the meta-batch's episodes are stacked on
+a leading task axis, ``theta`` is stacked into a ``theta_hat`` bank via
+:meth:`Module.stack_parameters`, and the whole inner loop plus the query
+pass execute as one stacked-tensor graph through
+:meth:`Module.functional_call` — a vmap-style evaluation where task ``t``'s
+samples only ever meet parameter slice ``t``.  The original one-task-at-a-
+time loop survives as :meth:`MAMLTrainer.meta_step_scalar` (with
+:meth:`MAMLTrainer.adapt_scalar` as its inner loop): it is the executable
+specification the equivalence tests compare the batched path against,
+mirroring the simulation substrate's ``run_scalar`` pattern, and the
+fallback for ragged batches whose episode sizes differ.
+
 After every epoch a meta-validation pass measures post-adaptation query loss
 on the validation workloads; the best-performing parameters are restored at
 the end (the paper's "identify the optimal parameters for downstream tasks").
@@ -36,8 +48,8 @@ import numpy as np
 
 from repro.datasets.tasks import Task, TaskSampler
 from repro.nn.losses import mse_loss
-from repro.nn.module import Module
-from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.module import Module, has_task_axis
+from repro.nn.optim import SGD, Adam, clip_grad_norm, stacked_sgd_step
 from repro.nn.tensor import Tensor
 from repro.utils.rng import SeedLike, as_rng
 
@@ -111,8 +123,40 @@ class MetaTrainingHistory:
         return len(self.train_losses)
 
 
+def _per_task_mse(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Per-task MSE over stacked episodes: ``(n_tasks, samples) -> (n_tasks,)``.
+
+    Each task's entry equals the scalar :func:`mse_loss` of its slice, so the
+    sum over tasks backpropagates exactly the per-task gradients.
+    """
+    diff = predictions - Tensor(targets)
+    return (diff * diff).mean(axis=-1)
+
+
+def _stack_episodes(
+    tasks: Sequence[Task],
+) -> Optional[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Stack a task batch's arrays on a leading task axis.
+
+    Returns ``(support_x, support_y, query_x, query_y)`` with shapes
+    ``(n_tasks, S, P) / (n_tasks, S) / (n_tasks, Q, P) / (n_tasks, Q)``, or
+    ``None`` when the batch is ragged (episode sizes differ), in which case
+    callers fall back to the scalar reference path.
+    """
+    if len({t.support_x.shape for t in tasks}) > 1 or len(
+        {t.query_x.shape for t in tasks}
+    ) > 1:
+        return None
+    return (
+        np.stack([np.asarray(t.support_x, dtype=np.float64) for t in tasks]),
+        np.stack([np.asarray(t.support_y, dtype=np.float64) for t in tasks]),
+        np.stack([np.asarray(t.query_x, dtype=np.float64) for t in tasks]),
+        np.stack([np.asarray(t.query_y, dtype=np.float64) for t in tasks]),
+    )
+
+
 class MAMLTrainer:
-    """Meta-trains a surrogate model per Algorithm 1."""
+    """Meta-trains a surrogate model per Algorithm 1 (task-batched)."""
 
     def __init__(self, model: Module, config: Optional[MAMLConfig] = None) -> None:
         self.model = model
@@ -120,8 +164,82 @@ class MAMLTrainer:
         self.rng = as_rng(self.config.seed)
         self.outer_optimizer = Adam(model.parameters(), self.config.outer_lr)
         self.history = MetaTrainingHistory()
+        #: Stacked support-set gradients of the last inner step, keyed by
+        #: parameter name (``(n_tasks, *shape)`` arrays).  Only captured when
+        #: :attr:`_capture_support_grads` is set — Meta-SGD consumes them for
+        #: its learning-rate meta-update; the base trainer skips the capture
+        #: to keep the inner loop free of dead work.
+        self._last_support_grads: dict[str, np.ndarray] = {}
+        self._capture_support_grads = False
+
+    # -- variant hooks ---------------------------------------------------------
+    def _inner_parameter_names(self) -> Optional[set[str]]:
+        """Names of the parameters the inner loop adapts; ``None`` = all.
+
+        Parameters outside this set stay at ``theta`` during adaptation:
+        they are bound *shared* (unstacked, frozen) across the task axis.
+        ANIL restricts this set to the prediction head.
+        """
+        return None
+
+    def _inner_update(self, params: dict[str, Tensor], lr: float) -> dict[str, Tensor]:
+        """One inner-loop update over the stacked parameters.
+
+        The default is the plain SGD step of Algorithm 1 line 9; Meta-SGD
+        overrides it with per-parameter meta-learned rates.
+        """
+        return stacked_sgd_step(params, lr)
 
     # -- inner loop -----------------------------------------------------------
+    def adapt_batch(
+        self,
+        support_x: np.ndarray,
+        support_y: np.ndarray,
+        *,
+        model: Optional[Module] = None,
+        steps: Optional[int] = None,
+        lr: Optional[float] = None,
+    ) -> dict[str, Tensor]:
+        """Adapt a whole stack of tasks in one graph (Algorithm 1 lines 4-12).
+
+        *support_x* is ``(n_tasks, S, P)`` and *support_y* ``(n_tasks, S)``.
+        Returns the bank of adapted parameters ``theta_hat``: a mapping from
+        qualified name to an ``(n_tasks, *shape)`` gradient-requiring leaf
+        for inner-loop parameters, or a shared frozen tensor for parameters
+        the inner loop leaves at ``theta``.  The source model is untouched.
+        """
+        source = model if model is not None else self.model
+        steps = steps if steps is not None else self.config.inner_steps
+        lr = lr if lr is not None else self.config.inner_lr
+        support_x = np.asarray(support_x, dtype=np.float64)
+        support_y = np.asarray(support_y, dtype=np.float64)
+        if support_x.ndim != 3 or support_y.ndim != 2:
+            raise ValueError(
+                "adapt_batch expects stacked episodes: support_x (n_tasks, S, P) "
+                f"and support_y (n_tasks, S), got {support_x.shape} / {support_y.shape}"
+            )
+        n_tasks = support_x.shape[0]
+        params = source.stack_parameters(n_tasks, names=self._inner_parameter_names())
+        for name, parameter in source.named_parameters():
+            if name not in params:
+                params[name] = Tensor(parameter.data)  # shared, frozen at theta
+
+        x = Tensor(support_x)
+        for _ in range(steps):
+            predictions = source.functional_call(params, x)
+            loss = _per_task_mse(predictions, support_y).sum()
+            loss.backward()
+            if self._capture_support_grads:
+                # The grad arrays belong to leaves the update discards, so
+                # referencing them (no copy) is safe.
+                self._last_support_grads = {
+                    name: tensor.grad
+                    for name, tensor in params.items()
+                    if tensor.grad is not None
+                }
+            params = self._inner_update(params, lr)
+        return params
+
     def adapt(
         self,
         support_x: np.ndarray,
@@ -131,10 +249,36 @@ class MAMLTrainer:
         steps: Optional[int] = None,
         lr: Optional[float] = None,
     ) -> Module:
-        """Clone the model and run the inner-loop SGD on a support set.
+        """Clone the model and adapt it to one support set.
 
-        Returns the adapted copy; the original model is left untouched
+        A batch-of-one wrapper over :meth:`adapt_batch` (the single-task
+        analogue of the substrate's ``run``/``run_batch`` pairing); returns
+        the adapted copy, the original model is left untouched
         (Algorithm 1 line 5: ``theta_hat = theta``).
+        """
+        source = model if model is not None else self.model
+        support_x = np.asarray(support_x, dtype=np.float64)
+        support_y = np.asarray(support_y, dtype=np.float64)
+        params = self.adapt_batch(
+            support_x[None], support_y[None], model=model, steps=steps, lr=lr
+        )
+        adapted = source.clone()
+        adapted.load_state_dict(source.unstack_state(params, 0))
+        return adapted
+
+    def adapt_scalar(
+        self,
+        support_x: np.ndarray,
+        support_y: np.ndarray,
+        *,
+        model: Optional[Module] = None,
+        steps: Optional[int] = None,
+        lr: Optional[float] = None,
+    ) -> Module:
+        """Reference inner loop: clone the model and run per-task SGD.
+
+        The executable specification :meth:`adapt_batch` is tested against
+        (and the inner loop of :meth:`meta_step_scalar`).
         """
         source = model if model is not None else self.model
         steps = steps if steps is not None else self.config.inner_steps
@@ -152,15 +296,81 @@ class MAMLTrainer:
 
     # -- outer loop -----------------------------------------------------------
     def meta_step(self, tasks: Sequence[Task]) -> float:
-        """One outer-loop update over a batch of tasks; returns the meta-loss."""
+        """One outer-loop update over a batch of tasks; returns the meta-loss.
+
+        The whole meta-batch runs as one stacked graph: inner loop via
+        :meth:`adapt_batch`, then a single query pass whose per-task losses
+        are summed so one backward produces every task's query gradient.
+        Ragged batches (mixed episode sizes) fall back to
+        :meth:`meta_step_scalar`.
+        """
         if not tasks:
             raise ValueError("meta_step needs at least one task")
-        names = [name for name, _ in self.model.named_parameters()]
-        meta_grads = {name: np.zeros_like(p.data) for name, p in self.model.named_parameters()}
+        batch = _stack_episodes(tasks)
+        if batch is None:
+            return self.meta_step_scalar(tasks)
+        support_x, support_y, query_x, query_y = batch
+        n_tasks = len(tasks)
+        own = dict(self.model.named_parameters())
+
+        adapted = self.adapt_batch(support_x, support_y)
+        # Rebind shared (frozen) entries as gradient-requiring leaves so the
+        # query gradient reaches them too; their ``.grad`` then accumulates
+        # the sum over tasks directly.  Stacked entries are fresh leaves
+        # already (the last inner update detached them).
+        query_params = {
+            name: tensor
+            if tensor.requires_grad
+            else Tensor(tensor.data, requires_grad=True, name=name)
+            for name, tensor in adapted.items()
+        }
+        predictions = self.model.functional_call(query_params, Tensor(query_x))
+        per_task_loss = _per_task_mse(predictions, query_y)
+        total_loss = float(per_task_loss.data.sum())
+
+        meta_grads: dict[str, np.ndarray] = {}
+        if self.config.algorithm == "fomaml":
+            per_task_loss.sum().backward()
+            for name, tensor in query_params.items():
+                grad = tensor.grad
+                if grad is None:
+                    meta_grads[name] = np.zeros_like(own[name].data)
+                elif has_task_axis(tensor.data, own[name]):
+                    meta_grads[name] = grad.sum(axis=0)
+                else:
+                    meta_grads[name] = grad
+        else:  # reptile: theta moves toward the mean adapted parameters
+            factor = self.config.reptile_epsilon / max(
+                self.config.inner_lr * self.config.inner_steps, 1e-12
+            )
+            for name, tensor in adapted.items():
+                if has_task_axis(tensor.data, own[name]):
+                    meta_grads[name] = (
+                        own[name].data[None] - tensor.data
+                    ).sum(axis=0) * factor
+                else:
+                    meta_grads[name] = np.zeros_like(own[name].data)
+
+        self._apply_meta_grads(meta_grads, scale=1.0 / n_tasks)
+        return total_loss / n_tasks
+
+    def meta_step_scalar(self, tasks: Sequence[Task]) -> float:
+        """Reference outer loop: one task at a time, one graph per task.
+
+        Kept as the executable specification of :meth:`meta_step` — the
+        equivalence tests assert that the task-batched path reproduces these
+        updates, and the meta-training throughput benchmark measures the
+        batched speed-up against this loop.
+        """
+        if not tasks:
+            raise ValueError("meta_step needs at least one task")
+        meta_grads = {
+            name: np.zeros_like(p.data) for name, p in self.model.named_parameters()
+        }
         total_loss = 0.0
 
         for task in tasks:
-            adapted = self.adapt(task.support_x, task.support_y)
+            adapted = self.adapt_scalar(task.support_x, task.support_y)
             adapted.zero_grad()
             query_loss = mse_loss(adapted(Tensor(task.query_x)), task.query_y)
             query_loss.backward()
@@ -177,15 +387,17 @@ class MAMLTrainer:
                         self.config.inner_lr * self.config.inner_steps, 1e-12
                     ) * self.config.reptile_epsilon
 
-        scale = 1.0 / len(tasks)
+        self._apply_meta_grads(meta_grads, scale=1.0 / len(tasks))
+        return total_loss / len(tasks)
+
+    def _apply_meta_grads(self, meta_grads: dict[str, np.ndarray], *, scale: float) -> None:
+        """Install averaged meta-gradients and take the Adam outer step."""
         self.outer_optimizer.zero_grad()
         for name, parameter in self.model.named_parameters():
             parameter.grad = meta_grads[name] * scale
         if self.config.grad_clip > 0:
             clip_grad_norm(self.model.parameters(), self.config.grad_clip)
         self.outer_optimizer.step()
-        _ = names  # kept for symmetry / debugging
-        return total_loss / len(tasks)
 
     # -- validation ------------------------------------------------------------
     def meta_validate(
@@ -195,15 +407,28 @@ class MAMLTrainer:
         *,
         tasks_per_workload: int = 4,
     ) -> float:
-        """Average post-adaptation query loss on held-out workloads."""
+        """Average post-adaptation query loss on held-out workloads.
+
+        The validation episodes are adapted and evaluated as one stacked
+        batch (no gradients are needed, so the query pass binds detached
+        parameters and builds no graph).
+        """
         if not workloads:
             raise ValueError("meta_validate needs at least one workload")
-        losses = []
-        for task in sampler.sample_batch(workloads, tasks_per_workload=tasks_per_workload):
-            adapted = self.adapt(task.support_x, task.support_y)
-            predictions = adapted(Tensor(task.query_x))
-            losses.append(mse_loss(predictions, task.query_y).item())
-        return float(np.mean(losses))
+        tasks = sampler.sample_batch(workloads, tasks_per_workload=tasks_per_workload)
+        batch = _stack_episodes(tasks)
+        if batch is None:
+            losses = []
+            for task in tasks:
+                adapted = self.adapt(task.support_x, task.support_y)
+                predictions = adapted(Tensor(task.query_x))
+                losses.append(mse_loss(predictions, task.query_y).item())
+            return float(np.mean(losses))
+        support_x, support_y, query_x, query_y = batch
+        adapted = self.adapt_batch(support_x, support_y)
+        frozen = {name: Tensor(tensor.data) for name, tensor in adapted.items()}
+        predictions = self.model.functional_call(frozen, Tensor(query_x))
+        return float(_per_task_mse(predictions, query_y).data.mean())
 
     # -- full training loop -------------------------------------------------------
     def meta_train(

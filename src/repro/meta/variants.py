@@ -24,7 +24,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.meta.maml import MAMLConfig, MAMLTrainer
+from repro.meta.maml import MAMLConfig, MAMLTrainer, _per_task_mse, _stack_episodes
 from repro.nn.losses import mse_loss
 from repro.nn.module import Module
 from repro.nn.optim import SGD, clip_grad_norm
@@ -36,7 +36,13 @@ DEFAULT_HEAD_PREFIX = "head."
 
 
 class ANILTrainer(MAMLTrainer):
-    """MAML with the inner loop restricted to the prediction head (ANIL)."""
+    """MAML with the inner loop restricted to the prediction head (ANIL).
+
+    Rides the task-batched engine unchanged: the head parameters are stacked
+    per task while the transformer body stays bound *shared* across the task
+    axis, so one graph adapts every head of the meta-batch and the query
+    backward still reaches (and meta-updates) the shared body.
+    """
 
     def __init__(
         self,
@@ -53,7 +59,15 @@ class ANILTrainer(MAMLTrainer):
                 "ANIL needs an identifiable head"
             )
 
-    def adapt(
+    def _inner_parameter_names(self) -> Optional[set[str]]:
+        """Only the prediction head adapts in the inner loop."""
+        return {
+            name
+            for name, _ in self.model.named_parameters()
+            if name.startswith(self.head_prefix)
+        }
+
+    def adapt_scalar(
         self,
         support_x: np.ndarray,
         support_y: np.ndarray,
@@ -62,7 +76,7 @@ class ANILTrainer(MAMLTrainer):
         steps: Optional[int] = None,
         lr: Optional[float] = None,
     ) -> Module:
-        """Inner loop over the head parameters only (body stays frozen)."""
+        """Reference inner loop over the head parameters only."""
         source = model if model is not None else self.model
         steps = steps if steps is not None else self.config.inner_steps
         lr = lr if lr is not None else self.config.inner_lr
@@ -116,13 +130,35 @@ class MetaSGDTrainer(MAMLTrainer):
             raise ValueError("alpha_bounds must satisfy 0 < low < high")
         self.alpha_lr = alpha_lr
         self.alpha_bounds = alpha_bounds
+        self._capture_support_grads = True  # the alpha meta-update needs them
         self.alphas: dict[str, np.ndarray] = {
             name: np.full_like(parameter.data, self.config.inner_lr)
             for name, parameter in model.named_parameters()
         }
 
     # -- inner loop with per-parameter rates -------------------------------------
-    def adapt(
+    def _inner_update(self, params: dict, lr: Optional[float]) -> dict:
+        """Stacked inner update where every parameter uses its learned rate.
+
+        The per-parameter rates ``alpha`` broadcast over the leading task
+        axis; *lr*, when it differs from the configured inner rate, scales
+        every rate uniformly (used by downstream adaptation sweeps — in
+        particular ``lr=0`` freezes the inner loop entirely).
+        """
+        scale = 1.0 if lr is None else lr / max(self.config.inner_lr, 1e-12)
+        updated: dict = {}
+        for name, parameter in params.items():
+            if not parameter.requires_grad or parameter.grad is None:
+                updated[name] = parameter
+                continue
+            updated[name] = Tensor(
+                parameter.data - scale * self.alphas[name] * parameter.grad,
+                requires_grad=True,
+                name=name,
+            )
+        return updated
+
+    def adapt_scalar(
         self,
         support_x: np.ndarray,
         support_y: np.ndarray,
@@ -131,13 +167,7 @@ class MetaSGDTrainer(MAMLTrainer):
         steps: Optional[int] = None,
         lr: Optional[float] = None,
     ) -> Module:
-        """Inner loop where every parameter uses its meta-learned rate.
-
-        The *lr* argument, when given, scales every per-parameter rate
-        uniformly (used by downstream adaptation sweeps); the last inner-step
-        support gradients are kept on ``self._last_support_grads`` for the
-        learning-rate meta-update.
-        """
+        """Reference inner loop where every parameter uses its learned rate."""
         source = model if model is not None else self.model
         steps = steps if steps is not None else self.config.inner_steps
         scale = 1.0 if lr is None else lr / max(self.config.inner_lr, 1e-12)
@@ -159,7 +189,51 @@ class MetaSGDTrainer(MAMLTrainer):
 
     # -- outer loop: update theta and alpha ----------------------------------------
     def meta_step(self, tasks: Sequence) -> float:
-        """One outer-loop update of both the initialisation and the rates."""
+        """One outer-loop update of both the initialisation and the rates.
+
+        Task-batched like :meth:`MAMLTrainer.meta_step`: the stacked query
+        backward yields every task's query gradient at once, and the
+        first-order alpha gradient ``-g_query ⊙ g_support`` is formed from
+        the stacked gradient banks before summing over the task axis.
+        """
+        if not tasks:
+            raise ValueError("meta_step needs at least one task")
+        batch = _stack_episodes(tasks)
+        if batch is None:
+            return self.meta_step_scalar(tasks)
+        support_x, support_y, query_x, query_y = batch
+        n_tasks = len(tasks)
+
+        adapted = self.adapt_batch(support_x, support_y)
+        support_grads = self._last_support_grads
+        predictions = self.model.functional_call(adapted, Tensor(query_x))
+        per_task_loss = _per_task_mse(predictions, query_y)
+        total_loss = float(per_task_loss.data.sum())
+        per_task_loss.sum().backward()
+
+        meta_grads: dict[str, np.ndarray] = {}
+        alpha_grads = {name: np.zeros_like(value) for name, value in self.alphas.items()}
+        for name, parameter in self.model.named_parameters():
+            grad = adapted[name].grad
+            if grad is None:
+                meta_grads[name] = np.zeros_like(parameter.data)
+                continue
+            meta_grads[name] = grad.sum(axis=0)
+            if name in support_grads:
+                # First-order Meta-SGD: d L_q / d alpha = -g_query * g_support.
+                alpha_grads[name] = -(grad * support_grads[name]).sum(axis=0)
+
+        scale = 1.0 / n_tasks
+        self._apply_meta_grads(meta_grads, scale=scale)
+        low, high = self.alpha_bounds
+        for name in self.alphas:
+            self.alphas[name] = np.clip(
+                self.alphas[name] - self.alpha_lr * alpha_grads[name] * scale, low, high
+            )
+        return total_loss / n_tasks
+
+    def meta_step_scalar(self, tasks: Sequence) -> float:
+        """Reference outer loop of the rate meta-update, one task at a time."""
         if not tasks:
             raise ValueError("meta_step needs at least one task")
         meta_grads = {
@@ -170,7 +244,7 @@ class MetaSGDTrainer(MAMLTrainer):
         total_loss = 0.0
 
         for task in tasks:
-            adapted = self.adapt(task.support_x, task.support_y)
+            adapted = self.adapt_scalar(task.support_x, task.support_y)
             support_grads = self._last_support_grads
             adapted.zero_grad()
             query_loss = mse_loss(adapted(Tensor(task.query_x)), task.query_y)
@@ -185,13 +259,7 @@ class MetaSGDTrainer(MAMLTrainer):
                     alpha_grads[name] += -parameter.grad * support_grads[name]
 
         scale = 1.0 / len(tasks)
-        self.outer_optimizer.zero_grad()
-        for name, parameter in self.model.named_parameters():
-            parameter.grad = meta_grads[name] * scale
-        if self.config.grad_clip > 0:
-            clip_grad_norm(self.model.parameters(), self.config.grad_clip)
-        self.outer_optimizer.step()
-
+        self._apply_meta_grads(meta_grads, scale=scale)
         low, high = self.alpha_bounds
         for name in self.alphas:
             self.alphas[name] = np.clip(

@@ -129,7 +129,12 @@ class WAMBuilder:
 
         This is steps 1-2 of Fig. 4: the support+query samples of episodes
         from every *source* workload are pushed through the predictor and the
-        last layer's attention probabilities are harvested.
+        last layer's attention probabilities are harvested.  Each workload's
+        episodes are stacked on a leading task axis and evaluated in a single
+        batched forward (the predictor's parameters are shared across the
+        axis); the recorded ``(episodes, batch, heads, tokens, tokens)``
+        attention is accumulated per episode so every episode keeps equal
+        weight in the frequency statistics.
         """
         if not source_workloads:
             raise ValueError("collect_from_model needs at least one source workload")
@@ -137,11 +142,20 @@ class WAMBuilder:
         model.eval()
         try:
             for workload in source_workloads:
-                for _ in range(self.config.episodes_per_workload):
-                    task = sampler.sample_task(workload)
-                    inputs = np.concatenate([task.support_x, task.query_x], axis=0)
-                    model(Tensor(inputs))
-                    self.accumulate(model.last_attention_layer.last_attention)
+                episodes = [
+                    sampler.sample_task(workload)
+                    for _ in range(self.config.episodes_per_workload)
+                ]
+                inputs = np.stack(
+                    [
+                        np.concatenate([task.support_x, task.query_x], axis=0)
+                        for task in episodes
+                    ]
+                )
+                model(Tensor(inputs))
+                recorded = model.last_attention_layer.last_attention
+                for episode_attention in recorded:
+                    self.accumulate(episode_attention)
         finally:
             model.train(was_training)
 

@@ -19,9 +19,17 @@ from repro.nn.layers import (
 )
 from repro.nn.losses import huber_loss, mae_loss, mse_loss
 from repro.nn.module import Module
-from repro.nn.optim import SGD, Adam, CosineAnnealingLR, Optimizer, clip_grad_norm
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    CosineAnnealingLR,
+    Optimizer,
+    StackedSGD,
+    clip_grad_norm,
+    stacked_sgd_step,
+)
 from repro.nn.serialization import load_model, load_state, save_model
-from repro.nn.tensor import Tensor, concatenate, ones, tensor, zeros
+from repro.nn.tensor import Tensor, concatenate, ones, stack, tensor, zeros
 from repro.nn.transformer import TransformerEncoderLayer, TransformerPredictor
 
 __all__ = [
@@ -30,6 +38,7 @@ __all__ = [
     "zeros",
     "ones",
     "concatenate",
+    "stack",
     "Module",
     "Linear",
     "LayerNorm",
@@ -49,6 +58,8 @@ __all__ = [
     "Optimizer",
     "SGD",
     "Adam",
+    "StackedSGD",
+    "stacked_sgd_step",
     "CosineAnnealingLR",
     "clip_grad_norm",
     "save_model",

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.nn.layers import Linear
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, scaled_dot_product_attention
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -35,8 +35,11 @@ class MultiHeadSelfAttention(Module):
         Number of attention heads; must divide *embed_dim*.
     store_attention:
         When True the layer keeps the attention probabilities of the latest
-        forward pass in :attr:`last_attention` (detached numpy array of shape
-        ``(batch, heads, tokens, tokens)``).
+        forward pass in :attr:`last_attention`: a plain numpy array of shape
+        ``(batch, heads, tokens, tokens)`` — or ``(n_tasks, batch, heads,
+        tokens, tokens)`` after a task-batched forward.  The array aliases
+        the (never-mutated) graph buffer rather than copying it; copy before
+        writing to it.
     """
 
     def __init__(
@@ -90,39 +93,51 @@ class MultiHeadSelfAttention(Module):
         self._parameters.pop("mask", None)
 
     # -- forward ---------------------------------------------------------------
-    def _split_heads(self, x: Tensor, batch: int, tokens: int) -> Tensor:
-        """(batch, tokens, embed) -> (batch, heads, tokens, head_dim)."""
-        return x.reshape(batch, tokens, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
-
     def forward(self, tokens: Tensor) -> Tensor:
-        if tokens.ndim != 3 or tokens.shape[2] != self.embed_dim:
+        """Mix tokens of shape ``(batch, tokens, embed)``.
+
+        A leading task axis (``(n_tasks, batch, tokens, embed)``) selects the
+        batched-parameter path: the projections — and an installed mask bound
+        task-stacked as ``(n_tasks, tokens, tokens)`` — are applied per task.
+        """
+        if tokens.ndim not in (3, 4) or tokens.shape[-1] != self.embed_dim:
             raise ValueError(
-                f"expected (batch, tokens, {self.embed_dim}) input, got {tokens.shape}"
+                f"expected (batch, tokens, {self.embed_dim}) input "
+                f"(optionally with a leading task axis), got {tokens.shape}"
             )
-        batch, num_tokens, _ = tokens.shape
-        q = self._split_heads(self.query(tokens), batch, num_tokens)
-        k = self._split_heads(self.key(tokens), batch, num_tokens)
-        v = self._split_heads(self.value(tokens), batch, num_tokens)
+        num_tokens = tokens.shape[-2]
+        q = self.query(tokens)
+        k = self.key(tokens)
+        v = self.value(tokens)
 
-        scale = 1.0 / np.sqrt(self.head_dim)
-        logits = (q @ k.transpose(0, 1, 3, 2)) * scale
-        if self.mask is not None:
-            logits = logits + self.mask  # broadcast over (batch, heads)
-        attention = logits.softmax(axis=-1)
+        mask = self.mask
+        if mask is not None and mask.ndim > 2:
+            # Task-stacked mask (T, tokens, tokens): align the task axis with
+            # the (T, batch, heads, tokens, tokens) attention logits.
+            mask = mask.reshape(
+                mask.shape[0], *([1] * (tokens.ndim - 2)), num_tokens, num_tokens
+            )
+        context, attention = scaled_dot_product_attention(
+            q, k, v, self.num_heads,
+            scale=1.0 / np.sqrt(self.head_dim),
+            mask=mask,
+        )
         if self.store_attention:
-            self.last_attention = attention.data.copy()
-
-        context = attention @ v  # (batch, heads, tokens, head_dim)
-        context = context.transpose(0, 2, 1, 3).reshape(batch, num_tokens, self.embed_dim)
+            # The probabilities array is never mutated afterwards (the engine
+            # is functional), so recording it needs no defensive copy.
+            self.last_attention = attention
         return self.output(context)
 
     # -- attention statistics ----------------------------------------------------
     def mean_attention(self) -> np.ndarray:
-        """Average the stored attention over batch and heads.
+        """Average the stored attention over every leading axis.
 
-        Returns a ``(tokens, tokens)`` matrix of attention frequencies; raises
-        if no forward pass has been recorded yet.
+        Returns a ``(tokens, tokens)`` matrix of attention frequencies
+        (averaged over batch and heads, plus the task axis when the last
+        forward was task-batched); raises if no forward pass has been
+        recorded yet.
         """
         if self.last_attention is None:
             raise RuntimeError("no attention recorded; run a forward pass first")
-        return self.last_attention.mean(axis=(0, 1))
+        leading = tuple(range(self.last_attention.ndim - 2))
+        return self.last_attention.mean(axis=leading)

@@ -1,4 +1,16 @@
-"""Standard neural-network layers built on the autograd engine."""
+"""Standard neural-network layers built on the autograd engine.
+
+Every parameterised layer has two forward paths selected by parameter rank:
+
+* the **plain path** — parameters at their registered rank (e.g. a 2-D
+  ``Linear`` weight), inputs shaped as usual.  Leading input axes broadcast,
+  so a shared (unstacked) parameter also works under task-batched inputs;
+* the **batched-parameter path** — parameters bound via
+  :meth:`Module.functional_call` with one extra leading ``(n_tasks,)`` axis
+  (see :meth:`Module.stack_parameters`), inputs with a matching leading task
+  axis.  Task ``t`` of the input is transformed by parameter slice ``t``,
+  which is what lets a whole MAML meta-batch run in one graph.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +19,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, affine
 from repro.utils.rng import SeedLike, as_rng
 
 #: Supported activation names for :class:`MLP`.
@@ -59,10 +71,11 @@ class Linear(Module):
             self.bias = self.register_parameter("bias", Tensor(np.zeros(out_features)))
 
     def forward(self, inputs: Tensor) -> Tensor:
-        out = inputs @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        # One fused graph node: leading input axes are collapsed into a
+        # single GEMM (per task slice when the weight is bound task-stacked
+        # as (n_tasks, in, out) via functional_call) and the bias lands on
+        # the GEMM output in place.
+        return affine(inputs, self.weight, self.bias)
 
 
 class LayerNorm(Module):
@@ -78,10 +91,14 @@ class LayerNorm(Module):
         self.beta = self.register_parameter("beta", Tensor(np.zeros(normalized_shape)))
 
     def forward(self, inputs: Tensor) -> Tensor:
-        mean = inputs.mean(axis=-1, keepdims=True)
-        variance = inputs.var(axis=-1, keepdims=True)
-        normalised = (inputs - mean) * ((variance + self.eps) ** -0.5)
-        return normalised * self.gamma + self.beta
+        gamma, beta = self.gamma, self.beta
+        if gamma.ndim > 1:
+            # Batched-parameter path: gamma/beta (T, d) align their task axis
+            # with inputs (T, ..., d) via singleton middle axes.
+            shape = (gamma.shape[0], *([1] * (inputs.ndim - 2)), self.normalized_shape)
+            gamma = gamma.reshape(shape)
+            beta = beta.reshape(shape)
+        return inputs.layer_norm(gamma, beta, eps=self.eps)
 
 
 class Dropout(Module):
@@ -192,10 +209,24 @@ class ParameterEmbedding(Module):
         )
 
     def forward(self, inputs: Tensor) -> Tensor:
-        """Map ``(batch, P)`` parameter values to ``(batch, P, d)`` tokens."""
-        if inputs.ndim != 2 or inputs.shape[1] != self.num_parameters:
+        """Map ``(..., batch, P)`` parameter values to ``(..., batch, P, d)`` tokens.
+
+        The canonical input is ``(batch, P)``; a leading task axis
+        (``(n_tasks, batch, P)``) selects the batched-parameter path when the
+        embeddings are bound task-stacked as ``(n_tasks, P, d)``.
+        """
+        if inputs.ndim < 2 or inputs.shape[-1] != self.num_parameters:
             raise ValueError(
-                f"expected inputs of shape (batch, {self.num_parameters}), got {inputs.shape}"
+                f"expected inputs of shape (..., batch, {self.num_parameters}), "
+                f"got {inputs.shape}"
             )
-        values = inputs.reshape(inputs.shape[0], self.num_parameters, 1)
-        return values * self.value_scale + self.positional
+        values = inputs.reshape(*inputs.shape, 1)
+        scale, positional = self.value_scale, self.positional
+        if scale.ndim > 2:
+            # Task-stacked embeddings (T, P, d) meet values (T, ..., P, 1):
+            # insert singleton batch axes after the task axis.
+            middle = [1] * (values.ndim - 3)
+            shape = (scale.shape[0], *middle, self.num_parameters, self.embed_dim)
+            scale = scale.reshape(shape)
+            positional = positional.reshape(shape)
+        return values * scale + positional

@@ -9,16 +9,40 @@ bookkeeping MAML needs:
   ``theta_hat`` of Algorithm 1);
 * ``zero_grad`` — clear gradient buffers;
 * ``clone`` — structural deep copy with identical parameter values.
+
+On top of the stateful interface sits the **functional execution** layer the
+task-batched meta-training path is built on:
+
+* ``functional_call`` — run ``forward`` with an *external* parameter mapping
+  temporarily bound in place of the registered parameters (the numpy
+  analogue of ``torch.func.functional_call``);
+* ``stack_parameters`` — stack ``n_tasks`` copies of every parameter along a
+  new leading task axis, producing the ``theta_hat`` bank a whole meta-batch
+  adapts in one graph.
+
+Layers dispatch on parameter rank: a parameter bound with one extra leading
+axis selects the batched-parameter forward path (see ``repro.nn.layers``),
+so one ``functional_call`` evaluates ``n_tasks`` different models at once.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Iterator
+from typing import Collection, Iterator, Mapping, Optional
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, stack
+
+
+def has_task_axis(value: np.ndarray, parameter: Tensor) -> bool:
+    """True when *value* carries one extra leading (task) axis over *parameter*.
+
+    The single source of the stacked-parameter rank convention: a stacked
+    bank entry (or its gradient) has exactly one more dimension than the
+    registered parameter it shadows.
+    """
+    return value.ndim == parameter.data.ndim + 1
 
 
 class Module:
@@ -120,6 +144,101 @@ class Module:
         duplicate = copy.deepcopy(self)
         duplicate.zero_grad()
         return duplicate
+
+    # -- functional execution ---------------------------------------------------
+    def _parameter_owners(self) -> dict[str, tuple["Module", str]]:
+        """Map qualified parameter names to their ``(owning module, attr)``."""
+        owners: dict[str, tuple[Module, str]] = {}
+        for name, _ in self.named_parameters():
+            module: Module = self
+            parts = name.split(".")
+            for part in parts[:-1]:
+                module = module._modules[part]
+            owners[name] = (module, parts[-1])
+        return owners
+
+    def functional_call(self, params: Mapping[str, Tensor], *args, **kwargs):
+        """Run ``forward`` with *params* bound in place of the registered ones.
+
+        *params* maps qualified parameter names (as produced by
+        :meth:`named_parameters`) to replacement tensors; unnamed parameters
+        keep their registered values.  A replacement may carry one extra
+        leading task axis (see :meth:`stack_parameters`), which switches the
+        layers onto their batched-parameter forward paths.  The module's own
+        parameters are restored on exit, even when ``forward`` raises.
+        """
+        owners = self._parameter_owners()
+        unknown = set(params) - set(owners)
+        if unknown:
+            raise ValueError(f"unknown parameters in functional_call: {sorted(unknown)}")
+        bound: list[tuple[Module, str, Tensor, bool]] = []
+        try:
+            for name, replacement in params.items():
+                if not isinstance(replacement, Tensor):
+                    replacement = Tensor(replacement)
+                module, attr = owners[name]
+                original = module._parameters[attr]
+                is_attribute = module.__dict__.get(attr) is original
+                bound.append((module, attr, original, is_attribute))
+                module._parameters[attr] = replacement
+                if is_attribute:
+                    object.__setattr__(module, attr, replacement)
+            return self.forward(*args, **kwargs)
+        finally:
+            for module, attr, original, is_attribute in reversed(bound):
+                module._parameters[attr] = original
+                if is_attribute:
+                    object.__setattr__(module, attr, original)
+
+    def stack_parameters(
+        self,
+        n_tasks: int,
+        *,
+        detach: bool = True,
+        names: Optional[Collection[str]] = None,
+    ) -> dict[str, Tensor]:
+        """Stack ``n_tasks`` copies of parameters along a leading task axis.
+
+        Returns a mapping from qualified name to an ``(n_tasks, *shape)``
+        tensor, covering every parameter by default or only *names* when
+        given (how the ANIL inner loop stacks just the head).  With
+        ``detach=True`` (the default, what first-order MAML needs) each
+        stack is a fresh gradient-requiring leaf; with ``detach=False`` the
+        stacks stay graph-connected to the underlying parameters via
+        :func:`repro.nn.tensor.stack`, so gradients flow back into them
+        (summed over the task axis).
+        """
+        if n_tasks < 1:
+            raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+        stacked: dict[str, Tensor] = {}
+        for name, parameter in self.named_parameters():
+            if names is not None and name not in names:
+                continue
+            if detach:
+                data = np.broadcast_to(
+                    parameter.data, (n_tasks,) + parameter.data.shape
+                ).copy()
+                stacked[name] = Tensor(data, requires_grad=True, name=name)
+            else:
+                stacked[name] = stack([parameter] * n_tasks)
+        return stacked
+
+    def unstack_state(
+        self, params: Mapping[str, Tensor], index: int
+    ) -> dict[str, np.ndarray]:
+        """Slice task *index* out of a (partially) stacked parameter mapping.
+
+        The inverse of :meth:`stack_parameters` for one task: entries that
+        carry a task axis are sliced, entries bound shared across the task
+        axis pass through — the result feeds :meth:`load_state_dict` to
+        materialise one task's adapted model.
+        """
+        state: dict[str, np.ndarray] = {}
+        for name, parameter in self.named_parameters():
+            value = params[name]
+            data = value.data if isinstance(value, Tensor) else np.asarray(value)
+            state[name] = data[index] if has_task_axis(data, parameter) else data
+        return state
 
     # -- call protocol ---------------------------------------------------------------
     def forward(self, *args, **kwargs):

@@ -6,11 +6,22 @@ The paper's training recipe needs three pieces, all provided here:
 * Adam for the meta-update of the outer loop,
 * SGD/Adam with cosine annealing for the ten-step downstream adaptation
   (Section VI-A: "a learning rate of 1e-5 and cosine annealing").
+
+Two optimiser styles coexist:
+
+* the **stateful** classes (:class:`SGD`, :class:`Adam`) mutate registered
+  module parameters in place — the classic loop;
+* the **functional** :func:`stacked_sgd_step` / :class:`StackedSGD` consume a
+  ``{name: Tensor}`` mapping of (task-)stacked parameters (as produced by
+  :meth:`Module.stack_parameters`), read the accumulated ``.grad`` of each,
+  and return a *new* mapping of detached gradient-requiring leaves.  This is
+  the update style of the task-batched inner loop, where every step re-binds
+  the parameters via ``functional_call``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -142,6 +153,87 @@ class Adam(Optimizer):
             parameter.data = parameter.data - self.lr * scale * m_hat / (
                 np.sqrt(v_hat) + self.eps
             )
+
+
+def stacked_sgd_step(
+    params: Mapping[str, Tensor],
+    lr: float,
+    *,
+    lr_scales: Optional[Mapping[str, float]] = None,
+    weight_decay: float = 0.0,
+    velocity: Optional[dict[str, np.ndarray]] = None,
+    momentum: float = 0.0,
+) -> dict[str, Tensor]:
+    """One functional SGD step over a mapping of stacked parameters.
+
+    Every gradient-carrying tensor is replaced by a fresh leaf holding
+    ``data - lr * scale * grad`` (matching :meth:`SGD.step` entry-wise, so
+    the batched inner loop reproduces the scalar reference exactly); tensors
+    without a gradient — frozen shared parameters, or parameters the loss
+    does not reach — pass through unchanged.  With *momentum*, *velocity*
+    carries the per-name state between calls.
+    """
+    if lr <= 0:
+        raise ValueError(f"learning rate must be positive, got {lr}")
+    if not 0.0 <= momentum < 1.0:
+        raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+    updated: dict[str, Tensor] = {}
+    for name, parameter in params.items():
+        if not parameter.requires_grad or parameter.grad is None:
+            updated[name] = parameter
+            continue
+        grad = parameter.grad
+        if weight_decay > 0:
+            grad = grad + weight_decay * parameter.data
+        if momentum > 0:
+            if velocity is None:
+                raise ValueError("momentum requires a velocity state dict")
+            grad = velocity[name] = momentum * velocity.get(name, 0.0) + grad
+        scale = 1.0 if lr_scales is None else lr_scales.get(name, 1.0)
+        updated[name] = Tensor(
+            parameter.data - lr * scale * grad, requires_grad=True, name=name
+        )
+    return updated
+
+
+class StackedSGD:
+    """Functional SGD over stacked parameter dicts (momentum-capable).
+
+    The object only holds the hyper-parameters and the momentum state; each
+    :meth:`step` call maps an input parameter dict to the updated one.  The
+    mutable ``lr`` / ``initial_lr`` pair makes it schedulable with
+    :class:`CosineAnnealingLR`, which the batched adaptation stage uses.
+    """
+
+    def __init__(
+        self,
+        lr: float,
+        *,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        lr_scales: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.initial_lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.lr_scales = dict(lr_scales) if lr_scales is not None else None
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self, params: Mapping[str, Tensor]) -> dict[str, Tensor]:
+        """Return the updated parameter mapping (inputs are not mutated)."""
+        return stacked_sgd_step(
+            params,
+            self.lr,
+            lr_scales=self.lr_scales,
+            weight_decay=self.weight_decay,
+            velocity=self._velocity,
+            momentum=self.momentum,
+        )
 
 
 class CosineAnnealingLR:

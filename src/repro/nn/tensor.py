@@ -253,6 +253,13 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
+        if exponent == 2:  # fast path: np.power is slow for small powers
+            out_data = self.data * self.data
+
+            def backward_sq(grad: np.ndarray) -> tuple:
+                return (grad * (2.0 * self.data),)
+
+            return Tensor._make(out_data, (self,), backward_sq)
         out_data = self.data ** exponent
 
         def backward(grad: np.ndarray) -> tuple:
@@ -333,18 +340,35 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def gelu(self) -> "Tensor":
-        """Gaussian error linear unit (tanh approximation)."""
+        """Gaussian error linear unit (tanh approximation).
+
+        The hottest elementwise op in transformer training on this engine,
+        so it is written tightly: ``x*x`` instead of ``np.power``, and the
+        intermediate buffers are updated in place.
+        """
         x = self.data
         c = np.sqrt(2.0 / np.pi)
-        inner = c * (x + 0.044715 * x ** 3)
-        tanh_inner = np.tanh(inner)
-        out_data = 0.5 * x * (1.0 + tanh_inner)
+        x_sq = x * x
+        inner = x_sq * x
+        inner *= 0.044715
+        inner += x
+        inner *= c
+        tanh_inner = np.tanh(inner, out=inner)
+        out_data = 1.0 + tanh_inner
+        out_data *= x
+        out_data *= 0.5
 
         def backward(grad: np.ndarray) -> tuple:
-            sech2 = 1.0 - tanh_inner ** 2
-            d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
-            local = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
-            return (grad * local,)
+            sech2 = 1.0 - tanh_inner * tanh_inner
+            d_inner = (3 * 0.044715) * x_sq
+            d_inner += 1.0
+            d_inner *= c
+            d_inner *= sech2
+            d_inner *= x
+            d_inner += 1.0 + tanh_inner
+            d_inner *= 0.5
+            d_inner *= grad
+            return (d_inner,)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -441,6 +465,47 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    def layer_norm(
+        self, gamma: "Tensor", beta: "Tensor", *, eps: float = 1e-5
+    ) -> "Tensor":
+        """Fused layer normalisation over the last axis.
+
+        Equivalent to ``(x - mean) / sqrt(var + eps) * gamma + beta`` with
+        biased variance, but as a single graph node with a tight backward —
+        the unfused expression allocates ~10 intermediate arrays per call,
+        which dominates transformer training time on this engine.  *gamma*
+        and *beta* broadcast against the normalised input (they may carry
+        leading task axes).
+        """
+        gamma = gamma if isinstance(gamma, Tensor) else Tensor(gamma)
+        beta = beta if isinstance(beta, Tensor) else Tensor(beta)
+        x = self.data
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = centered * centered
+        variance = variance.mean(axis=-1, keepdims=True)
+        variance += eps
+        np.sqrt(variance, out=variance)
+        inv_std = np.divide(1.0, variance, out=variance)
+        normalised = centered
+        normalised *= inv_std
+        out_data = normalised * gamma.data
+        out_data += beta.data
+
+        def backward(grad: np.ndarray) -> tuple:
+            d_normalised = grad * gamma.data
+            d_mean = d_normalised.mean(axis=-1, keepdims=True)
+            d_proj = (d_normalised * normalised).mean(axis=-1, keepdims=True)
+            grad_gamma = _unbroadcast(grad * normalised, gamma.shape)
+            grad_beta = _unbroadcast(grad, beta.shape)
+            # Reuse d_normalised's buffer for the input gradient.
+            d_normalised -= d_mean
+            d_normalised -= normalised * d_proj
+            d_normalised *= inv_std
+            return (d_normalised, grad_gamma, grad_beta)
+
+        return Tensor._make(out_data, (self, gamma, beta), backward)
+
     def log_softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
@@ -466,6 +531,152 @@ def zeros(shape: Sequence[int], *, requires_grad: bool = False) -> Tensor:
 def ones(shape: Sequence[int], *, requires_grad: bool = False) -> Tensor:
     """A tensor of ones."""
     return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def affine(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+) -> Tensor:
+    """Fused affine transform ``x @ weight + bias`` over the last axis.
+
+    One graph node covering the flatten-GEMM-bias pipeline of a ``Linear``
+    layer (the unfused spelling costs four nodes and two full-size
+    temporaries per call).  *weight* is ``(in, out)`` — or ``(n_tasks, in,
+    out)`` for the batched-parameter path, where ``x`` is ``(n_tasks, ...,
+    in)`` and task ``t``'s rows meet weight slice ``t``; *bias* is ``(out,)``
+    or ``(n_tasks, out)`` accordingly.
+    """
+    in_features, out_features = weight.data.shape[-2:]
+    lead = x.data.shape[:-1]
+    stacked = weight.data.ndim == 3
+    if stacked:
+        n_tasks = weight.data.shape[0]
+        x_flat = x.data.reshape(n_tasks, -1, in_features)
+        out = np.matmul(x_flat, weight.data)
+        if bias is not None:
+            out += bias.data[:, None, :]
+    else:
+        x_flat = x.data.reshape(-1, in_features)
+        out = np.matmul(x_flat, weight.data)
+        if bias is not None:
+            out += bias.data
+    out_data = out.reshape(*lead, out_features)
+
+    def backward(grad: np.ndarray) -> tuple:
+        if stacked:
+            g_flat = grad.reshape(n_tasks, -1, out_features)
+            grad_w = np.matmul(x_flat.swapaxes(-1, -2), g_flat)
+            grad_b = g_flat.sum(axis=1) if bias is not None else None
+            grad_x = np.matmul(g_flat, weight.data.swapaxes(-1, -2))
+        else:
+            g_flat = grad.reshape(-1, out_features)
+            grad_w = np.matmul(x_flat.T, g_flat)
+            grad_b = g_flat.sum(axis=0) if bias is not None else None
+            grad_x = np.matmul(g_flat, weight.data.T)
+        grads = (grad_x.reshape(x.data.shape), grad_w)
+        return grads + ((grad_b,) if bias is not None else ())
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out_data, parents, backward)
+
+
+def scaled_dot_product_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    num_heads: int,
+    *,
+    scale: float,
+    mask: Optional[Tensor] = None,
+) -> tuple[Tensor, np.ndarray]:
+    """Fused multi-head scaled-dot-product attention.
+
+    *q*, *k*, *v* are the projected token tensors of shape
+    ``(..., tokens, embed)`` (any number of leading batch/task axes); *mask*
+    is an optional additive logit bias of shape ``(tokens, tokens)`` or with
+    leading axes broadcastable against the ``(..., heads, tokens, tokens)``
+    logits.  Returns the mixed tokens ``(..., tokens, embed)`` plus the
+    attention probabilities as a plain ``(..., heads, tokens, tokens)`` array
+    (detached, for the WAM statistics).
+
+    The head split, logit matmul, softmax and context matmul run as ONE
+    graph node over raw numpy with in-place updates on the ``tokens²``-sized
+    temporaries — the hottest allocation site of transformer training on
+    this engine, and the op the task-batched meta-training path leans on.
+    """
+    lead = q.data.shape[:-2]
+    tokens, embed = q.data.shape[-2:]
+    head_dim = embed // num_heads
+    if num_heads * head_dim != embed:
+        raise ValueError(f"embed ({embed}) must be divisible by num_heads ({num_heads})")
+
+    def split(x: np.ndarray) -> np.ndarray:
+        # (..., tokens, embed) -> (..., heads, tokens, head_dim); view only.
+        return x.reshape(*lead, tokens, num_heads, head_dim).swapaxes(-3, -2)
+
+    q4, k4, v4 = split(q.data), split(k.data), split(v.data)
+    logits = np.matmul(q4, k4.swapaxes(-1, -2))
+    logits *= scale
+    if mask is not None:
+        logits += mask.data
+    logits -= logits.max(axis=-1, keepdims=True)
+    np.exp(logits, out=logits)
+    logits /= logits.sum(axis=-1, keepdims=True)
+    attention = logits  # (..., heads, tokens, tokens), now probabilities
+    context = np.matmul(attention, v4)
+    out_data = np.ascontiguousarray(context.swapaxes(-3, -2)).reshape(
+        *lead, tokens, embed
+    )
+
+    def backward(grad: np.ndarray) -> tuple:
+        d_context = split(grad)
+        d_attention = np.matmul(d_context, v4.swapaxes(-1, -2))
+        d_v = np.matmul(attention.swapaxes(-1, -2), d_context)
+        # Softmax backward, reusing d_attention's buffer for the logits grad.
+        dot = (d_attention * attention).sum(axis=-1, keepdims=True)
+        d_attention -= dot
+        d_attention *= attention
+        d_logits = d_attention
+        d_mask = None
+        if mask is not None:
+            d_mask = _unbroadcast(d_logits, mask.shape)
+        d_q = np.matmul(d_logits, k4)
+        d_q *= scale
+        d_k = np.matmul(d_logits.swapaxes(-1, -2), q4)
+        d_k *= scale
+
+        def merge(x: np.ndarray) -> np.ndarray:
+            # (..., heads, tokens, head_dim) -> (..., tokens, embed)
+            return np.ascontiguousarray(x.swapaxes(-3, -2)).reshape(
+                *lead, tokens, embed
+            )
+
+        grads = (merge(d_q), merge(d_k), merge(d_v))
+        return grads + ((d_mask,) if mask is not None else ())
+
+    parents = (q, k, v) if mask is None else (q, k, v, mask)
+    return Tensor._make(out_data, parents, backward), attention
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (differentiable).
+
+    The building block of stacked-parameter execution: ``stack([p] * n)``
+    produces an ``(n, *p.shape)`` tensor whose backward pass sums the task
+    gradients back into ``p`` (each slice contributes one gradient term).
+    """
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("stack needs at least one tensor")
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out_axis = axis % data.ndim
+
+    def backward(grad: np.ndarray) -> tuple:
+        slices = np.moveaxis(grad, out_axis, 0)
+        return tuple(slices[i] for i in range(len(tensors)))
+
+    return Tensor._make(data, tuple(tensors), backward)
 
 
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:

@@ -114,17 +114,26 @@ class TransformerPredictor(Module):
         """Predict from encoded configurations of shape ``(batch, P)``.
 
         Returns a tensor of shape ``(batch,)`` when ``output_dim == 1`` and
-        ``(batch, output_dim)`` otherwise.
+        ``(batch, output_dim)`` otherwise.  A leading task axis
+        (``(n_tasks, batch, P)`` in, ``(n_tasks, batch[, output_dim])`` out)
+        runs the task-batched path: with parameters bound task-stacked via
+        :meth:`Module.functional_call` every task is predicted by its own
+        parameter slice; plain parameters are shared across tasks.
         """
         if not isinstance(inputs, Tensor):
             inputs = Tensor(np.asarray(inputs, dtype=np.float64))
+        if inputs.ndim not in (2, 3):
+            raise ValueError(
+                f"expected (batch, {self.num_parameters}) input "
+                f"(optionally with a leading task axis), got {inputs.shape}"
+            )
         tokens = self.embedding(inputs)
         for name in self._layer_names:
             tokens = self._modules[name](tokens)
-        pooled = self.final_norm(tokens).mean(axis=1)
+        pooled = self.final_norm(tokens).mean(axis=-2)
         out = self.head(pooled)
         if self.output_dim == 1:
-            return out.reshape(out.shape[0])
+            return out.reshape(out.shape[:-1])
         return out
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:

@@ -29,6 +29,7 @@ lookups and batched sweeps produce identical labels.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Optional, Sequence
 
@@ -235,8 +236,11 @@ class Simulator:
             )
         else:
             # Per-workload deterministic seed so adding workloads does not
-            # change the phases of existing ones.
-            seed = (hash(profile.name) ^ self._phase_seed) & 0x7FFFFFFF
+            # change the phases of existing ones.  zlib.crc32 (not Python's
+            # hash(), which is randomized per process) keeps phased labels
+            # reproducible across processes without pinning PYTHONHASHSEED.
+            name_hash = zlib.crc32(profile.name.encode("utf-8"))
+            seed = (name_hash ^ self._phase_seed) & 0x7FFFFFFF
             simpoints = generate_simpoints(
                 profile, max_clusters=self.simpoint_phases, seed=seed
             )
