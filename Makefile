@@ -1,18 +1,21 @@
 # Developer chores for the MetaDSE reproduction.
 #
-#   make test       - tier-1 verification (the command ROADMAP.md pins)
-#   make unit       - fast unit tests only (tests/)
-#   make bench      - regenerate the paper tables/figures (benchmarks/,
-#                     includes the meta-training throughput benchmark)
-#   make bench-meta - just the meta-training throughput benchmark
-#   make examples   - run every example script end to end
+#   make test            - tier-1 verification (the command ROADMAP.md pins)
+#                          plus the docs consistency check
+#   make unit            - fast unit tests only (tests/)
+#   make bench           - regenerate the paper tables/figures (benchmarks/,
+#                          includes the throughput benchmarks)
+#   make bench-meta      - just the meta-training throughput benchmark
+#   make bench-precision - just the float32-vs-float64 precision benchmark
+#   make docs-check      - fail on dead intra-repo links / stale module refs
+#   make examples        - run every example script end to end
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test unit bench bench-meta examples
+.PHONY: test unit bench bench-meta bench-precision docs-check examples
 
-test:
+test: docs-check
 	$(PYTHON) -m pytest -x -q
 
 unit:
@@ -23,6 +26,12 @@ bench:
 
 bench-meta:
 	$(PYTHON) -m pytest benchmarks/test_meta_throughput.py -q
+
+bench-precision:
+	$(PYTHON) -m pytest benchmarks/test_precision_throughput.py -q
+
+docs-check:
+	$(PYTHON) tools/check_docs.py
 
 examples:
 	@set -e; for script in examples/*.py; do \

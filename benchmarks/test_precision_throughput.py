@@ -1,0 +1,177 @@
+"""Precision throughput: the float32 fast path vs the float64 reference.
+
+PR 2's task-batched meta-training win shrinks toward ~1.3× exactly where
+predictors get wide and episodes get large, because batched and scalar paths
+alike bottom out in the same memory-bound float64 numpy kernels (ROADMAP
+flags this as the next throughput lever).  This module pins the lever: the
+nn engine is precision-configurable (``repro.nn.precision``), and running
+the *wide-predictor* regime in float32 — half the bytes through every GEMM,
+softmax and layer-norm — must buy at least :data:`MIN_SPEEDUP` over float64
+on one batched training round.
+
+Two arms, identical work: the same meta-batch through ``meta_step`` on the
+same initial parameters, one model converted with ``to_dtype("float32")``.
+Because float32 *is* a different numeric path, the arms are not compared
+bitwise (that is the job of the float64-pinned equivalence tests); instead
+the companion parity test runs the tier-1 few-shot pipeline — pretrain,
+adapt, predict on a held-out workload — in both precisions end to end and
+asserts the float32 RMSE lands within :data:`MAX_RMSE_DRIFT` relative of
+float64.  ``docs/numerics.md`` explains why these bands are banded, not
+exact; re-baselining guidance lives in ``docs/benchmarks.md``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import experiment_config
+from repro.core.metadse import MetaDSE
+from repro.datasets.tasks import TaskSampler, holdout_task
+from repro.meta.maml import MAMLConfig, MAMLTrainer
+from repro.metrics.regression import rmse
+from repro.nn.transformer import TransformerPredictor
+
+#: The wide-predictor regime ROADMAP flags: capacity high enough that both
+#: engine paths are memory-bound in the numpy kernels, not in Python.
+WIDE_PREDICTOR = dict(embed_dim=64, num_heads=4, num_layers=2, head_hidden=128)
+
+#: Episode shape of the measured round (large query sets, same reasoning).
+META_BATCH = 8
+SUPPORT_SIZE = 32
+QUERY_SIZE = 96
+INNER_STEPS = 5
+
+#: Minimum acceptable float32-over-float64 speed-up on one batched round.
+#: Halving bytes-per-element bounds the win at ~2× for memory-bound kernels
+#: (~2× measured here); 1.5× leaves head-room for BLAS/libm differences
+#: across machines while still failing if the engine re-grows a float64
+#: bottleneck (a single widened intermediate drags the whole round back).
+MIN_SPEEDUP = 1.5
+
+#: Maximum relative drift of the float32 few-shot RMSE vs float64.
+MAX_RMSE_DRIFT = 0.02
+
+#: Workloads the throughput episodes are drawn from.
+TRAIN_WORKLOADS = ("605.mcf_s", "625.x264_s", "602.gcc_s", "648.exchange2_s")
+
+#: Adaptation episode of the parity check (mirrors the tier-1 episode shape).
+PARITY_SUPPORT = 10
+PARITY_QUERY = 200
+
+
+def _make_trainer(dataset, dtype):
+    model = TransformerPredictor(
+        dataset.space.num_parameters, seed=0, **WIDE_PREDICTOR
+    ).to_dtype(dtype)
+    config = MAMLConfig(
+        inner_lr=0.02, outer_lr=2e-3, inner_steps=INNER_STEPS, meta_epochs=1,
+        support_size=SUPPORT_SIZE, query_size=QUERY_SIZE, seed=0,
+    )
+    return MAMLTrainer(model, config)
+
+
+def _sample_tasks(dataset, seed):
+    sampler = TaskSampler(
+        dataset, metric="ipc",
+        support_size=SUPPORT_SIZE, query_size=QUERY_SIZE, seed=seed,
+    )
+    per_workload = (META_BATCH + len(TRAIN_WORKLOADS) - 1) // len(TRAIN_WORKLOADS)
+    return sampler.sample_batch(TRAIN_WORKLOADS, tasks_per_workload=per_workload)[:META_BATCH]
+
+
+def _interleaved_best_of(times: int, run_a, run_b):
+    """Best-of-N for two arms, alternating reps so load spikes hit both."""
+    seconds_a, seconds_b = [], []
+    result_a = result_b = None
+    for _ in range(times):
+        start = time.perf_counter()
+        result_a = run_a()
+        seconds_a.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        result_b = run_b()
+        seconds_b.append(time.perf_counter() - start)
+    return (min(seconds_a), result_a), (min(seconds_b), result_b)
+
+
+def test_float32_vs_float64_speedup(dataset, split, record):
+    """float32 must beat float64 by >= 1.5x on the wide-predictor round,
+    while the full float32 few-shot pipeline stays within 2% RMSE of
+    float64 — both halves recorded together in precision_speedup.json."""
+    tasks = _sample_tasks(dataset, seed=0)
+    f64 = _make_trainer(dataset, "float64")
+    f32 = _make_trainer(dataset, "float32")
+
+    def round_f64():
+        return f64.meta_step(tasks)
+
+    def round_f32():
+        return f32.meta_step(tasks)
+
+    # Warm both arms (first-touch allocations, BLAS thread pools).
+    round_f64()
+    round_f32()
+
+    (f64_seconds, f64_loss), (f32_seconds, f32_loss) = _interleaved_best_of(
+        3, round_f64, round_f32
+    )
+
+    # Same trajectory up to float32 rounding: the losses must be close (a
+    # loose sanity band — the strict accuracy contract is the parity check
+    # below), and both finite.
+    assert np.isfinite(f64_loss) and np.isfinite(f32_loss)
+    assert abs(f32_loss - f64_loss) <= 1e-2 * max(abs(f64_loss), 1.0)
+
+    speedup = f64_seconds / f32_seconds
+
+    # -- accuracy parity: the tier-1 few-shot episode, end to end ------------
+    few_shot_rmse = {}
+    target = split.test[0]
+    task = holdout_task(
+        dataset[target], metric="ipc",
+        support_size=PARITY_SUPPORT, query_size=PARITY_QUERY, seed=3,
+    )
+    for dtype_name in ("float64", "float32"):
+        model = MetaDSE(
+            dataset.space.num_parameters,
+            config=experiment_config(seed=0),
+            precision=dtype_name,
+        )
+        model.pretrain(dataset, split, metric="ipc")
+        model.adapt(task.support_x, task.support_y)
+        few_shot_rmse[dtype_name] = float(rmse(task.query_y, model.predict(task.query_x)))
+    drift = abs(few_shot_rmse["float32"] - few_shot_rmse["float64"]) / few_shot_rmse["float64"]
+
+    record(
+        "precision_speedup",
+        {
+            "meta_batch_size": META_BATCH,
+            "support_size": SUPPORT_SIZE,
+            "query_size": QUERY_SIZE,
+            "inner_steps": INNER_STEPS,
+            "predictor": WIDE_PREDICTOR,
+            "round": "one batched meta_step (wide predictor, large episodes)",
+            "float64_seconds": f64_seconds,
+            "float32_seconds": f32_seconds,
+            "speedup": speedup,
+            "parity": {
+                "target_workload": target,
+                "support_size": PARITY_SUPPORT,
+                "query_size": PARITY_QUERY,
+                "rmse_float64": few_shot_rmse["float64"],
+                "rmse_float32": few_shot_rmse["float32"],
+                "relative_drift": drift,
+            },
+        },
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"float32 is only {speedup:.2f}x faster than float64 on the "
+        f"wide-predictor round ({f32_seconds * 1e3:.0f} ms vs "
+        f"{f64_seconds * 1e3:.0f} ms)"
+    )
+    assert drift <= MAX_RMSE_DRIFT, (
+        f"float32 few-shot RMSE drifted {drift * 100:.2f}% from float64 "
+        f"({few_shot_rmse['float32']:.6f} vs {few_shot_rmse['float64']:.6f})"
+    )

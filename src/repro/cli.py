@@ -124,7 +124,9 @@ def cmd_pretrain(args: argparse.Namespace) -> int:
         if args.tasks_per_workload is not None:
             maml = replace(maml, tasks_per_workload=args.tasks_per_workload)
         config = replace(config, maml=maml)
-    model = MetaDSE(dataset.space.num_parameters, config=config)
+    model = MetaDSE(
+        dataset.space.num_parameters, config=config, precision=args.precision
+    )
     model.pretrain(dataset, split, metric=args.metric)
     model.save_pretrained(args.output)
     report = model.pretrain_report
@@ -291,6 +293,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pretrain.add_argument(
         "--tasks-per-workload", type=int, default=None, help="override tasks per workload"
+    )
+    pretrain.add_argument(
+        "--precision", choices=("float64", "float32"), default=None,
+        help="surrogate compute dtype (float32 is the wide-predictor fast "
+             "path; see docs/numerics.md)",
     )
     pretrain.add_argument("--seed", type=int, default=0)
     pretrain.add_argument("--split-seed", type=int, default=0)

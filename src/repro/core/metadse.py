@@ -36,6 +36,7 @@ from repro.meta.adaptation import (
 )
 from repro.meta.maml import MAMLTrainer, MetaTrainingHistory
 from repro.meta.wam import ArchitecturalMask, generate_wam
+from repro.nn.precision import resolve_dtype
 from repro.nn.transformer import TransformerPredictor
 
 
@@ -65,6 +66,12 @@ class MetaDSE(CrossWorkloadModel):
     use_wam:
         Convenience override of ``config.use_wam`` — ``use_wam=False`` gives
         the *MetaDSE-w/o WAM* ablation of Fig. 5.
+    precision:
+        Compute dtype of the surrogate: ``"float64"`` (the default policy,
+        bit-identical to the reference paths) or ``"float32"`` (the fast
+        path — meta-training, WAM harvesting and adaptation all run 32-bit;
+        see ``docs/numerics.md`` for the accuracy contract).  Label
+        statistics and returned predictions stay float64 either way.
     name:
         Display name used by the benchmark tables.
     """
@@ -75,11 +82,14 @@ class MetaDSE(CrossWorkloadModel):
         *,
         config: Optional[MetaDSEConfig] = None,
         use_wam: Optional[bool] = None,
+        precision: Optional[str] = None,
         name: Optional[str] = None,
     ) -> None:
         if num_parameters < 1:
             raise ValueError("num_parameters must be >= 1")
         self.num_parameters = num_parameters
+        #: Requested surrogate dtype; ``None`` defers to the engine policy.
+        self.precision = None if precision is None else resolve_dtype(precision)
         self.config = config if config is not None else default_config()
         if use_wam is not None:
             self.config = replace(self.config, use_wam=use_wam)
@@ -143,6 +153,10 @@ class MetaDSE(CrossWorkloadModel):
             dropout=predictor_cfg.dropout,
             seed=self.config.seed,
         )
+        if self.precision is not None:
+            # Initialise in float64 (dtype-independent random stream), then
+            # convert: the float32 model is the rounding of the float64 one.
+            self.meta_model.to_dtype(self.precision)
         sampler = TaskSampler(
             scaled,
             metric=metric,
@@ -272,6 +286,14 @@ class MetaDSE(CrossWorkloadModel):
             dropout=predictor_cfg.dropout,
             seed=self.config.seed,
         )
+        if self.precision is not None:
+            self.meta_model.to_dtype(self.precision)
+        elif header.get("dtype") is not None:
+            # No explicit facade precision: adopt the checkpoint's recorded
+            # dtype so a float32 save round-trips as a float32 model.
+            self.meta_model.to_dtype(header["dtype"])
+        # load_state_dict casts the checkpoint arrays to the model's dtype,
+        # so a float64 checkpoint loads into a float32 facade (and back).
         self.meta_model.load_state_dict(state)
         self._metric = header.get("metric", "ipc")
         self._label_mean = float(header.get("label_mean", 0.0))

@@ -125,10 +125,11 @@ def adapt_predictor_batch(
     :class:`AdaptationResult` per target, in input order.
     """
     config = config if config is not None else AdaptationConfig()
+    dtype = meta_trained.dtype  # fine-tune in the meta-trained model's precision
     supports = [
         (
-            np.asarray(sx, dtype=np.float64),
-            np.asarray(sy, dtype=np.float64),
+            np.asarray(sx, dtype=dtype),
+            np.asarray(sy, dtype=dtype),
         )
         for sx, sy in supports
     ]
@@ -225,8 +226,8 @@ def _adapt_predictor_stateful(
         CosineAnnealingLR(optimizer, config.steps) if config.cosine_annealing else None
     )
 
-    x = Tensor(np.asarray(support_x, dtype=np.float64))
-    y = np.asarray(support_y, dtype=np.float64)
+    x = Tensor(np.asarray(support_x, dtype=predictor.dtype))
+    y = np.asarray(support_y, dtype=predictor.dtype)
     losses: list[float] = []
     for _ in range(config.steps):
         optimizer.zero_grad()

@@ -127,31 +127,35 @@ def _per_task_mse(predictions: Tensor, targets: np.ndarray) -> Tensor:
     """Per-task MSE over stacked episodes: ``(n_tasks, samples) -> (n_tasks,)``.
 
     Each task's entry equals the scalar :func:`mse_loss` of its slice, so the
-    sum over tasks backpropagates exactly the per-task gradients.
+    sum over tasks backpropagates exactly the per-task gradients.  Targets
+    are folded to the predictions' dtype so a float32 forward pass keeps a
+    float32 loss graph.
     """
-    diff = predictions - Tensor(targets)
+    diff = predictions - Tensor(targets, dtype=predictions.data.dtype)
     return (diff * diff).mean(axis=-1)
 
 
 def _stack_episodes(
     tasks: Sequence[Task],
+    dtype: np.dtype = np.float64,
 ) -> Optional[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
-    """Stack a task batch's arrays on a leading task axis.
+    """Stack a task batch's arrays on a leading task axis, in *dtype*.
 
     Returns ``(support_x, support_y, query_x, query_y)`` with shapes
     ``(n_tasks, S, P) / (n_tasks, S) / (n_tasks, Q, P) / (n_tasks, Q)``, or
     ``None`` when the batch is ragged (episode sizes differ), in which case
-    callers fall back to the scalar reference path.
+    callers fall back to the scalar reference path.  The trainer passes its
+    model's dtype so a float32 surrogate trains on float32 episode arrays.
     """
     if len({t.support_x.shape for t in tasks}) > 1 or len(
         {t.query_x.shape for t in tasks}
     ) > 1:
         return None
     return (
-        np.stack([np.asarray(t.support_x, dtype=np.float64) for t in tasks]),
-        np.stack([np.asarray(t.support_y, dtype=np.float64) for t in tasks]),
-        np.stack([np.asarray(t.query_x, dtype=np.float64) for t in tasks]),
-        np.stack([np.asarray(t.query_y, dtype=np.float64) for t in tasks]),
+        np.stack([np.asarray(t.support_x, dtype=dtype) for t in tasks]),
+        np.stack([np.asarray(t.support_y, dtype=dtype) for t in tasks]),
+        np.stack([np.asarray(t.query_x, dtype=dtype) for t in tasks]),
+        np.stack([np.asarray(t.query_y, dtype=dtype) for t in tasks]),
     )
 
 
@@ -211,8 +215,8 @@ class MAMLTrainer:
         source = model if model is not None else self.model
         steps = steps if steps is not None else self.config.inner_steps
         lr = lr if lr is not None else self.config.inner_lr
-        support_x = np.asarray(support_x, dtype=np.float64)
-        support_y = np.asarray(support_y, dtype=np.float64)
+        support_x = np.asarray(support_x, dtype=source.dtype)
+        support_y = np.asarray(support_y, dtype=source.dtype)
         if support_x.ndim != 3 or support_y.ndim != 2:
             raise ValueError(
                 "adapt_batch expects stacked episodes: support_x (n_tasks, S, P) "
@@ -257,8 +261,8 @@ class MAMLTrainer:
         (Algorithm 1 line 5: ``theta_hat = theta``).
         """
         source = model if model is not None else self.model
-        support_x = np.asarray(support_x, dtype=np.float64)
-        support_y = np.asarray(support_y, dtype=np.float64)
+        support_x = np.asarray(support_x, dtype=source.dtype)
+        support_y = np.asarray(support_y, dtype=source.dtype)
         params = self.adapt_batch(
             support_x[None], support_y[None], model=model, steps=steps, lr=lr
         )
@@ -285,8 +289,8 @@ class MAMLTrainer:
         lr = lr if lr is not None else self.config.inner_lr
         adapted = source.clone()
         optimizer = SGD(adapted.parameters(), lr)
-        x = Tensor(np.asarray(support_x, dtype=np.float64))
-        y = np.asarray(support_y, dtype=np.float64)
+        x = Tensor(np.asarray(support_x, dtype=source.dtype))
+        y = np.asarray(support_y, dtype=source.dtype)
         for _ in range(steps):
             optimizer.zero_grad()
             loss = mse_loss(adapted(x), y)
@@ -306,7 +310,7 @@ class MAMLTrainer:
         """
         if not tasks:
             raise ValueError("meta_step needs at least one task")
-        batch = _stack_episodes(tasks)
+        batch = _stack_episodes(tasks, dtype=self.model.dtype)
         if batch is None:
             return self.meta_step_scalar(tasks)
         support_x, support_y, query_x, query_y = batch
@@ -416,7 +420,7 @@ class MAMLTrainer:
         if not workloads:
             raise ValueError("meta_validate needs at least one workload")
         tasks = sampler.sample_batch(workloads, tasks_per_workload=tasks_per_workload)
-        batch = _stack_episodes(tasks)
+        batch = _stack_episodes(tasks, dtype=self.model.dtype)
         if batch is None:
             losses = []
             for task in tasks:

@@ -87,8 +87,8 @@ class ANILTrainer(MAMLTrainer):
             if name.startswith(self.head_prefix)
         ]
         optimizer = SGD(head_parameters, lr)
-        x = Tensor(np.asarray(support_x, dtype=np.float64))
-        y = np.asarray(support_y, dtype=np.float64)
+        x = Tensor(np.asarray(support_x, dtype=source.dtype))
+        y = np.asarray(support_y, dtype=source.dtype)
         for _ in range(steps):
             optimizer.zero_grad()
             loss = mse_loss(adapted(x), y)
@@ -172,8 +172,8 @@ class MetaSGDTrainer(MAMLTrainer):
         steps = steps if steps is not None else self.config.inner_steps
         scale = 1.0 if lr is None else lr / max(self.config.inner_lr, 1e-12)
         adapted = source.clone()
-        x = Tensor(np.asarray(support_x, dtype=np.float64))
-        y = np.asarray(support_y, dtype=np.float64)
+        x = Tensor(np.asarray(support_x, dtype=source.dtype))
+        y = np.asarray(support_y, dtype=source.dtype)
         support_grads: dict[str, np.ndarray] = {}
         for _ in range(steps):
             adapted.zero_grad()
@@ -198,7 +198,7 @@ class MetaSGDTrainer(MAMLTrainer):
         """
         if not tasks:
             raise ValueError("meta_step needs at least one task")
-        batch = _stack_episodes(tasks)
+        batch = _stack_episodes(tasks, dtype=self.model.dtype)
         if batch is None:
             return self.meta_step_scalar(tasks)
         support_x, support_y, query_x, query_y = batch

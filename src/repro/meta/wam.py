@@ -20,6 +20,12 @@ Design choices made explicit:
   ``-inf`` so the adaptation stage can revive an interaction that turns out
   to matter for the target workload — this is what makes the mask
   *workload-adaptive* rather than a hard structural prune.
+
+Precision: the collection forwards run in the model's own dtype (a float32
+surrogate is harvested in float32), but the frequency statistics accumulate
+in float64 — summing thousands of small probabilities is exactly where
+float32 accumulation drifts — and the distilled bias is float64;
+``install_mask`` casts it to the receiving model's dtype.
 """
 
 from __future__ import annotations

@@ -28,11 +28,23 @@ from repro.nn.optim import (
     clip_grad_norm,
     stacked_sgd_step,
 )
+from repro.nn.precision import (
+    SUPPORTED_DTYPES,
+    default_dtype,
+    precision,
+    resolve_dtype,
+    set_default_dtype,
+)
 from repro.nn.serialization import load_model, load_state, save_model
 from repro.nn.tensor import Tensor, concatenate, ones, stack, tensor, zeros
 from repro.nn.transformer import TransformerEncoderLayer, TransformerPredictor
 
 __all__ = [
+    "precision",
+    "default_dtype",
+    "set_default_dtype",
+    "resolve_dtype",
+    "SUPPORTED_DTYPES",
     "Tensor",
     "tensor",
     "zeros",

@@ -76,9 +76,11 @@ class MultiHeadSelfAttention(Module):
         The mask has shape ``(tokens, tokens)`` and is broadcast over batch
         and heads.  When *learnable* the mask is registered as a parameter so
         the adaptation stage fine-tunes it together with the weights
-        (Algorithm 2 line 2).
+        (Algorithm 2 line 2).  The mask is cast to the layer's own parameter
+        dtype, so installing the (float64) WAM statistics into a float32
+        model keeps the model uniformly float32.
         """
-        mask = np.asarray(mask, dtype=np.float64)
+        mask = np.asarray(mask, dtype=self.query.weight.data.dtype)
         if mask.ndim != 2 or mask.shape[0] != mask.shape[1]:
             raise ValueError(f"mask must be square (tokens x tokens), got {mask.shape}")
         tensor = Tensor(mask.copy(), requires_grad=learnable)

@@ -4,6 +4,15 @@ The whole reproduction rests on the correctness of the from-scratch
 reverse-mode autograd in :mod:`repro.nn.tensor`; these helpers compare its
 analytical gradients against central finite differences so every layer can be
 verified directly in the test suite (and by users adding new layers).
+
+Gradcheck is **float64-only** by contract: central differences with
+``epsilon = 1e-6`` live entirely below float32's resolution (~1e-7 relative),
+so a float32 gradcheck would measure rounding noise, not gradients.  The
+helpers raise a clear error when called under a float32 policy or on a
+float32 model — verify gradients in float64, then convert the model with
+:meth:`Module.to_dtype` (the float32 kernels are the same code, byte-width
+aside).  ``docs/numerics.md`` records this as one of the float64-pinned
+paths.
 """
 
 from __future__ import annotations
@@ -13,7 +22,18 @@ from typing import Callable
 import numpy as np
 
 from repro.nn.module import Module
+from repro.nn.precision import default_dtype
 from repro.nn.tensor import Tensor
+
+
+def _require_float64_policy(caller: str) -> None:
+    if default_dtype() != np.float64:
+        raise ValueError(
+            f"{caller} is float64-only: the active precision policy is "
+            f"{default_dtype().name!r}, and finite differences at epsilon~1e-6 "
+            "are meaningless below float64 resolution. Run gradcheck outside "
+            "the precision('float32') scope."
+        )
 
 
 def numerical_gradient(
@@ -51,6 +71,7 @@ def check_tensor_gradient(
     Returns ``(analytical, numerical)`` so tests can report both; raises
     ``AssertionError`` when they disagree beyond the tolerances.
     """
+    _require_float64_policy("check_tensor_gradient")
     inputs = np.asarray(inputs, dtype=np.float64)
 
     tensor_input = Tensor(inputs.copy(), requires_grad=True)
@@ -87,6 +108,14 @@ def check_module_gradients(
     prohibitively slow).  Returns the max absolute error per parameter and
     raises ``AssertionError`` on the first mismatch beyond the tolerances.
     """
+    _require_float64_policy("check_module_gradients")
+    for name, parameter in module.named_parameters():
+        if parameter.data.dtype != np.float64:
+            raise ValueError(
+                f"check_module_gradients is float64-only: parameter {name!r} "
+                f"has dtype {parameter.data.dtype.name!r}. Gradcheck the "
+                "float64 model, then convert with Module.to_dtype('float32')."
+            )
     inputs = np.asarray(inputs, dtype=np.float64)
     was_training = module.training
     module.eval()  # dropout off: finite differences need a deterministic map

@@ -19,6 +19,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.nn.module import Module
+from repro.nn.precision import default_dtype
 from repro.nn.tensor import Tensor, affine
 from repro.utils.rng import SeedLike, as_rng
 
@@ -33,17 +34,25 @@ ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
 
 
 def xavier_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
-    """Glorot/Xavier uniform initialisation."""
+    """Glorot/Xavier uniform initialisation (allocated in the policy dtype).
+
+    The draw itself is always float64 so a float32 model is the *rounding*
+    of the float64 model with the same seed, not a different sample.
+    """
     fan_in, fan_out = shape[0], shape[-1]
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(default_dtype(), copy=False)
 
 
 def kaiming_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
-    """He/Kaiming normal initialisation (for ReLU-family activations)."""
+    """He/Kaiming normal initialisation (for ReLU-family activations).
+
+    Like :func:`xavier_uniform`, drawn in float64 and cast to the policy
+    dtype so precision never changes the random stream.
+    """
     fan_in = shape[0]
     std = np.sqrt(2.0 / fan_in)
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(default_dtype(), copy=False)
 
 
 class Linear(Module):
@@ -68,7 +77,9 @@ class Linear(Module):
         )
         self.bias: Optional[Tensor] = None
         if bias:
-            self.bias = self.register_parameter("bias", Tensor(np.zeros(out_features)))
+            self.bias = self.register_parameter(
+                "bias", Tensor(np.zeros(out_features, dtype=default_dtype()))
+            )
 
     def forward(self, inputs: Tensor) -> Tensor:
         # One fused graph node: leading input axes are collapsed into a
@@ -87,8 +98,12 @@ class LayerNorm(Module):
             raise ValueError("normalized_shape must be positive")
         self.eps = eps
         self.normalized_shape = normalized_shape
-        self.gamma = self.register_parameter("gamma", Tensor(np.ones(normalized_shape)))
-        self.beta = self.register_parameter("beta", Tensor(np.zeros(normalized_shape)))
+        self.gamma = self.register_parameter(
+            "gamma", Tensor(np.ones(normalized_shape, dtype=default_dtype()))
+        )
+        self.beta = self.register_parameter(
+            "beta", Tensor(np.zeros(normalized_shape, dtype=default_dtype()))
+        )
 
     def forward(self, inputs: Tensor) -> Tensor:
         gamma, beta = self.gamma, self.beta
@@ -115,7 +130,11 @@ class Dropout(Module):
         if not self.training or self.rate == 0.0:
             return inputs
         keep = 1.0 - self.rate
-        mask = (self._rng.random(inputs.shape) < keep) / keep
+        # Draw in float64 (dtype-independent stream), scale in the input's
+        # dtype so dropout never widens a float32 graph.
+        mask = ((self._rng.random(inputs.shape) < keep) / keep).astype(
+            inputs.data.dtype, copy=False
+        )
         return inputs * Tensor(mask)
 
 
@@ -202,10 +221,20 @@ class ParameterEmbedding(Module):
         self.num_parameters = num_parameters
         self.embed_dim = embed_dim
         self.value_scale = self.register_parameter(
-            "value_scale", Tensor(rng.normal(0.0, 1.0, size=(num_parameters, embed_dim)))
+            "value_scale",
+            Tensor(
+                rng.normal(0.0, 1.0, size=(num_parameters, embed_dim)).astype(
+                    default_dtype(), copy=False
+                )
+            ),
         )
         self.positional = self.register_parameter(
-            "positional", Tensor(rng.normal(0.0, 0.02, size=(num_parameters, embed_dim)))
+            "positional",
+            Tensor(
+                rng.normal(0.0, 0.02, size=(num_parameters, embed_dim)).astype(
+                    default_dtype(), copy=False
+                )
+            ),
         )
 
     def forward(self, inputs: Tensor) -> Tensor:

@@ -7,20 +7,28 @@ import numpy as np
 from repro.nn.tensor import Tensor
 
 
-def _as_tensor(value) -> Tensor:
-    return value if isinstance(value, Tensor) else Tensor(np.asarray(value, dtype=np.float64))
+def _as_tensor(value, like: Tensor) -> Tensor:
+    """Coerce targets, folding raw arrays to the predictions' dtype.
+
+    Targets usually arrive as float64 label arrays; folding them keeps a
+    float32 model's loss graph float32.  An explicit Tensor target is taken
+    as-is and promotes per numpy rules.
+    """
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=like.data.dtype))
 
 
 def mse_loss(predictions: Tensor, targets) -> Tensor:
     """Mean squared error (the loss used throughout the paper)."""
-    targets = _as_tensor(targets)
+    targets = _as_tensor(targets, predictions)
     diff = predictions - targets
     return (diff * diff).mean()
 
 
 def mae_loss(predictions: Tensor, targets) -> Tensor:
     """Mean absolute error."""
-    targets = _as_tensor(targets)
+    targets = _as_tensor(targets, predictions)
     return (predictions - targets).abs().mean()
 
 
@@ -32,7 +40,7 @@ def huber_loss(predictions: Tensor, targets, *, delta: float = 1.0) -> Tensor:
     """
     if delta <= 0:
         raise ValueError(f"delta must be positive, got {delta}")
-    targets = _as_tensor(targets)
+    targets = _as_tensor(targets, predictions)
     diff = predictions - targets
     abs_diff = diff.abs()
     quadratic = (diff * diff) * 0.5

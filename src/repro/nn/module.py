@@ -32,6 +32,7 @@ from typing import Collection, Iterator, Mapping, Optional
 
 import numpy as np
 
+from repro.nn.precision import default_dtype, resolve_dtype
 from repro.nn.tensor import Tensor, stack
 
 
@@ -117,6 +118,42 @@ class Module:
         for parameter in self.parameters():
             parameter.zero_grad()
 
+    # -- precision -------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the module's parameters.
+
+        By the :meth:`to_dtype` contract all parameters share one dtype; the
+        first parameter's dtype is reported.  A module without parameters
+        reports the current policy dtype.
+        """
+        for _, parameter in self.named_parameters():
+            return parameter.data.dtype
+        return default_dtype()
+
+    def to_dtype(self, dtype) -> "Module":
+        """Convert every parameter (and installed mask) to *dtype*, in place.
+
+        Parameter tensors keep their identity — their ``data`` buffers are
+        cast — so attribute aliases (``self.weight``) and optimizer parameter
+        lists stay valid; gradients are cleared (stale-width gradients are
+        worse than none).  Tensor attributes that are not registered
+        parameters (e.g. a non-learnable attention mask) are cast too, so a
+        converted model never mixes widths in its own forward pass.
+        Optimizer *state* (momentum/Adam moments) created before the
+        conversion is not touched: build optimizers after converting.
+        """
+        target = resolve_dtype(dtype)
+        for module in self.modules():
+            for parameter in module._parameters.values():
+                parameter.data = parameter.data.astype(target, copy=False)
+                parameter.grad = None
+            for name, value in vars(module).items():
+                if isinstance(value, Tensor) and name not in module._parameters:
+                    value.data = value.data.astype(target, copy=False)
+                    value.grad = None
+        return self
+
     # -- state management ----------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
         """Copy all parameters out as plain numpy arrays."""
@@ -132,12 +169,15 @@ class Module:
                 f"state dict mismatch: missing {sorted(missing)}, unexpected {sorted(unexpected)}"
             )
         for name, parameter in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name])
             if value.shape != parameter.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name!r}: {value.shape} vs {parameter.data.shape}"
                 )
-            parameter.data = value.copy()
+            # Explicit cast to the parameter's own dtype: a float64 checkpoint
+            # loads into a float32 model (and vice versa) without silently
+            # changing the model's precision.  ``astype`` always copies.
+            parameter.data = value.astype(parameter.data.dtype)
 
     def clone(self) -> "Module":
         """Structural deep copy with identical parameter values, fresh grads."""

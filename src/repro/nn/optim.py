@@ -17,6 +17,26 @@ Two optimiser styles coexist:
   and return a *new* mapping of detached gradient-requiring leaves.  This is
   the update style of the task-batched inner loop, where every step re-binds
   the parameters via ``functional_call``.
+
+A minimal functional training step, spelling out the calling convention the
+task-batched paths use everywhere::
+
+    params = model.stack_parameters(n_tasks)          # {name: (n, *shape)}
+    optimizer = StackedSGD(lr=0.01)
+    for _ in range(steps):
+        loss = per_task_loss(model.functional_call(params, x), y).sum()
+        loss.backward()                               # grads land on params
+        params = optimizer.step(params)               # fresh detached leaves
+    model.load_state_dict(model.unstack_state(params, task_index))
+
+**Precision.**  Optimiser state follows the parameters it manages: velocity
+and Adam moments are allocated with ``np.zeros_like`` on the parameter data,
+and the engine guarantees leaf gradients match the leaf dtype, so a float32
+model trains with float32 state end to end — no configuration needed.
+Construct optimisers *after* :meth:`Module.to_dtype`; converting a model
+under an existing optimiser leaves stale-width state behind.  Scalar
+hyper-parameters (``lr``, ``betas``, schedules) stay Python floats and never
+widen an update.
 """
 
 from __future__ import annotations

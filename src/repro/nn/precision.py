@@ -1,0 +1,102 @@
+"""Dtype policy for the nn engine (the float32 fast path).
+
+The engine computes in ``float64`` by default — that is what every
+equivalence test and gradcheck pins bit-for-bit.  But the transformer
+surrogate is, like the models the paper builds on, perfectly trainable in
+32-bit, and on the memory-bound numpy kernels the task-batched path bottoms
+out in, halving bytes-per-element is the cheapest throughput lever there is
+(see ``docs/numerics.md`` for the measured numbers and the drift contract).
+
+This module is the single source of the engine's *default dtype policy*:
+
+* :func:`default_dtype` — the dtype newly created tensors and parameters
+  allocate in when their data does not already carry a float dtype;
+* :func:`set_default_dtype` — switch the process-global policy;
+* :func:`precision` — a context manager that switches the policy for a
+  scope and restores the previous policy on exit, even on exception::
+
+      with precision("float32"):
+          model = TransformerPredictor(22)   # float32 parameters
+      assert default_dtype() == np.float64   # policy restored
+
+The policy governs *allocation*, not arithmetic: once tensors exist, result
+dtypes follow numpy's promotion rules (mixing a float32 model with float64
+inputs promotes to float64 — see ``docs/numerics.md``).  Existing numpy
+float arrays always keep their explicit dtype; the policy only decides what
+Python scalars, lists and integer arrays become.
+
+Only ``float32`` and ``float64`` are supported: the analytical substrate and
+the label pipeline are float64 end to end, and half precision has no
+hardware story on the numpy backend.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+DTypeLike = Union[str, type, np.dtype]
+
+#: The dtypes the engine supports as a compute policy.
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_default_dtype = np.dtype(np.float64)
+
+
+def resolve_dtype(dtype: Optional[DTypeLike]) -> np.dtype:
+    """Normalise *dtype* to a supported ``np.dtype``.
+
+    Accepts ``"float32"`` / ``"float64"`` strings, numpy scalar types and
+    ``np.dtype`` instances; ``None`` resolves to the current policy dtype.
+    Raises ``ValueError`` for anything else (including half/longdouble).
+    """
+    if dtype is None:
+        return _default_dtype
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as error:
+        raise ValueError(f"unsupported precision {dtype!r}") from error
+    if resolved not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported precision {dtype!r}; choose from "
+            f"{[d.name for d in SUPPORTED_DTYPES]}"
+        )
+    return resolved
+
+
+def default_dtype() -> np.dtype:
+    """The dtype the engine currently allocates new tensors in."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype: DTypeLike) -> np.dtype:
+    """Set the process-global default dtype; returns the *previous* policy.
+
+    Prefer the scoped :func:`precision` context manager — a global switch
+    left on ``float32`` makes the float64-pinned paths (gradcheck, the
+    equivalence tests) fail by design.
+    """
+    global _default_dtype
+    previous = _default_dtype
+    _default_dtype = resolve_dtype(dtype)
+    return previous
+
+
+@contextmanager
+def precision(dtype: DTypeLike) -> Iterator[np.dtype]:
+    """Scoped dtype policy: restore the previous policy on exit.
+
+    Nests naturally, and the restore runs even when the body raises::
+
+        with precision("float32"):
+            with precision("float64"):
+                ...  # float64 inside
+            ...      # float32 again
+    """
+    previous = set_default_dtype(dtype)
+    try:
+        yield _default_dtype
+    finally:
+        set_default_dtype(previous)

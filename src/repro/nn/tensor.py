@@ -4,7 +4,7 @@ No deep-learning framework is available in the offline environment, so the
 transformer predictor and the MAML training loop are built on this engine.
 The design follows the familiar define-by-run pattern:
 
-* a :class:`Tensor` wraps a ``float64`` numpy array, a gradient buffer, and a
+* a :class:`Tensor` wraps a float numpy array, a gradient buffer, and a
   closure that knows how to propagate gradients to its parents;
 * operations build the computation graph on the fly;
 * :meth:`Tensor.backward` topologically sorts the graph and runs the stored
@@ -13,6 +13,29 @@ The design follows the familiar define-by-run pattern:
 Only the operations the library actually needs are implemented, but each one
 supports full numpy broadcasting (gradients are "un-broadcast" by summing
 over the broadcast axes), which keeps layer implementations natural.
+
+**Precision.**  Tensors are not pinned to ``float64``: data that already
+carries an explicit float dtype keeps it, and everything else (Python
+scalars, lists, integer arrays) is allocated in the policy dtype of
+:mod:`repro.nn.precision`.  Scalar constants folded into binary operations
+(``x * 0.5``) take the dtype of their tensor operand, so a float32 graph
+stays float32 end to end; mixing float tensors of different widths follows
+numpy promotion (float32 ⊕ float64 → float64).  The fused kernels below
+(``affine``, ``layer_norm``, ``scaled_dot_product_attention``, ``gelu``)
+allocate their outputs and intermediates in the dtype of their inputs.
+The contract is spelled out in ``docs/numerics.md``.
+
+**Stacked-parameter convention.**  The task-batched execution layer (see
+:mod:`repro.nn.module`) binds parameters with one extra leading task axis;
+the fused primitives here dispatch on that rank.  A minimal example of the
+convention at the tensor level::
+
+    w = Tensor(np.zeros((4, 3, 5)))         # 4 task slices of a (3, 5) weight
+    x = Tensor(np.ones((4, 10, 3)))         # task t's rows meet slice t
+    y = affine(x, w)                        # (4, 10, 5), one stacked GEMM
+
+``stack([p] * n)`` builds such a bank differentiably from a single shared
+parameter (gradients sum back over the task axis).
 """
 
 from __future__ import annotations
@@ -21,14 +44,30 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.nn.precision import default_dtype, resolve_dtype
+
 ArrayLike = Union[float, int, Sequence, np.ndarray, "Tensor"]
 
 
-def _as_array(value: ArrayLike) -> np.ndarray:
-    """Coerce *value* to a float64 numpy array."""
+def _as_array(value: ArrayLike, dtype: Optional[np.dtype] = None) -> np.ndarray:
+    """Coerce *value* to a float numpy array.
+
+    With an explicit *dtype* the result is cast to it.  Otherwise a numpy
+    array that already carries a supported float dtype is passed through
+    unchanged (an explicit dtype choice wins), and everything else — Python
+    scalars, lists, integer or boolean arrays — is allocated in the policy
+    dtype of :func:`repro.nn.precision.default_dtype`.
+    """
     if isinstance(value, Tensor):
-        return value.data
-    return np.asarray(value, dtype=np.float64)
+        value = value.data
+    if dtype is not None:
+        return np.asarray(value, dtype=dtype)
+    if isinstance(value, (np.ndarray, np.generic)) and value.dtype in (
+        np.float32,
+        np.float64,
+    ):
+        return np.asarray(value)
+    return np.asarray(value, dtype=default_dtype())
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -52,6 +91,22 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _coerce_operand(other: ArrayLike, like: np.ndarray) -> "Tensor":
+    """Wrap the non-Tensor operand of a binary op.
+
+    Python/numpy scalars are folded to the dtype of the tensor operand
+    *like*, so scalar constants never widen a float32 graph (numpy's NEP 50
+    rules make 0-d float64 arrays "strong", which would otherwise promote
+    every ``x * 0.5``).  Arrays go through the usual :func:`_as_array`
+    policy and participate in ordinary numpy promotion.
+    """
+    if isinstance(other, Tensor):
+        return other
+    if isinstance(other, (int, float, np.number)):
+        return Tensor(np.asarray(other, dtype=like.dtype))
+    return Tensor(other)
+
+
 class Tensor:
     """A node in the autodiff graph."""
 
@@ -62,12 +117,13 @@ class Tensor:
         self,
         data: ArrayLike,
         *,
+        dtype: Optional[np.dtype] = None,
         requires_grad: bool = False,
         parents: tuple["Tensor", ...] = (),
         backward: Optional[Callable[[np.ndarray], None]] = None,
         name: str = "",
     ) -> None:
-        self.data = _as_array(data)
+        self.data = _as_array(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._parents = parents
@@ -90,6 +146,11 @@ class Tensor:
         """Total number of elements."""
         return self.data.size
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the underlying array."""
+        return self.data.dtype
+
     def __len__(self) -> int:
         return len(self.data)
 
@@ -109,6 +170,19 @@ class Tensor:
         """Return a new tensor sharing data but cut from the graph."""
         return Tensor(self.data, requires_grad=False)
 
+    def astype(self, dtype) -> "Tensor":
+        """Cast to *dtype* (differentiable; the gradient is cast back)."""
+        target = resolve_dtype(dtype)
+        if self.data.dtype == target:
+            return self
+        out_data = self.data.astype(target)
+        source = self.data.dtype
+
+        def backward(grad: np.ndarray) -> tuple:
+            return (grad.astype(source),)
+
+        return Tensor._make(out_data, (self,), backward)
+
     # -- gradient bookkeeping ---------------------------------------------------
     def zero_grad(self) -> None:
         """Clear the accumulated gradient."""
@@ -117,6 +191,12 @@ class Tensor:
     def _accumulate_grad(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
+        # A leaf's gradient always matches the leaf's dtype: a mixed-width
+        # graph (float32 parameters, float64 inputs) computes in float64 but
+        # hands float32 gradients to float32 parameters, so optimizer
+        # updates never silently widen the model.
+        if grad.dtype != self.data.dtype:
+            grad = grad.astype(self.data.dtype)
         if self.grad is None:
             self.grad = np.zeros_like(self.data)
         self.grad = self.grad + grad
@@ -130,7 +210,9 @@ class Tensor:
             if self.data.size != 1:
                 raise ValueError("backward() without an argument requires a scalar output")
             grad = np.ones_like(self.data)
-        grad = _as_array(grad)
+        # Seed in the output's own dtype so a float32 graph accumulates
+        # float32 gradients even when the caller hands a float64 seed.
+        grad = _as_array(grad, dtype=self.data.dtype)
 
         # Topological order of the graph reachable from self.
         order: list[Tensor] = []
@@ -185,7 +267,7 @@ class Tensor:
 
     # -- arithmetic -------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce_operand(other, self.data)
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray) -> tuple:
@@ -206,7 +288,7 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce_operand(other, self.data)
         out_data = self.data - other.data
 
         def backward(grad: np.ndarray) -> tuple:
@@ -218,10 +300,10 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other).__sub__(self)
+        return _coerce_operand(other, self.data).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce_operand(other, self.data)
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray) -> tuple:
@@ -236,7 +318,7 @@ class Tensor:
         return self.__mul__(other)
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce_operand(other, self.data)
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray) -> tuple:
@@ -248,7 +330,7 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other).__truediv__(self)
+        return _coerce_operand(other, self.data).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -268,7 +350,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = other if isinstance(other, Tensor) else Tensor(other)  # arrays only
         out_data = np.matmul(self.data, other.data)
 
         def backward(grad: np.ndarray) -> tuple:
@@ -518,19 +600,23 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
 
-def tensor(data: ArrayLike, *, requires_grad: bool = False) -> Tensor:
+def tensor(data: ArrayLike, *, dtype=None, requires_grad: bool = False) -> Tensor:
     """Functional constructor mirroring ``torch.tensor``."""
-    return Tensor(data, requires_grad=requires_grad)
+    return Tensor(
+        data,
+        dtype=None if dtype is None else resolve_dtype(dtype),
+        requires_grad=requires_grad,
+    )
 
 
-def zeros(shape: Sequence[int], *, requires_grad: bool = False) -> Tensor:
-    """A tensor of zeros."""
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+def zeros(shape: Sequence[int], *, dtype=None, requires_grad: bool = False) -> Tensor:
+    """A tensor of zeros (in the policy dtype unless *dtype* is given)."""
+    return Tensor(np.zeros(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad)
 
 
-def ones(shape: Sequence[int], *, requires_grad: bool = False) -> Tensor:
-    """A tensor of ones."""
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+def ones(shape: Sequence[int], *, dtype=None, requires_grad: bool = False) -> Tensor:
+    """A tensor of ones (in the policy dtype unless *dtype* is given)."""
+    return Tensor(np.ones(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad)
 
 
 def affine(

@@ -121,7 +121,10 @@ class TransformerPredictor(Module):
         parameter slice; plain parameters are shared across tasks.
         """
         if not isinstance(inputs, Tensor):
-            inputs = Tensor(np.asarray(inputs, dtype=np.float64))
+            # Raw arrays are cast to the model's own dtype (the fast path);
+            # a Tensor input is taken as-is, so an explicitly float64 Tensor
+            # fed to a float32 model promotes per numpy rules.
+            inputs = Tensor(np.asarray(inputs, dtype=self.dtype))
         if inputs.ndim not in (2, 3):
             raise ValueError(
                 f"expected (batch, {self.num_parameters}) input "
@@ -141,7 +144,7 @@ class TransformerPredictor(Module):
         was_training = self.training
         self.eval()
         try:
-            out = self.forward(Tensor(np.asarray(inputs, dtype=np.float64)))
+            out = self.forward(Tensor(np.asarray(inputs, dtype=self.dtype)))
         finally:
             self.train(was_training)
         return out.data.copy()

@@ -147,6 +147,29 @@ class TestMetaDSEFacade:
         )
         assert clone.mask is not None
 
+    def test_float32_facade_round_trips_and_adapts(
+        self, small_dataset, small_split, tmp_path
+    ):
+        model = MetaDSE(22, config=fast_config(), precision="float32")
+        model.pretrain(small_dataset, small_split, metric="ipc")
+        assert model.meta_model.dtype == np.float32
+        path = tmp_path / "metadse32.npz"
+        model.save_pretrained(path)
+
+        # No explicit precision: the clone adopts the checkpoint's dtype.
+        clone = MetaDSE(22, config=fast_config())
+        clone.load_pretrained(path)
+        assert clone.meta_model.dtype == np.float32
+
+        task = holdout_task(
+            small_dataset["605.mcf_s"], support_size=8, query_size=20, seed=1
+        )
+        clone.adapt(task.support_x, task.support_y)
+        assert clone.adapted.dtype == np.float32
+        predictions = clone.predict(task.query_x)
+        assert predictions.dtype == np.float64  # physical units stay float64
+        assert np.all(np.isfinite(predictions))
+
     def test_repeated_adaptation_is_independent(self, pretrained, small_dataset):
         task_a = holdout_task(small_dataset["605.mcf_s"], support_size=8, query_size=20, seed=1)
         task_b = holdout_task(small_dataset["620.omnetpp_s"], support_size=8, query_size=20, seed=1)

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Documentation consistency checker (the ``make docs-check`` target).
+
+Two failure classes, both of which have bitten stale docs before:
+
+1. **Dead intra-repo links** — every relative markdown link in the repo's
+   top-level ``*.md`` files and ``docs/*.md`` must point at a file or
+   directory that exists (external ``http(s)``/``mailto`` links and pure
+   ``#anchor`` links are not checked).
+2. **Stale module references** — ``docs/*.md`` and ``README.md`` routinely
+   name modules (``repro.nn.precision``, ``src/repro/meta/maml.py``,
+   ``benchmarks/test_meta_throughput.py``).  Every such reference must
+   resolve to an existing file: dotted ``repro.…`` names are resolved
+   against ``src/`` (a trailing attribute like ``repro.nn.tensor.stack`` is
+   fine — some prefix must resolve to a module), and path-like references
+   are resolved against the repo root.
+
+Exits non-zero listing every offence, so it can gate ``make test``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose links are validated.
+LINKED_FILES = sorted(REPO_ROOT.glob("*.md")) + sorted((REPO_ROOT / "docs").glob("*.md"))
+
+#: Files whose prose module references are validated.
+MODULE_REF_FILES = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_DOTTED = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+_PATHLIKE = re.compile(
+    r"\b((?:src/repro|benchmarks|examples|tests|tools|docs)/[A-Za-z0-9_\-./]+)"
+)
+
+
+def check_links(path: Path) -> list[str]:
+    """Return one message per dead relative link in *path*."""
+    errors = []
+    for match in _LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: dead link -> {target}")
+    return errors
+
+
+def _dotted_resolves(name: str) -> bool:
+    """True when a dotted ``repro.…`` reference names something that exists.
+
+    The longest prefix that is a module file (``repro.nn.tensor`` →
+    ``src/repro/nn/tensor.py``) accepts any attribute tail (``….stack``) —
+    attributes of a real module are not the staleness this tool hunts.  A
+    tail hanging off a *package* directory, however, must be an attribute
+    the package actually exports (``repro.nn.vanished_module`` is exactly
+    the stale reference to catch), which is checked by importing it.
+    """
+    parts = name.split(".")
+    for end in range(len(parts), 0, -1):
+        base = REPO_ROOT / "src" / Path(*parts[:end])
+        if base.with_suffix(".py").exists():
+            return True
+        if base.is_dir():
+            if end == len(parts):
+                return True
+            return _package_has_attribute(".".join(parts[:end]), parts[end])
+    return False
+
+
+def _package_has_attribute(package: str, attribute: str) -> bool:
+    import importlib
+
+    source = str(REPO_ROOT / "src")
+    if source not in sys.path:
+        sys.path.insert(0, source)
+    try:
+        return hasattr(importlib.import_module(package), attribute)
+    except Exception:
+        return False
+
+
+def check_module_references(path: Path) -> list[str]:
+    """Return one message per stale module reference in *path*."""
+    text = path.read_text()
+    errors = []
+    for match in _DOTTED.finditer(text):
+        if not _dotted_resolves(match.group(0)):
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)}: stale module reference -> "
+                f"{match.group(0)}"
+            )
+    for match in _PATHLIKE.finditer(text):
+        reference = match.group(1).rstrip(".")
+        # Globby/illustrative references (benchmarks/test_*.py) are skipped.
+        if "*" in reference:
+            continue
+        if not (REPO_ROOT / reference).exists():
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)}: stale path reference -> {reference}"
+            )
+    return errors
+
+
+def main() -> int:
+    errors: list[str] = []
+    for path in LINKED_FILES:
+        errors.extend(check_links(path))
+    for path in MODULE_REF_FILES:
+        errors.extend(check_module_references(path))
+    if errors:
+        print(f"docs-check: {len(errors)} problem(s)")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    checked = {p.relative_to(REPO_ROOT) for p in LINKED_FILES + MODULE_REF_FILES}
+    print(f"docs-check: OK ({len(checked)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
