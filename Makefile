@@ -7,17 +7,21 @@
 #                          includes the throughput benchmarks)
 #   make bench-meta      - just the meta-training throughput benchmark
 #   make bench-precision - just the float32-vs-float64 precision benchmark
+#   make bench-dse       - just the cross-workload DSE campaign benchmark
 #   make docs-check      - fail on dead intra-repo links / stale module refs
+#                          / uncataloged benchmarks/results JSONs
 #   make examples        - run every example script end to end
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test unit bench bench-meta bench-precision docs-check examples
+.PHONY: test unit bench bench-meta bench-precision bench-dse docs-check examples
 
 test: docs-check
 	$(PYTHON) -m pytest -x -q
 
+# Includes the DSE engine-vs-reference equivalence tests
+# (tests/test_dse_engine_equivalence.py) alongside the rest of tests/.
 unit:
 	$(PYTHON) -m pytest tests -q
 
@@ -29,6 +33,9 @@ bench-meta:
 
 bench-precision:
 	$(PYTHON) -m pytest benchmarks/test_precision_throughput.py -q
+
+bench-dse:
+	$(PYTHON) -m pytest benchmarks/test_dse_campaign_throughput.py -q
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

@@ -1,18 +1,24 @@
 #!/usr/bin/env python3
 """Budget-constrained design-space exploration of a single workload.
 
-The surrogate models exist to steer exploration.  This example compares three
-ways of spending a small simulation budget on an unseen workload:
+The surrogate models exist to steer exploration.  This example compares
+three ways of spending a small simulation budget on an unseen workload,
+all expressed as strategy configurations over the shared
+:class:`repro.dse.CampaignEngine` (candidate generator + acquisition +
+surrogate; the legacy explorer classes are thin wrappers over the same
+engine):
 
 1. **random search** — simulate random configurations;
-2. **active learning** — the simulate/train/refine loop of
-   :class:`repro.dse.ActiveLearningExplorer`;
-3. **NSGA-II screening** — evolve candidates against surrogate predictions
-   (trained on the active-learning measurements) and simulate the final
-   predicted front.
+2. **active learning** — the simulate/train/refine strategy
+   (``rounds + refit`` with a tree-ensemble surrogate and the
+   exploration-bonus acquisition, i.e. what
+   :class:`repro.dse.ActiveLearningExplorer` configures);
+3. **NSGA-II screening** — an :class:`repro.dse.NSGA2Evolve` candidate
+   generator that evolves the pool against surrogates trained on the
+   active-learning measurements before any further simulation is spent.
 
-Quality is reported as the hypervolume of the measured IPC/power Pareto front
-and as ADRS against a brute-force reference front.
+Quality is reported as the hypervolume of the measured IPC/power Pareto
+front and as ADRS against a brute-force reference front.
 
 Run with::
 
@@ -31,12 +37,16 @@ import numpy as np
 
 from repro import Simulator
 from repro.baselines.trees import GradientBoostingRegressor
-from repro.designspace.encoding import OrdinalEncoder
 from repro.designspace.sampling import RandomSampler
 from repro.dse import (
-    ActiveLearningExplorer,
-    NSGA2Explorer,
+    CampaignEngine,
+    ExplorationBonusAcquisition,
+    NSGA2Evolve,
+    ObjectiveSet,
+    ParetoRankAcquisition,
     PredictorGuidedExplorer,
+    RandomPool,
+    TreeEnsembleSurrogate,
     adrs,
     hypervolume_2d,
     pareto_front,
@@ -64,10 +74,18 @@ def hypervolume(rows, reference_rows):
     return hypervolume_2d(minimised[pareto_front(minimised)], point)
 
 
+def tree_surrogate(objectives):
+    return TreeEnsembleSurrogate(
+        lambda: GradientBoostingRegressor(n_estimators=60, max_depth=3, seed=0),
+        objectives.names,
+    )
+
+
 def main() -> None:
-    simulator = Simulator(simpoint_phases=1, seed=11)
+    simulator = Simulator(simpoint_phases=1, seed=11, evaluation_cache=True)
     space = simulator.space
-    encoder = OrdinalEncoder(space)
+    objectives = ObjectiveSet.from_names(("ipc", "power"))
+    engine = CampaignEngine(space, simulator, objectives, seed=1)
 
     # ---- reference front: brute-force a modest candidate pool -----------------
     print("building the brute-force reference front (this is what the budgeted "
@@ -86,33 +104,41 @@ def main() -> None:
     random_result = explorer.random_search(WORKLOAD, simulation_budget=BUDGET)
     results["random search"] = random_result.measured_objectives
 
-    # ---- 2. active learning ----------------------------------------------------
-    active = ActiveLearningExplorer(space, simulator, candidate_pool=600, seed=1)
-    active_result = active.explore(
-        WORKLOAD, initial_samples=BUDGET // 3, batch_size=BUDGET // 6, rounds=4
+    # ---- 2. active learning: rounds + refit over the engine --------------------
+    active_result = engine.run(
+        WORKLOAD,
+        tree_surrogate(objectives),
+        generator=RandomPool(600),
+        acquisition=ExplorationBonusAcquisition(),
+        simulation_budget=BUDGET // 6,
+        rounds=4,
+        initial_samples=BUDGET // 3,
+        refit=True,
     )
     results["active learning"] = active_result.measured_objectives
     print("\nactive-learning hypervolume per round: "
           f"{[round(v, 3) for v in active_result.hypervolume_history()]}")
 
-    # ---- 3. NSGA-II over surrogates fitted to the active measurements ------------
-    features = encoder.encode_batch(active_result.simulated_configs)
-    surrogates = {}
-    for column, name in enumerate(("ipc", "power")):
-        surrogate = GradientBoostingRegressor(n_estimators=60, max_depth=3, seed=0)
-        surrogate.fit(features, active_result.measured_objectives[:, column])
-        surrogates[name] = surrogate.predict
-    nsga = NSGA2Explorer(space, population_size=32, generations=15, seed=1)
-    nsga_result = nsga.explore(surrogates)
-    # Spend a small extra budget validating the predicted front in simulation.
-    validated_rows, _ = measured_front(simulator, nsga_result.pareto_configs[:20], WORKLOAD)
+    # ---- 3. NSGA-II generator over surrogates fitted to the measurements -------
+    nsga_surrogate = tree_surrogate(objectives)
+    nsga_surrogate.fit(
+        engine.encoder.encode_batch(active_result.simulated_configs),
+        active_result.measured_objectives,
+    )
+    nsga_result = engine.run(
+        WORKLOAD,
+        nsga_surrogate,
+        generator=NSGA2Evolve(population_size=32, generations=15, seed=1),
+        acquisition=ParetoRankAcquisition(),
+        simulation_budget=20,
+    )
     results["NSGA-II + validate"] = np.concatenate(
-        [active_result.measured_objectives, validated_rows], axis=0
+        [active_result.measured_objectives, nsga_result.measured_objectives], axis=0
     )
 
     # ---- report ------------------------------------------------------------------
     print(f"\n{WORKLOAD}: simulation budget {BUDGET} "
-          f"(+20 validation simulations for NSGA-II)")
+          f"(+{nsga_result.simulations_used} validation simulations for NSGA-II)")
     print(f"{'method':<20} {'hypervolume':>12} {'ADRS':>8} {'front size':>11}")
     for name, rows in results.items():
         minimised = to_minimization(rows, [True, False])

@@ -1,18 +1,26 @@
 #!/usr/bin/env python3
-"""Surrogate-guided design-space exploration (IPC vs power Pareto front).
+"""Cross-workload Pareto exploration through the campaign engine.
 
 Shows the downstream use-case that motivates accurate cross-workload
-predictors: once MetaDSE is adapted to a new workload from a handful of
-simulations, it can screen thousands of candidate configurations and spend
-the remaining simulation budget only on the promising ones.
+predictors: once MetaDSE is meta-trained, ``MetaDSE.explore`` adapts the
+IPC and power predictors to *every* target workload in one stacked graph
+per metric (``adapt_many``), screens one shared candidate pool with a
+stacked multi-objective surrogate (both objectives in one batched forward
+per workload), and measures the union of all selections with a single
+``run_sweep`` — one batched campaign instead of one loop per workload.
 
-The script compares the Pareto front (maximise IPC, minimise power) found by
+The script compares, per target workload, the Pareto front (maximise IPC,
+minimise power) found by
 
-* random search with a budget of N simulations, and
-* MetaDSE-guided search with the same budget (after spending 10 simulations
-  on adaptation),
+* random search with a budget of N simulations,
+* the MetaDSE campaign's *own* acquisition picks — the budget-matched
+  comparison (N simulations per workload, after spending 10 simulations
+  per workload per metric on adaptation), and
+* the campaign front over the whole measured union: the other workloads'
+  picks ride along in the same ``run_sweep``, so every workload gets their
+  measurements for free,
 
-and reports the hypervolume of both fronts.
+and reports the hypervolume of the fronts.
 
 Run with::
 
@@ -26,75 +34,95 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-import numpy as np
-
 from repro import MetaDSE, Simulator, generate_dataset
 from repro.core.config import default_config
 from repro.datasets.splits import paper_split
 from repro.datasets.tasks import holdout_task
 from repro.dse.explorer import PredictorGuidedExplorer
-from repro.dse.pareto import hypervolume_2d, to_minimization
+from repro.dse.pareto import hypervolume_2d, pareto_front, to_minimization
 
-TARGET = "623.xalancbmk_s"
+TARGETS = ("623.xalancbmk_s", "620.omnetpp_s")
 SIMULATION_BUDGET = 25
+SUPPORT_SIZE = 10
 
 
 def main() -> None:
-    simulator = Simulator(simpoint_phases=4, seed=7)
+    simulator = Simulator(simpoint_phases=4, seed=7, evaluation_cache=True)
     dataset = generate_dataset(simulator, num_points=300, seed=1)
     split = paper_split(seed=0)
 
-    # Meta-train IPC and power predictors on the source workloads.
-    predictors = {}
+    # Meta-train one predictor per metric on the source workloads.
+    models = {}
     for metric in ("ipc", "power"):
         model = MetaDSE(dataset.space.num_parameters, config=default_config(seed=0))
         model.pretrain(dataset, split, metric=metric)
-        task = holdout_task(dataset[TARGET], metric=metric, support_size=10,
-                            query_size=50, seed=3)
-        model.adapt(task.support_x, task.support_y)
-        predictors[metric] = model
-        print(f"adapted {metric} predictor to {TARGET}")
+        models[metric] = model
+        print(f"meta-trained the {metric} predictor")
 
-    explorer = PredictorGuidedExplorer(dataset.space, simulator, seed=5)
-    guided = explorer.explore(
-        TARGET,
-        predictors={"ipc": predictors["ipc"].predict, "power": predictors["power"].predict},
-        maximize={"ipc": True, "power": False},
+    # Few labelled samples per (metric, target) — the adaptation budget.
+    supports = {
+        metric: {
+            target: (task.support_x, task.support_y)
+            for target in TARGETS
+            for task in [
+                holdout_task(dataset[target], metric=metric,
+                             support_size=SUPPORT_SIZE, query_size=50, seed=3)
+            ]
+        }
+        for metric in ("ipc", "power")
+    }
+
+    # One call: adapt_many per metric, stacked screening, one run_sweep.
+    campaign = models["ipc"].explore(
+        simulator,
+        supports["ipc"],
+        objectives={"power": models["power"]},
+        objective_supports={"power": supports["power"]},
         candidate_pool=2000,
         simulation_budget=SIMULATION_BUDGET,
-    )
-    random_run = explorer.random_search(
-        TARGET, objective_names=("ipc", "power"),
-        maximize={"ipc": True, "power": False},
-        simulation_budget=SIMULATION_BUDGET,
+        seed=5,
     )
 
-    def front_summary(result):
-        front = result.pareto_objectives
+    explorer = PredictorGuidedExplorer(dataset.space, simulator, seed=5)
+
+    def hypervolume(front):
         # Hypervolume in minimisation space (-IPC, power) w.r.t. a fixed point.
-        reference = (0.0, 6.0)
-        volume = hypervolume_2d(
-            to_minimization(front, [True, False]), reference
+        return hypervolume_2d(to_minimization(front, [True, False]), (0.0, 6.0))
+
+    def front_of(rows):
+        minimised = to_minimization(rows, [True, False])
+        return rows[pareto_front(minimised)]
+
+    for target in TARGETS:
+        random_run = explorer.random_search(
+            target, objective_names=("ipc", "power"),
+            maximize={"ipc": True, "power": False},
+            simulation_budget=SIMULATION_BUDGET,
         )
-        return front, volume
+        result = campaign[target]
+        # Budget-matched view: only this workload's own acquisition picks
+        # (SIMULATION_BUDGET rows); the union front adds the measurements
+        # the other workloads' picks contributed for free.
+        own_rows = result.measured_objectives[result.selected_indices]
+        print(f"\ntarget workload: {target}, simulation budget: {SIMULATION_BUDGET} "
+              f"(union measured: {result.simulations_used})")
+        print(f"{'strategy':<24}{'sims':>6}{'front':>7}{'best IPC':>10}{'min power':>11}{'hypervolume':>13}")
+        for name, sims, front in (
+            ("random search", random_run.simulations_used,
+             random_run.pareto_objectives),
+            ("campaign (own picks)", len(result.selected_indices),
+             front_of(own_rows)),
+            ("campaign (+shared union)", result.simulations_used,
+             result.pareto_objectives),
+        ):
+            print(f"{name:<24}{sims:>6}{len(front):>7}{front[:, 0].max():>10.3f}"
+                  f"{front[:, 1].min():>11.3f}{hypervolume(front):>13.3f}")
 
-    guided_front, guided_volume = front_summary(guided)
-    random_front, random_volume = front_summary(random_run)
-
-    print(f"\ntarget workload: {TARGET}, simulation budget: {SIMULATION_BUDGET}")
-    print(f"{'strategy':<18}{'front size':>12}{'best IPC':>12}{'min power':>12}{'hypervolume':>14}")
-    for name, front, volume in (
-        ("random search", random_front, random_volume),
-        ("MetaDSE-guided", guided_front, guided_volume),
-    ):
-        print(f"{name:<18}{len(front):>12}{front[:, 0].max():>12.3f}"
-              f"{front[:, 1].min():>12.3f}{volume:>14.3f}")
-
-    print("\nMetaDSE-guided Pareto-optimal configurations:")
-    for config, objectives in zip(guided.pareto_configs, guided.pareto_objectives):
-        print(f"  IPC {objectives[0]:.3f}  power {objectives[1]:.2f} W  "
-              f"width={config['pipeline_width']} rob={config['rob_size']} "
-              f"freq={config['core_frequency_ghz']}GHz l2={config['l2_size_kb']}KB")
+        print("MetaDSE campaign Pareto-optimal configurations:")
+        for config, objectives in zip(result.pareto_configs, result.pareto_objectives):
+            print(f"  IPC {objectives[0]:.3f}  power {objectives[1]:.2f} W  "
+                  f"width={config['pipeline_width']} rob={config['rob_size']} "
+                  f"freq={config['core_frequency_ghz']}GHz l2={config['l2_size_kb']}KB")
 
 
 if __name__ == "__main__":

@@ -18,8 +18,11 @@ The package is organised bottom-up:
   TrEE, GMM augmentation, workload signatures, linear fitting;
 * :mod:`repro.metrics` -- RMSE / MAPE / explained variance plus ranking
   quality (Spearman, Kendall, top-k recall, regret@k);
-* :mod:`repro.dse` -- screening, NSGA-II, active learning, constraints and
-  Pareto/ADRS/hypervolume utilities for design-space exploration;
+* :mod:`repro.dse` -- the unified DSE campaign engine (batched
+  multi-objective surrogates, pluggable candidate generation and
+  acquisition, cross-workload campaigns), the explorer strategy wrappers
+  (screening, NSGA-II, active learning), constraints and
+  Pareto/ADRS/hypervolume utilities;
 * :mod:`repro.core` -- the :class:`~repro.core.metadse.MetaDSE` facade;
 * :mod:`repro.cli` -- the ``python -m repro`` command-line interface.
 """

@@ -13,7 +13,10 @@ writing any Python:
 * ``evaluate``   — adapt a pre-trained model to a target workload with K
   support samples and report RMSE / MAPE / explained variance;
 * ``explore``    — run a design-space exploration (active-learning loop or
-  surrogate screening) on one workload and print the Pareto front.
+  surrogate screening) on one workload and print the Pareto front;
+* ``dse``        — run a batched cross-workload campaign through the unified
+  campaign engine (shared candidate pool, one ``run_sweep`` measurement)
+  and print one Pareto front per workload.
 
 Every command accepts ``--seed`` so runs are reproducible, and prints a short
 human-readable report to stdout; machine-readable results are written as JSON
@@ -251,6 +254,103 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- dse ----------------------------------------------------------------------
+def cmd_dse(args: argparse.Namespace) -> int:
+    """Cross-workload campaign through the unified DSE engine."""
+    from repro.dse.engine import CampaignEngine, ObjectiveSet
+    from repro.dse.surrogates import TreeEnsembleSurrogate
+
+    simulator = Simulator(
+        simpoint_phases=args.phases, seed=args.seed, evaluation_cache=True
+    )
+    dataset = load_dataset(args.dataset)
+    workloads = list(args.workloads)
+    missing = [w for w in workloads if w not in dataset]
+    if missing:
+        raise SystemExit(f"dataset is missing workloads: {missing}")
+    objective_names = tuple(args.objectives)
+
+    if args.model_ipc or args.model_power:
+        # MetaDSE facade path: adapt pre-trained predictors to every target
+        # (one stacked graph per metric) and campaign with stacked surrogates.
+        if not (args.model_ipc and args.model_power) or objective_names != ("ipc", "power"):
+            raise SystemExit(
+                "--model-ipc/--model-power must be given together and require "
+                "the default objectives 'ipc power'"
+            )
+        supports: dict[str, dict] = {"ipc": {}, "power": {}}
+        for workload in workloads:
+            for metric in ("ipc", "power"):
+                task = holdout_task(
+                    dataset[workload],
+                    metric=metric,
+                    support_size=args.support_size,
+                    seed=args.seed,
+                )
+                supports[metric][workload] = (task.support_x, task.support_y)
+        ipc_model = MetaDSE(
+            dataset.space.num_parameters, config=default_config(seed=args.seed)
+        ).load_pretrained(args.model_ipc)
+        power_model = MetaDSE(
+            dataset.space.num_parameters, config=default_config(seed=args.seed)
+        ).load_pretrained(args.model_power)
+        campaign = ipc_model.explore(
+            simulator,
+            supports["ipc"],
+            objectives={"power": power_model},
+            objective_supports={"power": supports["power"]},
+            candidate_pool=args.candidate_pool,
+            simulation_budget=args.budget,
+            seed=args.seed,
+        )
+    else:
+        # Tree-surrogate path: fit one ensemble per workload on the dataset
+        # labels and drive the shared-pool campaign directly.
+        objectives = ObjectiveSet.from_names(objective_names)
+        surrogates = {}
+        for workload in workloads:
+            data = dataset[workload]
+            surrogate = TreeEnsembleSurrogate(
+                lambda: GradientBoostingRegressor(
+                    n_estimators=60, max_depth=3, seed=args.seed
+                ),
+                objective_names,
+            )
+            targets = np.stack(
+                [data.metric(name) for name in objective_names], axis=1
+            )
+            surrogate.fit(data.features, targets)
+            surrogates[workload] = surrogate
+        engine = CampaignEngine(
+            dataset.space, simulator, objectives, seed=args.seed
+        )
+        campaign = engine.run_campaign(
+            workloads,
+            surrogates,
+            candidate_pool=args.candidate_pool,
+            simulation_budget=args.budget,
+        )
+
+    summary = campaign.summary()
+    print(
+        f"campaign over {len(workloads)} workloads: "
+        f"{campaign.candidates_screened} candidates screened per workload, "
+        f"{campaign.total_simulations} simulator evaluations"
+    )
+    for workload, entry in summary["workloads"].items():
+        curve = entry["hypervolume_curve"]
+        hv = f"{curve[-1]:.3f}" if curve and np.isfinite(curve[-1]) else "n/a"
+        print(
+            f"  {workload:24s} front {entry['front_size']:3d}  hypervolume {hv}"
+        )
+        for row in entry["pareto_front"][: args.show_front]:
+            print(
+                "    " + "  ".join(f"{k}={v:.3f}" for k, v in row.items())
+            )
+    _write_json(args.output, summary)
+    return 0
+
+
 # -- parser -----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -324,6 +424,44 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--seed", type=int, default=0)
     explore.add_argument("--output", help="optional JSON output path")
     explore.set_defaults(handler=cmd_explore)
+
+    dse = subparsers.add_parser(
+        "dse", help="batched cross-workload campaign (unified DSE engine)"
+    )
+    dse.add_argument("--dataset", required=True, help="labelled dataset archive")
+    dse.add_argument(
+        "--workloads",
+        nargs="+",
+        required=True,
+        choices=SPEC2017_WORKLOAD_NAMES,
+        help="target workloads of the campaign",
+    )
+    dse.add_argument(
+        "--objectives",
+        nargs="+",
+        default=("ipc", "power"),
+        help="objective metrics (default: ipc power; ipc is maximised)",
+    )
+    dse.add_argument(
+        "--model-ipc",
+        help="pre-trained MetaDSE IPC model archive (with --model-power: "
+             "adapt and campaign with stacked nn surrogates)",
+    )
+    dse.add_argument("--model-power", help="pre-trained MetaDSE power model archive")
+    dse.add_argument(
+        "--support-size", type=int, default=10,
+        help="labelled samples per workload used for adaptation",
+    )
+    dse.add_argument("--budget", type=int, default=20, help="simulations per workload")
+    dse.add_argument("--candidate-pool", type=int, default=500)
+    dse.add_argument(
+        "--show-front", type=int, default=5,
+        help="Pareto points printed per workload",
+    )
+    dse.add_argument("--phases", type=int, default=1)
+    dse.add_argument("--seed", type=int, default=0)
+    dse.add_argument("--output", help="optional JSON output path")
+    dse.set_defaults(handler=cmd_dse)
 
     return parser
 

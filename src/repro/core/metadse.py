@@ -20,7 +20,7 @@ are returned in physical units.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -244,6 +244,113 @@ class MetaDSE(CrossWorkloadModel):
             self.adapted = results[-1].predictor
             self.last_adaptation = results[-1]
         return results
+
+    # -- exploration -----------------------------------------------------------------
+    def explore(
+        self,
+        simulator,
+        supports: "Mapping[str, tuple[np.ndarray, np.ndarray]]",
+        *,
+        objectives: "Optional[Mapping[str, 'MetaDSE']]" = None,
+        objective_supports: "Optional[Mapping[str, Mapping[str, tuple[np.ndarray, np.ndarray]]]]" = None,
+        maximize: "Optional[Mapping[str, bool]]" = None,
+        candidate_pool: int = 1000,
+        simulation_budget: int = 20,
+        seed: int = 0,
+    ):
+        """Run a batched cross-workload DSE campaign with adapted predictors.
+
+        The downstream use-case of the paper in one call: adapt this
+        meta-trained predictor (and any companion models) to every target
+        workload at once via :meth:`adapt_many` — one stacked fine-tuning
+        graph per metric — then drive the
+        :class:`~repro.dse.engine.CampaignEngine` campaign, where each
+        workload screens a shared candidate pool with a
+        :class:`~repro.dse.surrogates.StackedPredictorSurrogate` (all
+        objectives answered in one batched forward) and the union of all
+        selections is measured with a single ``run_sweep``.
+
+        Parameters
+        ----------
+        simulator:
+            The :class:`~repro.sim.simulator.Simulator` to spend the budget
+            on (``evaluation_cache=True`` recommended for repeated
+            campaigns).
+        supports:
+            ``{workload: (support_x, support_y)}`` — the few labelled
+            samples per target workload for *this* model's metric; its keys
+            define the campaign's workloads.
+        objectives:
+            Additional objective models, ``{metric: pretrained MetaDSE}``
+            (e.g. ``{"power": power_model}`` next to an IPC-trained
+            ``self``).  Each needs its own support labels in
+            *objective_supports*.
+        objective_supports:
+            ``{metric: {workload: (support_x, support_y)}}`` for the
+            companion models.
+        maximize:
+            Optimisation sense per metric; defaults to ``ipc`` maximised,
+            everything else minimised.
+        candidate_pool, simulation_budget, seed:
+            Campaign knobs, forwarded to
+            :meth:`~repro.dse.engine.CampaignEngine.run_campaign`.
+
+        Returns the engine's :class:`~repro.dse.engine.CampaignResult`
+        (per-workload fronts + hypervolume curves, physical units).  Like
+        :meth:`adapt_many`, the facade's ``adapted`` state is left on the
+        last workload's predictor.
+        """
+        from repro.dse.engine import CampaignEngine, ObjectiveSet
+        from repro.dse.surrogates import StackedPredictorSurrogate
+
+        if self.meta_model is None:
+            raise RuntimeError("explore() called before pretrain()")
+        workloads = list(supports)
+        if not workloads:
+            raise ValueError("explore() needs at least one target workload")
+
+        models: dict[str, MetaDSE] = {self._metric: self}
+        for metric, model in (objectives or {}).items():
+            if metric in models:
+                raise ValueError(f"duplicate objective metric {metric!r}")
+            if model.meta_model is None:
+                raise RuntimeError(f"objective model for {metric!r} is not pretrained")
+            models[metric] = model
+
+        adapted: dict[str, list[AdaptationResult]] = {}
+        for metric, model in models.items():
+            if metric == self._metric:
+                model_supports = supports
+            else:
+                model_supports = (objective_supports or {}).get(metric)
+                if model_supports is None:
+                    raise ValueError(
+                        f"objective_supports must provide support sets for {metric!r}"
+                    )
+            missing = [w for w in workloads if w not in model_supports]
+            if missing:
+                raise ValueError(f"supports for {metric!r} are missing workloads {missing}")
+            adapted[metric] = model.adapt_many(
+                [model_supports[workload] for workload in workloads]
+            )
+
+        objective_set = ObjectiveSet.from_names(tuple(models), maximize)
+        surrogates = {
+            workload: StackedPredictorSurrogate(
+                [adapted[metric][index].predictor for metric in models],
+                objective_set.names,
+                label_means=[models[metric]._label_mean for metric in models],
+                label_stds=[models[metric]._label_std for metric in models],
+            )
+            for index, workload in enumerate(workloads)
+        }
+        engine = CampaignEngine(simulator.space, simulator, objective_set, seed=seed)
+        return engine.run_campaign(
+            workloads,
+            surrogates,
+            candidate_pool=candidate_pool,
+            simulation_budget=simulation_budget,
+        )
 
     # -- inference -----------------------------------------------------------------------
     def predict(self, features: np.ndarray) -> np.ndarray:

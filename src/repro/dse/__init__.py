@@ -1,5 +1,18 @@
-"""Design-space-exploration utilities built on top of the surrogate models."""
+"""Design-space-exploration utilities built on top of the surrogate models.
 
+The exploration loops are thin strategy configurations over one shared
+:class:`~repro.dse.engine.CampaignEngine` (candidate generation,
+acquisition scoring, measure/record bookkeeping); see
+``docs/architecture.md`` for the layer diagram.
+"""
+
+from repro.dse.acquisition import (
+    AcquisitionContext,
+    AcquisitionStrategy,
+    ExplorationBonusAcquisition,
+    GreedyTopK,
+    ParetoRankAcquisition,
+)
 from repro.dse.active import (
     ActiveLearningExplorer,
     ActiveLearningResult,
@@ -11,7 +24,22 @@ from repro.dse.constraints import (
     feasible_mask,
     penalized_objectives,
 )
-from repro.dse.explorer import ExplorationResult, PredictorGuidedExplorer
+from repro.dse.engine import (
+    CampaignEngine,
+    CampaignResult,
+    CampaignRound,
+    CandidateGenerator,
+    NSGA2Evolve,
+    ObjectiveSet,
+    QualityTracker,
+    RandomPool,
+    WorkloadCampaignResult,
+)
+from repro.dse.explorer import (
+    ExplorationResult,
+    NSGA2GuidedExplorer,
+    PredictorGuidedExplorer,
+)
 from repro.dse.nsga2 import NSGA2Explorer, NSGA2Result, fast_non_dominated_sort
 from repro.dse.pareto import (
     crowding_distance,
@@ -26,6 +54,12 @@ from repro.dse.quality import (
     normalize_objectives,
     pareto_coverage,
 )
+from repro.dse.surrogates import (
+    CallableSurrogate,
+    MultiObjectiveSurrogate,
+    StackedPredictorSurrogate,
+    TreeEnsembleSurrogate,
+)
 
 __all__ = [
     "pareto_mask",
@@ -33,7 +67,26 @@ __all__ = [
     "hypervolume_2d",
     "crowding_distance",
     "to_minimization",
+    "CampaignEngine",
+    "CampaignResult",
+    "CampaignRound",
+    "CandidateGenerator",
+    "ObjectiveSet",
+    "QualityTracker",
+    "RandomPool",
+    "NSGA2Evolve",
+    "WorkloadCampaignResult",
+    "AcquisitionContext",
+    "AcquisitionStrategy",
+    "ParetoRankAcquisition",
+    "ExplorationBonusAcquisition",
+    "GreedyTopK",
+    "MultiObjectiveSurrogate",
+    "CallableSurrogate",
+    "TreeEnsembleSurrogate",
+    "StackedPredictorSurrogate",
     "PredictorGuidedExplorer",
+    "NSGA2GuidedExplorer",
     "ExplorationResult",
     "NSGA2Explorer",
     "NSGA2Result",

@@ -11,19 +11,30 @@ Acquisition per round:
 
 1. screen a random candidate pool with the current surrogates;
 2. rank candidates by predicted Pareto rank, breaking ties with an
-   exploration bonus (ensemble disagreement when the surrogate is a random
-   forest, otherwise distance to the already-simulated set);
+   exploration bonus blended over *all* objective surrogates (ensemble
+   disagreement for forests, otherwise distance to the already-simulated
+   set) — so e.g. power-side uncertainty drives acquisition as much as
+   IPC-side uncertainty;
 3. simulate the top batch, append the measurements to the training set and
    refit the surrogates.
 
 The loop records the measured Pareto front and its hypervolume after every
 round so budget/quality trade-off curves can be plotted or benchmarked.
+
+:class:`ActiveLearningExplorer` is a thin strategy configuration over the
+shared :class:`~repro.dse.engine.CampaignEngine` (``rounds=r,
+initial_samples=k, refit=True`` with a
+:class:`~repro.dse.surrogates.TreeEnsembleSurrogate` and
+:class:`~repro.dse.acquisition.ExplorationBonusAcquisition`); the pre-engine
+loop survives as :meth:`ActiveLearningExplorer.explore_reference`, the
+executable specification the equivalence tests pin the engine path against
+bitwise.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -32,12 +43,22 @@ from repro.baselines.trees import RandomForestRegressor
 from repro.designspace.encoding import OrdinalEncoder
 from repro.designspace.sampling import RandomSampler
 from repro.designspace.space import Configuration, DesignSpace
-from repro.dse.pareto import hypervolume_2d, pareto_front, to_minimization
+from repro.dse.acquisition import ExplorationBonusAcquisition
+from repro.dse.engine import (
+    CampaignEngine,
+    ObjectiveSet,
+    RandomPool,
+    front_hypervolume,
+)
+from repro.dse.pareto import pareto_front, to_minimization
+from repro.dse.surrogates import (
+    RegressorFactory,
+    TreeEnsembleSurrogate,
+    blended_exploration_bonus,
+    regressor_exploration_bonus,
+)
 from repro.sim.simulator import Simulator
 from repro.utils.rng import SeedLike, as_rng
-
-#: Factory returning a fresh regressor for one objective.
-RegressorFactory = Callable[[], Regressor]
 
 
 @dataclass
@@ -121,24 +142,21 @@ class ActiveLearningExplorer:
         surrogate: Regressor, features: np.ndarray, known_features: np.ndarray
     ) -> np.ndarray:
         """Disagreement of a forest's trees, or distance to the known set."""
-        trees = getattr(surrogate, "trees_", None)
-        if trees:
-            member_predictions = np.stack([tree.predict(features) for tree in trees], axis=0)
-            return member_predictions.std(axis=0)
-        distances = np.min(
-            np.linalg.norm(features[:, None, :] - known_features[None, :, :], axis=2), axis=1
-        )
-        return distances
+        return regressor_exploration_bonus(surrogate, features, known_features)
 
     @staticmethod
     def _hypervolume(measured_min: np.ndarray) -> float:
-        front = measured_min[pareto_front(measured_min)]
-        nadir = measured_min.max(axis=0)
-        span = np.maximum(measured_min.max(axis=0) - measured_min.min(axis=0), 1e-12)
-        reference = nadir + 0.1 * span
-        if front.shape[1] != 2:
+        if measured_min.shape[1] != 2:
+            # Pre-engine behaviour, kept for API compatibility; the engine's
+            # QualityTracker warns and records NaN instead.
             return 0.0
-        return hypervolume_2d(front, reference)
+        return front_hypervolume(measured_min)
+
+    def _validate(self, initial_samples: int, batch_size: int, rounds: int) -> None:
+        if initial_samples < 2:
+            raise ValueError("initial_samples must be >= 2")
+        if batch_size < 1 or rounds < 1:
+            raise ValueError("batch_size and rounds must be >= 1")
 
     # -- main loop ------------------------------------------------------------------
     def explore(
@@ -152,10 +170,59 @@ class ActiveLearningExplorer:
         rounds: int = 5,
     ) -> ActiveLearningResult:
         """Run the simulate-train-refine loop on one target workload."""
-        if initial_samples < 2:
-            raise ValueError("initial_samples must be >= 2")
-        if batch_size < 1 or rounds < 1:
-            raise ValueError("batch_size and rounds must be >= 1")
+        self._validate(initial_samples, batch_size, rounds)
+        objectives = ObjectiveSet.from_names(tuple(objective_names), maximize)
+        engine = CampaignEngine(
+            self.space,
+            self.simulator,
+            objectives,
+            sampler=self.sampler,
+            encoder=self.encoder,
+        )
+        result = engine.run(
+            workload,
+            TreeEnsembleSurrogate(self.surrogate_factory, objectives.names),
+            generator=RandomPool(self.candidate_pool),
+            acquisition=ExplorationBonusAcquisition(),
+            simulation_budget=batch_size,
+            rounds=rounds,
+            initial_samples=initial_samples,
+            refit=True,
+        )
+        return ActiveLearningResult(
+            simulated_configs=result.simulated_configs,
+            measured_objectives=result.measured_objectives,
+            objective_names=result.objective_names,
+            pareto_indices=result.pareto_indices,
+            rounds=[
+                ActiveLearningRound(
+                    round_index=entry.round_index,
+                    simulations_total=entry.simulations_total,
+                    pareto_size=entry.pareto_size,
+                    hypervolume=entry.hypervolume,
+                )
+                for entry in result.rounds
+            ],
+        )
+
+    def explore_reference(
+        self,
+        workload: str,
+        *,
+        objective_names: Sequence[str] = ("ipc", "power"),
+        maximize: Optional[dict[str, bool]] = None,
+        initial_samples: int = 20,
+        batch_size: int = 10,
+        rounds: int = 5,
+    ) -> ActiveLearningResult:
+        """Pre-engine simulate-train-refine loop (executable specification).
+
+        Kept as the reference :meth:`explore` is equivalence-tested against
+        (``tests/test_dse_engine_equivalence.py``).  The only intentional
+        change from the seed loop is the blended exploration bonus (all
+        objective surrogates, not just the first), which both paths share.
+        """
+        self._validate(initial_samples, batch_size, rounds)
         objective_names = tuple(objective_names)
         maximize = maximize or {}
         maximize_flags = [maximize.get(name, name == "ipc") for name in objective_names]
@@ -181,7 +248,9 @@ class ActiveLearningExplorer:
 
             # Rank by predicted Pareto membership, then by exploration bonus.
             front_indices = set(int(i) for i in pareto_front(predicted_min))
-            bonus = self._exploration_bonus(surrogates[0], candidate_features, known_features)
+            bonus = blended_exploration_bonus(
+                surrogates, candidate_features, known_features
+            )
             order = sorted(
                 range(len(candidates)),
                 key=lambda i: (0 if i in front_indices else 1, -bonus[i]),

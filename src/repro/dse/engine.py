@@ -1,0 +1,694 @@
+"""The unified DSE campaign engine.
+
+Every exploration loop in this repository has the same skeleton — generate
+candidates, score them with a surrogate, simulate the chosen few, track the
+measured Pareto front — but the seed implementation grew three disjoint
+copies of it (:class:`~repro.dse.explorer.PredictorGuidedExplorer`,
+:class:`~repro.dse.active.ActiveLearningExplorer`, NSGA-II validation
+snippets in the examples).  :class:`CampaignEngine` owns that skeleton once:
+
+* **objective handling** — :class:`ObjectiveSet` holds names and maximize
+  flags and converts measured/predicted matrices to minimisation form;
+* **candidate generation** — pluggable :class:`CandidateGenerator`
+  (:class:`RandomPool`, :class:`NSGA2Evolve` reusing the
+  :mod:`repro.dse.nsga2` machinery);
+* **acquisition scoring** — pluggable
+  :class:`~repro.dse.acquisition.AcquisitionStrategy`;
+* **measure/record bookkeeping** — one vectorized
+  :meth:`~repro.sim.simulator.Simulator.run_batch` per acquisition batch and
+  a :class:`QualityTracker` that records front size and hypervolume per
+  round (2-D only — the tracker warns explicitly for other arities instead
+  of silently reporting zero).
+
+The legacy explorers are thin strategy configurations over
+:meth:`CampaignEngine.run` (their pre-refactor loops survive as
+``explore_reference``, pinned bitwise by
+``tests/test_dse_engine_equivalence.py``).  On top,
+:meth:`CampaignEngine.run_campaign` explores *many* workloads at once from
+one shared candidate pool: the pool is sampled and encoded once, each
+workload screens it with its own multi-objective surrogate (one stacked
+forward when the surrogate supports it), and the union of all selections is
+measured with a single :meth:`~repro.sim.simulator.Simulator.run_sweep` —
+the batched cross-workload path ``MetaDSE.explore`` and the ``dse`` CLI
+subcommand drive, benchmarked in
+``benchmarks/test_dse_campaign_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.designspace.encoding import OrdinalEncoder
+from repro.designspace.sampling import BaseSampler, RandomSampler
+from repro.designspace.space import Configuration, DesignSpace
+from repro.dse.acquisition import (
+    AcquisitionContext,
+    AcquisitionStrategy,
+    ParetoRankAcquisition,
+)
+from repro.dse.pareto import (
+    fast_pareto_front,
+    hypervolume_2d,
+    to_minimization,
+)
+from repro.dse.surrogates import MultiObjectiveSurrogate
+from repro.sim.simulator import Simulator
+from repro.utils.rng import SeedLike
+
+
+# -- objectives -------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObjectiveSet:
+    """Named objectives with their optimisation sense.
+
+    The single owner of the ``maximize`` convention: everywhere else in the
+    engine, objective matrices are already in *minimisation* form (produced
+    by :meth:`to_minimization`).
+    """
+
+    names: tuple[str, ...]
+    maximize: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise ValueError("ObjectiveSet needs at least one objective")
+        if len(set(self.names)) != len(self.names):
+            raise ValueError(f"duplicate objective names: {self.names}")
+        if len(self.maximize) != len(self.names):
+            raise ValueError("one maximize flag per objective name is required")
+
+    @classmethod
+    def from_names(
+        cls,
+        names: Sequence[str],
+        maximize: Optional[Mapping[str, bool]] = None,
+    ) -> "ObjectiveSet":
+        """Build from names with the repository's default senses.
+
+        Unspecified objectives follow the convention the explorers always
+        used: ``ipc`` is maximised, everything else minimised.
+        """
+        names = tuple(names)
+        maximize = maximize or {}
+        flags = tuple(bool(maximize.get(name, name == "ipc")) for name in names)
+        return cls(names=names, maximize=flags)
+
+    @property
+    def num_objectives(self) -> int:
+        return len(self.names)
+
+    def flags(self) -> list[bool]:
+        """Maximize flags as the plain list the Pareto helpers accept."""
+        return list(self.maximize)
+
+    def to_minimization(self, values: np.ndarray) -> np.ndarray:
+        """Negate the maximised columns so every objective is minimised."""
+        return to_minimization(values, self.flags())
+
+
+# -- candidate generation ------------------------------------------------------------
+class CandidateGenerator(abc.ABC):
+    """Propose candidate configurations for one screening round."""
+
+    #: Whether proposals depend on the surrogate (True disables the shared
+    #: cross-workload candidate pool in :meth:`CampaignEngine.run_campaign`).
+    surrogate_dependent: bool = False
+
+    @abc.abstractmethod
+    def propose(
+        self,
+        engine: "CampaignEngine",
+        surrogate: Optional[MultiObjectiveSurrogate],
+        round_index: int,
+    ) -> list[Configuration]:
+        """Return the candidate pool for *round_index*."""
+
+
+class RandomPool(CandidateGenerator):
+    """Uniform random candidate pool (the classic screening pool)."""
+
+    def __init__(self, size: int, *, sampler: Optional[BaseSampler] = None) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = size
+        self.sampler = sampler
+
+    def propose(
+        self,
+        engine: "CampaignEngine",
+        surrogate: Optional[MultiObjectiveSurrogate],
+        round_index: int,
+    ) -> list[Configuration]:
+        sampler = self.sampler if self.sampler is not None else engine.sampler
+        return sampler.sample(self.size)
+
+
+class _SharedPrediction:
+    """Memoize one surrogate call per unique feature matrix (by identity).
+
+    :class:`~repro.dse.nsga2.NSGA2Explorer` evaluates per-objective
+    callables against the same feature matrix object; caching on identity
+    turns its m surrogate calls per generation into one batched call.
+    """
+
+    def __init__(self, surrogate: MultiObjectiveSurrogate) -> None:
+        self.surrogate = surrogate
+        self._features: Optional[np.ndarray] = None
+        self._predicted: Optional[np.ndarray] = None
+
+    def column(self, index: int) -> Callable[[np.ndarray], np.ndarray]:
+        def predict(features: np.ndarray) -> np.ndarray:
+            if self._features is not features:
+                self._predicted = self.surrogate.predict(features)
+                self._features = features
+            return self._predicted[:, index]
+
+        return predict
+
+
+class NSGA2Evolve(CandidateGenerator):
+    """Evolve the candidate pool with NSGA-II over the surrogate.
+
+    Reuses :class:`~repro.dse.nsga2.NSGA2Explorer` wholesale; the final
+    population (already concentrated around the predicted front) becomes
+    the screening pool.  Each round continues the generator's RNG stream,
+    so successive rounds evolve fresh populations.
+    """
+
+    surrogate_dependent = True
+
+    def __init__(
+        self,
+        *,
+        population_size: int = 64,
+        generations: int = 20,
+        seed: SeedLike = 0,
+        **nsga2_kwargs,
+    ) -> None:
+        from repro.utils.rng import as_rng
+
+        self.population_size = population_size
+        self.generations = generations
+        self.nsga2_kwargs = nsga2_kwargs
+        self.rng = as_rng(seed)
+
+    def propose(
+        self,
+        engine: "CampaignEngine",
+        surrogate: Optional[MultiObjectiveSurrogate],
+        round_index: int,
+    ) -> list[Configuration]:
+        from repro.dse.nsga2 import NSGA2Explorer
+
+        if surrogate is None:
+            raise ValueError("NSGA2Evolve needs a surrogate to evolve against")
+        shared = _SharedPrediction(surrogate)
+        predictors = {
+            name: shared.column(column)
+            for column, name in enumerate(engine.objectives.names)
+        }
+        explorer = NSGA2Explorer(
+            engine.space,
+            population_size=self.population_size,
+            generations=self.generations,
+            seed=self.rng,
+            **self.nsga2_kwargs,
+        )
+        result = explorer.explore(
+            predictors,
+            maximize=dict(zip(engine.objectives.names, engine.objectives.maximize)),
+        )
+        return result.configs
+
+
+# -- quality tracking ------------------------------------------------------------
+@dataclass
+class CampaignRound:
+    """Measured-front snapshot after one acquisition round."""
+
+    round_index: int
+    simulations_total: int
+    pareto_size: int
+    hypervolume: float
+
+
+def front_hypervolume(
+    measured_min: np.ndarray, front_indices: Optional[np.ndarray] = None
+) -> float:
+    """Hypervolume of the measured front w.r.t. a nadir + 10 % margin point.
+
+    Only defined for two objectives; callers must handle other arities
+    (:class:`QualityTracker` warns and records NaN).  *front_indices* lets
+    a caller that already computed the Pareto front pass it in instead of
+    recomputing it.
+    """
+    if front_indices is None:
+        front_indices = fast_pareto_front(measured_min)
+    front = measured_min[front_indices]
+    nadir = measured_min.max(axis=0)
+    span = np.maximum(measured_min.max(axis=0) - measured_min.min(axis=0), 1e-12)
+    reference = nadir + 0.1 * span
+    return hypervolume_2d(front, reference)
+
+
+class QualityTracker:
+    """Per-round front-size / hypervolume bookkeeping shared by all loops.
+
+    The hypervolume indicator implemented here is the two-objective area
+    (IPC vs power); for any other number of objectives the tracker emits a
+    ``RuntimeWarning`` once and records ``NaN`` — never a silent ``0.0``,
+    which the pre-engine active-learning loop used to report and which is
+    indistinguishable from "found nothing".  See the scope note in
+    ``docs/benchmarks.md``.
+    """
+
+    def __init__(self, objectives: ObjectiveSet) -> None:
+        self.objectives = objectives
+        self.rounds: list[CampaignRound] = []
+        #: Pareto indices of the most recently recorded round (reused by the
+        #: engine for the final result instead of recomputing the front).
+        self.last_front_indices: Optional[np.ndarray] = None
+        self._warned = False
+
+    def hypervolume(
+        self, measured_min: np.ndarray, front_indices: Optional[np.ndarray] = None
+    ) -> float:
+        if measured_min.shape[1] != 2:
+            if not self._warned:
+                warnings.warn(
+                    f"hypervolume tracking is only defined for 2 objectives, "
+                    f"got {measured_min.shape[1]} ({', '.join(self.objectives.names)}); "
+                    f"recording NaN",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self._warned = True
+            return float("nan")
+        return front_hypervolume(measured_min, front_indices)
+
+    def record(self, round_index: int, measured_min: np.ndarray, simulations_total: int) -> CampaignRound:
+        front_indices = fast_pareto_front(measured_min)
+        self.last_front_indices = front_indices
+        entry = CampaignRound(
+            round_index=round_index,
+            simulations_total=simulations_total,
+            pareto_size=int(len(front_indices)),
+            hypervolume=self.hypervolume(measured_min, front_indices),
+        )
+        self.rounds.append(entry)
+        return entry
+
+
+# -- results -------------------------------------------------------------------
+@dataclass
+class WorkloadCampaignResult:
+    """Outcome of one workload's exploration within a campaign."""
+
+    workload: str
+    objectives: ObjectiveSet
+    #: Configurations with measurements on this workload.
+    simulated_configs: list[Configuration]
+    #: Measured objective matrix (rows follow ``simulated_configs``).
+    measured_objectives: np.ndarray
+    #: Indices (into ``simulated_configs``) of the measured Pareto front.
+    pareto_indices: np.ndarray
+    #: Simulator invocations attributed to this workload.
+    simulations_used: int
+    #: Candidate-pool size screened by the surrogate.
+    candidates_screened: int
+    #: Per-round quality snapshots (empty when tracking is off).
+    rounds: list[CampaignRound] = field(default_factory=list)
+    #: Indices of this workload's acquisition picks.  For a single-workload
+    #: :meth:`CampaignEngine.run` these index the *last candidate pool*; for
+    #: a shared-pool campaign they index ``simulated_configs`` (which then
+    #: holds the measured selection union).
+    selected_indices: list[int] = field(default_factory=list)
+    #: Surrogate predictions for the last screened pool (original sense).
+    predicted: Optional[np.ndarray] = None
+
+    @property
+    def objective_names(self) -> tuple[str, ...]:
+        return self.objectives.names
+
+    @property
+    def pareto_configs(self) -> list[Configuration]:
+        """The measured-Pareto-optimal configurations."""
+        return [self.simulated_configs[int(i)] for i in self.pareto_indices]
+
+    @property
+    def pareto_objectives(self) -> np.ndarray:
+        """Objective rows of the measured Pareto front."""
+        return self.measured_objectives[self.pareto_indices]
+
+    def hypervolume_history(self) -> list[float]:
+        """Hypervolume after each round (budget/quality curve)."""
+        return [entry.hypervolume for entry in self.rounds]
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a cross-workload campaign: one front per workload."""
+
+    per_workload: dict[str, WorkloadCampaignResult]
+    objectives: ObjectiveSet
+    #: Size of the (shared) candidate pool screened per workload.
+    candidates_screened: int
+    #: Total simulator invocations across all workloads.
+    total_simulations: int
+
+    @property
+    def workloads(self) -> list[str]:
+        return list(self.per_workload)
+
+    def __getitem__(self, workload: str) -> WorkloadCampaignResult:
+        return self.per_workload[workload]
+
+    def __iter__(self):
+        return iter(self.per_workload.values())
+
+    def hypervolume_curves(self) -> dict[str, list[float]]:
+        """Per-workload hypervolume-per-round curves."""
+        return {
+            name: result.hypervolume_history()
+            for name, result in self.per_workload.items()
+        }
+
+    def summary(self) -> dict:
+        """JSON-serialisable campaign report (used by the ``dse`` CLI)."""
+        report: dict = {
+            "objectives": list(self.objectives.names),
+            "maximize": list(self.objectives.maximize),
+            "candidates_screened": self.candidates_screened,
+            "total_simulations": self.total_simulations,
+            "workloads": {},
+        }
+        for name, result in self.per_workload.items():
+            front = [
+                dict(zip(result.objective_names, (float(v) for v in row)))
+                for row in result.pareto_objectives
+            ]
+            report["workloads"][name] = {
+                "simulations": result.simulations_used,
+                "front_size": int(len(result.pareto_indices)),
+                "pareto_front": front,
+                "hypervolume_curve": [
+                    float(v) for v in result.hypervolume_history()
+                ],
+            }
+        return report
+
+
+#: Surrogates for a campaign: one per workload, or a factory from name.
+SurrogateProvider = Union[
+    Mapping[str, MultiObjectiveSurrogate],
+    Callable[[str], MultiObjectiveSurrogate],
+]
+
+
+# -- the engine --------------------------------------------------------------------
+class CampaignEngine:
+    """Shared generate/screen/simulate/record core for all DSE loops."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        simulator: Simulator,
+        objectives: ObjectiveSet,
+        *,
+        seed: SeedLike = 0,
+        sampler: Optional[BaseSampler] = None,
+        encoder: Optional[OrdinalEncoder] = None,
+    ) -> None:
+        self.space = space
+        self.simulator = simulator
+        self.objectives = objectives
+        self.sampler = sampler if sampler is not None else RandomSampler(space, seed=seed)
+        self.encoder = encoder if encoder is not None else OrdinalEncoder(space)
+
+    # -- shared bookkeeping ----------------------------------------------------
+    def measure(
+        self, configs: Sequence[Configuration], workload: str
+    ) -> np.ndarray:
+        """Simulate *configs* on *workload*: one vectorized batch call.
+
+        Returns the ``(n, m)`` measured objective matrix in declaration
+        order (``BatchSimulationResult.objective`` resolves the
+        dataset-layer alias ``"power"``).
+        """
+        batch = self.simulator.run_batch(list(configs), workload)
+        return np.stack(
+            [batch.objective(name) for name in self.objectives.names], axis=1
+        )
+
+    # -- single-workload loop ----------------------------------------------------
+    def run(
+        self,
+        workload: str,
+        surrogate: MultiObjectiveSurrogate,
+        *,
+        generator: CandidateGenerator,
+        acquisition: Optional[AcquisitionStrategy] = None,
+        simulation_budget: int,
+        rounds: int = 1,
+        initial_samples: int = 0,
+        refit: bool = False,
+        track_quality: bool = True,
+    ) -> WorkloadCampaignResult:
+        """Run one workload's generate/screen/simulate loop.
+
+        Parameters
+        ----------
+        workload:
+            Target workload name.
+        surrogate:
+            Multi-objective surrogate answering every objective per
+            candidate.
+        generator, acquisition:
+            The candidate-generation and budget-allocation strategies
+            (default acquisition: :class:`ParetoRankAcquisition`).
+        simulation_budget:
+            Simulations per acquisition round.
+        rounds, initial_samples, refit:
+            ``rounds=1, initial_samples=0, refit=False`` is the single-shot
+            screen-then-simulate loop; ``rounds=r, initial_samples=k,
+            refit=True`` is the active simulate/train/refine loop (the
+            surrogate is refit on all measurements before each round).
+        track_quality:
+            Record a :class:`CampaignRound` (front size, hypervolume) after
+            every acquisition round.
+        """
+        if simulation_budget < 1:
+            raise ValueError("simulation_budget must be >= 1")
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if initial_samples < 0:
+            raise ValueError("initial_samples must be >= 0")
+        if refit and not surrogate.supports_fit:
+            raise ValueError(
+                f"refit=True needs a refittable surrogate, "
+                f"{type(surrogate).__name__} is not"
+            )
+        if refit and initial_samples < 2:
+            raise ValueError("refit=True needs initial_samples >= 2 to fit on")
+        acquisition = acquisition if acquisition is not None else ParetoRankAcquisition()
+
+        simulated: list[Configuration] = []
+        measured = np.empty((0, self.objectives.num_objectives), dtype=np.float64)
+        if initial_samples:
+            initial = self.sampler.sample(initial_samples)
+            measured = self.measure(initial, workload)
+            simulated.extend(initial)
+
+        tracker = QualityTracker(self.objectives) if track_quality else None
+        candidates_screened = 0
+        last_selected: list[int] = []
+        last_predicted: Optional[np.ndarray] = None
+
+        for round_index in range(rounds):
+            known_features = (
+                self.encoder.encode_batch(simulated) if simulated else None
+            )
+            if refit:
+                surrogate.fit(known_features, measured)
+
+            candidates = generator.propose(self, surrogate, round_index)
+            features = self.encoder.encode_batch(candidates)
+            predicted = surrogate.predict(features)
+            predicted_min = self.objectives.to_minimization(predicted)
+            context = AcquisitionContext(
+                features=features,
+                known_features=known_features,
+                surrogate=surrogate,
+                objectives=self.objectives,
+            )
+            selected = acquisition.select(predicted_min, simulation_budget, context)
+
+            chosen = [candidates[i] for i in selected]
+            rows = self.measure(chosen, workload)
+            simulated.extend(chosen)
+            measured = np.concatenate([measured, rows], axis=0)
+
+            candidates_screened += len(candidates)
+            last_selected = selected
+            last_predicted = predicted
+            if tracker is not None:
+                tracker.record(
+                    round_index,
+                    self.objectives.to_minimization(measured),
+                    len(simulated),
+                )
+
+        measured_min = self.objectives.to_minimization(measured)
+        # The tracker already computed the final front when it recorded the
+        # last round; only the untracked path has to compute it here.
+        pareto_indices = (
+            tracker.last_front_indices
+            if tracker is not None and tracker.last_front_indices is not None
+            else fast_pareto_front(measured_min)
+        )
+        return WorkloadCampaignResult(
+            workload=workload,
+            objectives=self.objectives,
+            simulated_configs=simulated,
+            measured_objectives=measured,
+            pareto_indices=pareto_indices,
+            simulations_used=len(simulated),
+            candidates_screened=candidates_screened,
+            rounds=tracker.rounds if tracker is not None else [],
+            selected_indices=last_selected,
+            predicted=last_predicted,
+        )
+
+    # -- cross-workload campaign ---------------------------------------------------
+    def run_campaign(
+        self,
+        workloads: Sequence[str],
+        surrogates: SurrogateProvider,
+        *,
+        generator: Optional[CandidateGenerator] = None,
+        acquisition: Optional[AcquisitionStrategy] = None,
+        candidate_pool: int = 1000,
+        simulation_budget: int = 20,
+        rounds: int = 1,
+        initial_samples: int = 0,
+        refit: bool = False,
+    ) -> CampaignResult:
+        """Explore many workloads in one batched campaign.
+
+        With a surrogate-independent generator and a single round (the
+        default), the campaign runs the **shared-pool** fast path: one
+        candidate pool is sampled and encoded once, every workload screens
+        it with its own surrogate, and the union of all per-workload
+        selections is measured with a single
+        :meth:`~repro.sim.simulator.Simulator.run_sweep` (configurations
+        encoded once for all workloads; an opt-in
+        ``Simulator(evaluation_cache=True)`` then makes overlapping or
+        repeated selections free).  Every workload's result contains the
+        full measured union — measurements made for one workload's picks
+        are valid (and freely available) observations for the others — with
+        its own acquisition picks recorded in ``selected_indices``.
+
+        Multi-round / refitting / surrogate-dependent-generator campaigns
+        fall back to per-workload :meth:`run` loops, which still share the
+        simulator's phase tables and evaluation cache.
+        """
+        workloads = list(workloads)
+        if not workloads:
+            raise ValueError("run_campaign needs at least one workload")
+        surrogate_for: Callable[[str], MultiObjectiveSurrogate]
+        if callable(surrogates):
+            surrogate_for = surrogates
+        else:
+            surrogate_for = surrogates.__getitem__
+        acquisition = acquisition if acquisition is not None else ParetoRankAcquisition()
+
+        shared_pool = (
+            rounds == 1
+            and initial_samples == 0
+            and not refit
+            and (generator is None or not generator.surrogate_dependent)
+        )
+        if not shared_pool:
+            if generator is None:
+                generator = RandomPool(candidate_pool)
+            per_workload = {
+                workload: self.run(
+                    workload,
+                    surrogate_for(workload),
+                    generator=generator,
+                    acquisition=acquisition,
+                    simulation_budget=simulation_budget,
+                    rounds=rounds,
+                    initial_samples=initial_samples,
+                    refit=refit,
+                )
+                for workload in workloads
+            }
+            return CampaignResult(
+                per_workload=per_workload,
+                objectives=self.objectives,
+                candidates_screened=next(iter(per_workload.values())).candidates_screened,
+                total_simulations=sum(
+                    result.simulations_used for result in per_workload.values()
+                ),
+            )
+
+        if generator is None:
+            generator = RandomPool(candidate_pool)
+        candidates = generator.propose(self, None, 0)
+        features = self.encoder.encode_batch(candidates)
+
+        selections: dict[str, list[int]] = {}
+        predictions: dict[str, np.ndarray] = {}
+        for workload in workloads:
+            surrogate = surrogate_for(workload)
+            predicted = surrogate.predict(features)
+            predicted_min = self.objectives.to_minimization(predicted)
+            context = AcquisitionContext(
+                features=features,
+                known_features=None,
+                surrogate=surrogate,
+                objectives=self.objectives,
+            )
+            selections[workload] = acquisition.select(
+                predicted_min, simulation_budget, context
+            )
+            predictions[workload] = predicted
+
+        union = sorted({index for picks in selections.values() for index in picks})
+        position = {index: offset for offset, index in enumerate(union)}
+        union_configs = [candidates[index] for index in union]
+        sweep = self.simulator.run_sweep(union_configs, workloads)
+
+        per_workload = {}
+        for workload in workloads:
+            batch = sweep[workload]
+            measured = np.stack(
+                [batch.objective(name) for name in self.objectives.names], axis=1
+            )
+            measured_min = self.objectives.to_minimization(measured)
+            tracker = QualityTracker(self.objectives)
+            tracker.record(0, measured_min, len(union_configs))
+            per_workload[workload] = WorkloadCampaignResult(
+                workload=workload,
+                objectives=self.objectives,
+                simulated_configs=union_configs,
+                measured_objectives=measured,
+                pareto_indices=tracker.last_front_indices,
+                simulations_used=len(union_configs),
+                candidates_screened=len(candidates),
+                rounds=tracker.rounds,
+                selected_indices=[position[index] for index in selections[workload]],
+                predicted=predictions[workload],
+            )
+        return CampaignResult(
+            per_workload=per_workload,
+            objectives=self.objectives,
+            candidates_screened=len(candidates),
+            total_simulations=len(union_configs) * len(workloads),
+        )

@@ -10,24 +10,41 @@ loop used by the examples and the extended benchmarks:
 2. predict the objective(s) for every candidate with the surrogate;
 3. simulate only the predicted-Pareto-optimal (or top-ranked) candidates;
 4. report the measured Pareto front and the simulation budget spent.
+
+Both explorers here are thin strategy configurations over the shared
+:class:`~repro.dse.engine.CampaignEngine`: the guided explorer pairs a
+:class:`~repro.dse.engine.RandomPool` with
+:class:`~repro.dse.acquisition.ParetoRankAcquisition`, while
+:class:`NSGA2GuidedExplorer` swaps the random pool for an
+:class:`~repro.dse.engine.NSGA2Evolve` generator that concentrates the pool
+around the surrogate's predicted front before any simulation is spent.  The
+pre-engine loop survives as :meth:`PredictorGuidedExplorer.explore_reference`,
+the executable specification ``tests/test_dse_engine_equivalence.py`` pins
+the engine path against bitwise.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.designspace.encoding import OrdinalEncoder
 from repro.designspace.sampling import RandomSampler
 from repro.designspace.space import Configuration, DesignSpace
+from repro.dse.acquisition import ParetoRankAcquisition
+from repro.dse.engine import (
+    CampaignEngine,
+    NSGA2Evolve,
+    ObjectiveSet,
+    RandomPool,
+    WorkloadCampaignResult,
+)
 from repro.dse.pareto import pareto_front, to_minimization
+from repro.dse.surrogates import CallableSurrogate, PredictorFn
 from repro.sim.simulator import Simulator
 from repro.utils.rng import SeedLike
-
-#: Signature of a surrogate callable: features (n, d) -> predictions (n,).
-PredictorFn = Callable[[np.ndarray], np.ndarray]
 
 
 @dataclass
@@ -58,6 +75,22 @@ class ExplorationResult:
         """Objective rows of the measured Pareto front."""
         return self.measured_objectives[self.pareto_indices]
 
+    @classmethod
+    def from_campaign(cls, result: WorkloadCampaignResult) -> "ExplorationResult":
+        """View a single-workload engine result through the legacy dataclass."""
+        return cls(
+            simulated_configs=result.simulated_configs,
+            measured_objectives=result.measured_objectives,
+            objective_names=result.objective_names,
+            pareto_indices=result.pareto_indices,
+            simulations_used=result.simulations_used,
+            candidates_screened=result.candidates_screened,
+            extras={
+                "predicted": result.predicted,
+                "selected_indices": result.selected_indices,
+            },
+        )
+
 
 class PredictorGuidedExplorer:
     """Screen candidates with surrogates, simulate only the best."""
@@ -74,10 +107,20 @@ class PredictorGuidedExplorer:
         self.encoder = OrdinalEncoder(space)
         self.sampler = RandomSampler(space, seed=seed)
 
+    def _engine(self, objectives: ObjectiveSet) -> CampaignEngine:
+        """An engine sharing this explorer's sampler/encoder (RNG stream)."""
+        return CampaignEngine(
+            self.space,
+            self.simulator,
+            objectives,
+            sampler=self.sampler,
+            encoder=self.encoder,
+        )
+
     def explore(
         self,
         workload: str,
-        predictors: dict[str, PredictorFn],
+        predictors: Mapping[str, PredictorFn],
         *,
         maximize: Optional[dict[str, bool]] = None,
         candidate_pool: int = 2000,
@@ -104,6 +147,36 @@ class PredictorGuidedExplorer:
             raise ValueError("explore() needs at least one predictor")
         if simulation_budget < 1:
             raise ValueError("simulation_budget must be >= 1")
+        objectives = ObjectiveSet.from_names(tuple(predictors), maximize)
+        result = self._engine(objectives).run(
+            workload,
+            CallableSurrogate(predictors),
+            generator=RandomPool(candidate_pool),
+            acquisition=ParetoRankAcquisition(),
+            simulation_budget=simulation_budget,
+            track_quality=False,
+        )
+        return ExplorationResult.from_campaign(result)
+
+    def explore_reference(
+        self,
+        workload: str,
+        predictors: Mapping[str, PredictorFn],
+        *,
+        maximize: Optional[dict[str, bool]] = None,
+        candidate_pool: int = 2000,
+        simulation_budget: int = 30,
+    ) -> ExplorationResult:
+        """Pre-engine screen-then-simulate loop (executable specification).
+
+        Kept as the reference :meth:`explore` is equivalence-tested against
+        (``tests/test_dse_engine_equivalence.py``), mirroring how
+        ``Simulator.run_scalar`` specifies the batch path.
+        """
+        if not predictors:
+            raise ValueError("explore() needs at least one predictor")
+        if simulation_budget < 1:
+            raise ValueError("simulation_budget must be >= 1")
         objective_names = tuple(predictors)
         maximize = maximize or {}
         maximize_flags = [maximize.get(name, name == "ipc") for name in objective_names]
@@ -117,11 +190,14 @@ class PredictorGuidedExplorer:
         ranked = to_minimization(predicted, maximize_flags)
 
         # Pick the predicted Pareto front first; fill the remaining budget with
-        # the best-ranked points by the first objective.
-        front = list(pareto_front(ranked))
+        # the best-ranked points by the first objective.  The front-membership
+        # set is hoisted out of the fill loop (rebuilding it per candidate made
+        # the fill O(pool²)).
+        front = [int(i) for i in pareto_front(ranked)]
         if len(front) < simulation_budget:
-            remaining = [i for i in np.argsort(ranked[:, 0]) if i not in set(front)]
-            front.extend(int(i) for i in remaining[: simulation_budget - len(front)])
+            chosen = set(front)
+            remaining = [int(i) for i in np.argsort(ranked[:, 0]) if int(i) not in chosen]
+            front.extend(remaining[: simulation_budget - len(front)])
         selected = front[:simulation_budget]
 
         selected_configs = [candidates[int(i)] for i in selected]
@@ -151,20 +227,78 @@ class PredictorGuidedExplorer:
         """Budget-matched random-search baseline (simulate random candidates)."""
         if simulation_budget < 1:
             raise ValueError("simulation_budget must be >= 1")
-        objective_names = tuple(objective_names)
-        maximize = maximize or {}
-        maximize_flags = [maximize.get(name, name == "ipc") for name in objective_names]
+        objectives = ObjectiveSet.from_names(tuple(objective_names), maximize)
+        engine = self._engine(objectives)
         configs = self.sampler.sample(simulation_budget)
-        batch = self.simulator.run_batch(configs, workload)
-        measured = np.stack(
-            [batch.objective(name) for name in objective_names], axis=1
-        )
-        measured_min = to_minimization(measured, maximize_flags)
+        measured = engine.measure(configs, workload)
         return ExplorationResult(
             simulated_configs=configs,
             measured_objectives=measured,
-            objective_names=objective_names,
-            pareto_indices=pareto_front(measured_min),
+            objective_names=objectives.names,
+            pareto_indices=pareto_front(objectives.to_minimization(measured)),
             simulations_used=len(configs),
             candidates_screened=len(configs),
         )
+
+
+class NSGA2GuidedExplorer:
+    """Screen-then-simulate with an NSGA-II-evolved candidate pool.
+
+    Same contract as :class:`PredictorGuidedExplorer.explore`, but instead
+    of screening a uniform random pool the candidates are evolved against
+    the surrogate predictions first (reusing the
+    :mod:`repro.dse.nsga2` machinery through the engine's
+    :class:`~repro.dse.engine.NSGA2Evolve` generator), so the simulation
+    budget lands on an already-concentrated trade-off region.  The search
+    itself never touches the simulator; only the final selection does.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        simulator: Simulator,
+        *,
+        population_size: int = 64,
+        generations: int = 20,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.space = space
+        self.simulator = simulator
+        self.encoder = OrdinalEncoder(space)
+        self.sampler = RandomSampler(space, seed=seed)
+        self.generator = NSGA2Evolve(
+            population_size=population_size,
+            generations=generations,
+            seed=self.sampler.rng,
+        )
+
+    def explore(
+        self,
+        workload: str,
+        predictors: Mapping[str, PredictorFn],
+        *,
+        maximize: Optional[dict[str, bool]] = None,
+        simulation_budget: int = 30,
+    ) -> ExplorationResult:
+        """Evolve candidates against the surrogate, simulate the best."""
+        if not predictors:
+            raise ValueError("explore() needs at least one predictor")
+        if simulation_budget < 1:
+            raise ValueError("simulation_budget must be >= 1")
+        objectives = ObjectiveSet.from_names(tuple(predictors), maximize)
+        engine = CampaignEngine(
+            self.space,
+            self.simulator,
+            objectives,
+            sampler=self.sampler,
+            encoder=self.encoder,
+        )
+        result = engine.run(
+            workload,
+            CallableSurrogate(predictors),
+            generator=self.generator,
+            acquisition=ParetoRankAcquisition(),
+            simulation_budget=simulation_budget,
+            track_quality=False,
+        )
+        return ExplorationResult.from_campaign(result)

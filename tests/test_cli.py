@@ -51,7 +51,10 @@ class TestParser:
             action for action in parser._actions if hasattr(action, "choices") and action.choices
         ]
         commands = set(subactions[0].choices)
-        assert commands == {"table1", "generate", "similarity", "pretrain", "evaluate", "explore"}
+        assert commands == {
+            "table1", "generate", "similarity", "pretrain", "evaluate",
+            "explore", "dse",
+        }
 
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
@@ -205,3 +208,62 @@ class TestExplore:
         payload = json.loads(output.read_text())
         assert payload["simulations"] == 8
         assert payload["method"] == "screen"
+
+
+class TestDseCampaign:
+    def test_tree_surrogate_campaign(self, dataset_path, tmp_path, capsys):
+        output = tmp_path / "campaign.json"
+        exit_code = main(
+            [
+                "dse",
+                "--dataset", str(dataset_path),
+                "--workloads", "605.mcf_s", "620.omnetpp_s",
+                "--budget", "6",
+                "--candidate-pool", "40",
+                "--phases", "1",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "campaign over 2 workloads" in printed
+        payload = json.loads(output.read_text())
+        assert payload["objectives"] == ["ipc", "power"]
+        assert set(payload["workloads"]) == {"605.mcf_s", "620.omnetpp_s"}
+        for entry in payload["workloads"].values():
+            assert entry["front_size"] >= 1
+            assert entry["pareto_front"]
+            assert len(entry["hypervolume_curve"]) == 1
+
+    def test_model_flags_must_come_together(self, dataset_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "dse",
+                    "--dataset", str(dataset_path),
+                    "--workloads", "605.mcf_s",
+                    "--model-ipc", "only_one.npz",
+                ]
+            )
+
+    def test_metadse_model_campaign(self, dataset_path, model_path, tmp_path):
+        # The facade path needs both metric models; reuse the tiny IPC model
+        # for power (the CLI only cares that both archives load).
+        output = tmp_path / "campaign_nn.json"
+        exit_code = main(
+            [
+                "dse",
+                "--dataset", str(dataset_path),
+                "--workloads", "605.mcf_s",
+                "--model-ipc", str(model_path),
+                "--model-power", str(model_path),
+                "--support-size", "6",
+                "--budget", "4",
+                "--candidate-pool", "30",
+                "--phases", "1",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        assert payload["workloads"]["605.mcf_s"]["front_size"] >= 1

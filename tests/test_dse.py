@@ -8,6 +8,7 @@ from hypothesis.extra import numpy as hnp
 from repro.dse.explorer import PredictorGuidedExplorer
 from repro.dse.pareto import (
     crowding_distance,
+    fast_pareto_front,
     hypervolume_2d,
     pareto_front,
     pareto_mask,
@@ -49,6 +50,61 @@ class TestParetoMask:
                     selected[j] < selected[i]
                 )
                 assert not dominates
+
+
+class TestFastParetoFront:
+    """The O(n log n) 2-D path must be indistinguishable from pareto_front."""
+
+    def test_matches_generic_on_ties_and_duplicates(self):
+        objectives = np.array(
+            [
+                [1.0, 1.0], [1.0, 1.0],   # exact duplicates: both kept
+                [1.0, 2.0],               # same x, worse y: dominated
+                [0.5, 1.0],               # dominates nothing with smaller y...
+                [0.5, 3.0],
+                [2.0, 0.5], [2.0, 0.5],
+                [3.0, 0.5],               # same y as a smaller x: dominated
+            ]
+        )
+        np.testing.assert_array_equal(
+            fast_pareto_front(objectives), pareto_front(objectives)
+        )
+
+    def test_three_objectives_fall_back_to_generic(self):
+        objectives = np.random.default_rng(0).normal(size=(40, 3))
+        np.testing.assert_array_equal(
+            fast_pareto_front(objectives), pareto_front(objectives)
+        )
+
+    def test_nan_rows_fall_back_to_generic(self):
+        objectives = np.array([[0.0, 1.0], [np.nan, 0.0], [1.0, 0.0]])
+        np.testing.assert_array_equal(
+            fast_pareto_front(objectives), pareto_front(objectives)
+        )
+
+    def test_requires_2d_matrix(self):
+        with pytest.raises(ValueError):
+            fast_pareto_front(np.array([1.0, 2.0]))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(1, 60), st.just(2)),
+                   elements=st.floats(-10, 10)),
+    )
+    def test_exactly_equals_generic_front(self, objectives):
+        np.testing.assert_array_equal(
+            fast_pareto_front(objectives), pareto_front(objectives)
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(1, 40), st.just(2)),
+                   elements=st.integers(-3, 3).map(float)),
+    )
+    def test_exactly_equals_generic_with_heavy_ties(self, objectives):
+        np.testing.assert_array_equal(
+            fast_pareto_front(objectives), pareto_front(objectives)
+        )
 
 
 class TestHypervolume:

@@ -1,0 +1,148 @@
+"""Equivalence of the engine-backed explorers and their reference loops.
+
+The legacy explorers are now thin strategy configurations over
+``repro.dse.engine.CampaignEngine``; their pre-refactor loops survive as
+``explore_reference`` — the executable specification, exactly like
+``Simulator.run_scalar`` specifies the batch path
+(``tests/test_sim_batch_equivalence.py``).  This module pins the engine
+path against the reference **bitwise**: same sampler streams must select
+the same configurations, measure the same objective rows, and report the
+same fronts and hypervolume histories.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.trees import GradientBoostingRegressor
+from repro.dse.active import ActiveLearningExplorer
+from repro.dse.engine import ObjectiveSet, QualityTracker
+from repro.dse.explorer import PredictorGuidedExplorer
+
+WORKLOAD = "605.mcf_s"
+
+
+def _surrogate_callables(fast_simulator, table1_space, seed=0):
+    """Cheap per-objective callables fit on a small labelled set."""
+    from repro.designspace.encoding import OrdinalEncoder
+    from repro.designspace.sampling import RandomSampler
+
+    encoder = OrdinalEncoder(table1_space)
+    configs = RandomSampler(table1_space, seed=seed).sample(60)
+    features = encoder.encode_batch(configs)
+    batch = fast_simulator.run_batch(configs, WORKLOAD)
+    predictors = {}
+    for name in ("ipc", "power"):
+        surrogate = GradientBoostingRegressor(n_estimators=30, max_depth=3, seed=0)
+        surrogate.fit(features, batch.objective(name))
+        predictors[name] = surrogate.predict
+    return predictors
+
+
+class TestPredictorGuidedEquivalence:
+    @pytest.fixture(scope="class")
+    def predictors(self, fast_simulator, table1_space):
+        return _surrogate_callables(fast_simulator, table1_space)
+
+    @pytest.mark.parametrize("budget,pool", [(12, 80), (40, 60)])
+    def test_engine_matches_reference_bitwise(
+        self, table1_space, fast_simulator, predictors, budget, pool
+    ):
+        engine_run = PredictorGuidedExplorer(
+            table1_space, fast_simulator, seed=3
+        ).explore(
+            WORKLOAD, predictors, candidate_pool=pool, simulation_budget=budget
+        )
+        reference = PredictorGuidedExplorer(
+            table1_space, fast_simulator, seed=3
+        ).explore_reference(
+            WORKLOAD, predictors, candidate_pool=pool, simulation_budget=budget
+        )
+
+        assert engine_run.simulated_configs == reference.simulated_configs
+        np.testing.assert_array_equal(
+            engine_run.measured_objectives, reference.measured_objectives
+        )
+        np.testing.assert_array_equal(
+            engine_run.pareto_indices, reference.pareto_indices
+        )
+        np.testing.assert_array_equal(
+            engine_run.extras["predicted"], reference.extras["predicted"]
+        )
+        assert engine_run.extras["selected_indices"] == reference.extras["selected_indices"]
+        assert engine_run.simulations_used == reference.simulations_used
+        assert engine_run.candidates_screened == reference.candidates_screened
+
+    def test_selected_indices_are_plain_ints(
+        self, table1_space, fast_simulator, predictors
+    ):
+        result = PredictorGuidedExplorer(table1_space, fast_simulator, seed=1).explore(
+            WORKLOAD, predictors, candidate_pool=50, simulation_budget=20
+        )
+        assert all(type(i) is int for i in result.extras["selected_indices"])
+
+
+class TestActiveLearningEquivalence:
+    def test_engine_matches_reference_bitwise(self, table1_space, fast_simulator):
+        kwargs = dict(initial_samples=6, batch_size=3, rounds=3)
+        engine_run = ActiveLearningExplorer(
+            table1_space, fast_simulator, candidate_pool=50, seed=4
+        ).explore(WORKLOAD, **kwargs)
+        reference = ActiveLearningExplorer(
+            table1_space, fast_simulator, candidate_pool=50, seed=4
+        ).explore_reference(WORKLOAD, **kwargs)
+
+        assert engine_run.simulated_configs == reference.simulated_configs
+        np.testing.assert_array_equal(
+            engine_run.measured_objectives, reference.measured_objectives
+        )
+        np.testing.assert_array_equal(
+            engine_run.pareto_indices, reference.pareto_indices
+        )
+        assert len(engine_run.rounds) == len(reference.rounds)
+        for engine_round, reference_round in zip(engine_run.rounds, reference.rounds):
+            assert engine_round.round_index == reference_round.round_index
+            assert engine_round.simulations_total == reference_round.simulations_total
+            assert engine_round.pareto_size == reference_round.pareto_size
+            assert engine_round.hypervolume == reference_round.hypervolume
+
+    def test_custom_objectives_match_reference(self, table1_space, fast_simulator):
+        kwargs = dict(
+            objective_names=("ipc", "energy_per_instruction_nj"),
+            initial_samples=4,
+            batch_size=2,
+            rounds=2,
+        )
+        engine_run = ActiveLearningExplorer(
+            table1_space, fast_simulator, candidate_pool=40, seed=9
+        ).explore(WORKLOAD, **kwargs)
+        reference = ActiveLearningExplorer(
+            table1_space, fast_simulator, candidate_pool=40, seed=9
+        ).explore_reference(WORKLOAD, **kwargs)
+        np.testing.assert_array_equal(
+            engine_run.measured_objectives, reference.measured_objectives
+        )
+        assert engine_run.hypervolume_history() == reference.hypervolume_history()
+
+
+class TestQualityTrackerScope:
+    def test_hypervolume_warns_for_non_2d_objectives(self):
+        tracker = QualityTracker(
+            ObjectiveSet.from_names(("ipc", "power", "area_mm2"))
+        )
+        measured_min = np.array([[1.0, 2.0, 3.0], [2.0, 1.0, 4.0]])
+        with pytest.warns(RuntimeWarning, match="only defined for 2 objectives"):
+            entry = tracker.record(0, measured_min, simulations_total=2)
+        assert np.isnan(entry.hypervolume)
+        # Warn once per tracker, not per round.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            second = tracker.record(1, measured_min, simulations_total=4)
+        assert np.isnan(second.hypervolume)
+
+    def test_hypervolume_finite_for_two_objectives(self):
+        tracker = QualityTracker(ObjectiveSet.from_names(("ipc", "power")))
+        measured_min = np.array([[-1.0, 2.0], [-2.0, 3.0], [-0.5, 1.0]])
+        entry = tracker.record(0, measured_min, simulations_total=3)
+        assert np.isfinite(entry.hypervolume) and entry.hypervolume >= 0

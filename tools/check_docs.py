@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation consistency checker (the ``make docs-check`` target).
 
-Two failure classes, both of which have bitten stale docs before:
+Three failure classes, all of which have bitten stale docs before:
 
 1. **Dead intra-repo links** — every relative markdown link in the repo's
    top-level ``*.md`` files and ``docs/*.md`` must point at a file or
@@ -14,6 +14,10 @@ Two failure classes, both of which have bitten stale docs before:
    against ``src/`` (a trailing attribute like ``repro.nn.tensor.stack`` is
    fine — some prefix must resolve to a module), and path-like references
    are resolved against the repo root.
+3. **Uncataloged benchmark results** — ``benchmarks/results/*.json`` files
+   are committed artefacts whose meaning lives in the ``docs/benchmarks.md``
+   catalog.  Every result JSON must be named there, so a benchmark cannot
+   land (or be renamed) without its catalog row.
 
 Exits non-zero listing every offence, so it can gate ``make test``.
 """
@@ -108,12 +112,30 @@ def check_module_references(path: Path) -> list[str]:
     return errors
 
 
+def check_benchmark_catalog() -> list[str]:
+    """Return one message per ``benchmarks/results/*.json`` not cataloged."""
+    catalog = REPO_ROOT / "docs" / "benchmarks.md"
+    results = sorted((REPO_ROOT / "benchmarks" / "results").glob("*.json"))
+    if not results:
+        return []
+    if not catalog.exists():
+        return ["docs/benchmarks.md: missing (benchmark results need a catalog)"]
+    text = catalog.read_text()
+    return [
+        f"docs/benchmarks.md: uncataloged benchmark result -> "
+        f"benchmarks/results/{result.name}"
+        for result in results
+        if result.name not in text
+    ]
+
+
 def main() -> int:
     errors: list[str] = []
     for path in LINKED_FILES:
         errors.extend(check_links(path))
     for path in MODULE_REF_FILES:
         errors.extend(check_module_references(path))
+    errors.extend(check_benchmark_catalog())
     if errors:
         print(f"docs-check: {len(errors)} problem(s)")
         for error in errors:
