@@ -59,10 +59,34 @@ def record_result(name: str, payload: dict) -> Path:
     return path
 
 
-@pytest.fixture(scope="session")
-def record():
-    """Fixture handle on :func:`record_result` for benchmark modules."""
-    return record_result
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Expose each phase's report on the item so fixtures can see pass/fail."""
+    outcome = yield
+    report = outcome.get_result()
+    setattr(item, "rep_" + report.when, report)
+
+
+@pytest.fixture()
+def record(request):
+    """Stage results; persist to ``results/`` only if the test passes.
+
+    The JSONs under ``benchmarks/results/`` are committed baselines (see
+    docs/benchmarks.md), so a failing run — an asserted band violated, a
+    noisy machine — must never overwrite them.  Writes are therefore
+    deferred to teardown and dropped unless the test's call phase passed.
+    """
+    staged = []
+
+    def _record(name: str, payload: dict) -> Path:
+        staged.append((name, payload))
+        return RESULTS_DIR / f"{name}.json"
+
+    yield _record
+    report = getattr(request.node, "rep_call", None)
+    if report is not None and report.passed:
+        for name, payload in staged:
+            record_result(name, payload)
 
 
 @pytest.fixture(scope="session")

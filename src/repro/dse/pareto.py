@@ -103,14 +103,20 @@ def fast_pareto_front(objectives: np.ndarray) -> np.ndarray:
     first-objective ordering of the returned indices — but large
     two-objective candidate pools (the screening hot path of the DSE
     campaign engine) avoid the generic quadratic-ish scan.  Inputs with
-    more than two objectives, no rows, or NaNs fall back to the generic
-    implementation (NaN comparison semantics are whatever
-    :func:`pareto_mask` does with them).
+    more than two objectives, no rows, or any non-finite value fall back
+    to the generic implementation: NaN comparison semantics are whatever
+    :func:`pareto_mask` does with them, and ±inf (the sentinel
+    ``repro.dse.constraints`` uses for infeasible points) would collide
+    with the sweep's own ``inf`` seed in ``previous_best``.
     """
     objectives = np.asarray(objectives, dtype=np.float64)
     if objectives.ndim != 2:
         raise ValueError(f"expected a 2-D objective matrix, got shape {objectives.shape}")
-    if objectives.shape[1] != 2 or objectives.shape[0] == 0 or np.isnan(objectives).any():
+    if (
+        objectives.shape[1] != 2
+        or objectives.shape[0] == 0
+        or not np.isfinite(objectives).all()
+    ):
         return pareto_front(objectives)
     mask = _pareto_mask_2d(objectives)
     indices = np.nonzero(mask)[0]

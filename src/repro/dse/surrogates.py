@@ -208,7 +208,9 @@ class StackedPredictorSurrogate(MultiObjectiveSurrogate):
     features across that axis into a single
     :meth:`~repro.nn.module.Module.functional_call` — one graph instead of
     one forward per objective.  Models with mismatched parameter sets (e.g.
-    one carries a WAM mask and another does not) fall back to a
+    one carries a WAM mask and another does not) or with differing
+    non-parameter tensor state (e.g. *non-learnable* masks, which are
+    absent from ``state_dict`` but shape the forward) fall back to a
     per-predictor loop transparently.
 
     ``label_means`` / ``label_stds`` undo per-objective label
@@ -250,6 +252,20 @@ class StackedPredictorSurrogate(MultiObjectiveSurrogate):
         names = set(states[0])
         if any(set(state) != names for state in states[1:]):
             return None
+        # Non-parameter tensor state (e.g. a WAM mask installed with
+        # ``learnable=False``) is absent from ``state_dict`` yet shapes the
+        # forward.  The stacked path runs the template's forward for every
+        # objective, so it is only valid when all models carry bitwise-
+        # identical buffers; otherwise predictor[0]'s mask would silently be
+        # applied to every objective.
+        reference = list(self.predictors[0].named_buffers())
+        for predictor in self.predictors[1:]:
+            buffers = list(predictor.named_buffers())
+            if [name for name, _ in buffers] != [name for name, _ in reference]:
+                return None
+            for (_, ours), (_, theirs) in zip(reference, buffers):
+                if not np.array_equal(ours.data, theirs.data):
+                    return None
         stacked: dict[str, Tensor] = {}
         dtype = self.predictors[0].dtype
         for name in states[0]:

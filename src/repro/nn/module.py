@@ -92,6 +92,20 @@ class Module:
         """All trainable parameters in traversal order."""
         return [p for _, p in self.named_parameters()]
 
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield ``(qualified_name, tensor)`` for non-parameter Tensor state.
+
+        These are Tensor attributes that are not registered parameters —
+        e.g. an attention mask installed with ``learnable=False`` — so they
+        shape the forward pass but do not appear in :meth:`state_dict`.
+        Same stable traversal order as :meth:`named_parameters`.
+        """
+        for name, value in vars(self).items():
+            if isinstance(value, Tensor) and name not in self._parameters:
+                yield (f"{prefix}{name}", value)
+        for module_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{module_name}.")
+
     def parameter_count(self) -> int:
         """Total number of scalar parameters."""
         return sum(p.size for p in self.parameters())

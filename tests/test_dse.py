@@ -82,6 +82,20 @@ class TestFastParetoFront:
             fast_pareto_front(objectives), pareto_front(objectives)
         )
 
+    def test_inf_rows_fall_back_to_generic(self):
+        # +inf is the constraints layer's infeasibility sentinel; it used to
+        # collide with the sweep's own inf seed and silently drop rows whose
+        # second objective is +inf in the lowest first-objective group.
+        for objectives in (
+            np.array([[1.0, np.inf]]),
+            np.array([[1.0, np.inf], [2.0, 3.0]]),
+            np.array([[np.inf, np.inf], [np.inf, 1.0], [0.0, 2.0]]),
+            np.array([[-np.inf, 1.0], [0.0, -np.inf], [1.0, 1.0]]),
+        ):
+            np.testing.assert_array_equal(
+                fast_pareto_front(objectives), pareto_front(objectives)
+            )
+
     def test_requires_2d_matrix(self):
         with pytest.raises(ValueError):
             fast_pareto_front(np.array([1.0, 2.0]))

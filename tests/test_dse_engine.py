@@ -185,6 +185,38 @@ class TestSurrogates:
         reference = np.stack([masked.predict(features), plain.predict(features)], axis=1)
         np.testing.assert_allclose(surrogate.predict(features), reference)
 
+    def test_stacked_predictor_falls_back_on_differing_nonlearnable_masks(self):
+        # Non-learnable masks are plain Tensor attributes, invisible to
+        # state_dict(); stacking regardless would silently run every
+        # objective's forward under predictor[0]'s mask.
+        rng = np.random.default_rng(4)
+        predictors = []
+        for seed in (0, 1):
+            predictor = TransformerPredictor(4, embed_dim=8, num_heads=2,
+                                             num_layers=1, head_hidden=8, seed=seed)
+            predictor.install_mask(rng.normal(size=(4, 4)), learnable=False)
+            predictors.append(predictor)
+        surrogate = StackedPredictorSurrogate(predictors, ("ipc", "power"))
+        assert not surrogate.is_stacked
+        features = rng.uniform(size=(6, 4))
+        reference = np.stack([p.predict(features) for p in predictors], axis=1)
+        np.testing.assert_allclose(surrogate.predict(features), reference)
+
+    def test_stacked_predictor_stacks_identical_nonlearnable_masks(self):
+        mask = np.random.default_rng(5).normal(size=(4, 4))
+        predictors = []
+        for seed in (0, 1):
+            predictor = TransformerPredictor(4, embed_dim=8, num_heads=2,
+                                             num_layers=1, head_hidden=8, seed=seed)
+            predictor.install_mask(mask, learnable=False)
+            predictors.append(predictor)
+        surrogate = StackedPredictorSurrogate(predictors, ("ipc", "power"))
+        assert surrogate.is_stacked
+        features = np.random.default_rng(6).uniform(size=(6, 4))
+        reference = np.stack([p.predict(features) for p in predictors], axis=1)
+        np.testing.assert_allclose(surrogate.predict(features), reference,
+                                   rtol=0, atol=1e-9)
+
 
 class TestCampaignEngine:
     @pytest.fixture()
