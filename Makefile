@@ -8,6 +8,8 @@
 #   make bench-meta      - just the meta-training throughput benchmark
 #   make bench-precision - just the float32-vs-float64 precision benchmark
 #   make bench-dse       - just the cross-workload DSE campaign benchmark
+#   make bench-runtime   - just the parallel campaign runtime benchmark
+#                          (skips on machines with fewer than 4 cores)
 #   make docs-check      - fail on dead intra-repo links / stale module refs
 #                          / uncataloged benchmarks/results JSONs
 #   make examples        - run every example script end to end
@@ -15,7 +17,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test unit bench bench-meta bench-precision bench-dse docs-check examples
+.PHONY: test unit bench bench-meta bench-precision bench-dse bench-runtime docs-check examples
 
 test: docs-check
 	$(PYTHON) -m pytest -x -q
@@ -36,6 +38,9 @@ bench-precision:
 
 bench-dse:
 	$(PYTHON) -m pytest benchmarks/test_dse_campaign_throughput.py -q
+
+bench-runtime:
+	$(PYTHON) -m pytest benchmarks/test_runtime_throughput.py -q
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

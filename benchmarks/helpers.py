@@ -2,7 +2,28 @@
 
 from __future__ import annotations
 
+import time
+
 from repro.core.metadse import MetaDSE
+
+
+def interleaved_best_of(times: int, run_a, run_b):
+    """Best-of-N timing for two arms, alternating reps so load spikes hit both.
+
+    Returns ``((best_seconds_a, last_result_a), (best_seconds_b,
+    last_result_b))`` — the shared timing methodology of every throughput
+    benchmark.
+    """
+    seconds_a, seconds_b = [], []
+    result_a = result_b = None
+    for _ in range(times):
+        start = time.perf_counter()
+        result_a = run_a()
+        seconds_a.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        result_b = run_b()
+        seconds_b.append(time.perf_counter() - start)
+    return (min(seconds_a), result_a), (min(seconds_b), result_b)
 
 
 def clone_without_wam(pretrained: MetaDSE) -> MetaDSE:

@@ -33,9 +33,10 @@ legacy hypervolume per workload.  The measured ratio is recorded in
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
+
+from benchmarks.helpers import interleaved_best_of
 
 from repro.designspace.encoding import OrdinalEncoder
 from repro.designspace.sampling import RandomSampler
@@ -82,20 +83,6 @@ MIN_HV_FRACTION = 0.7
 MAXIMIZE = [True, False]  # ipc up, power down
 
 METRICS = ("ipc", "power")
-
-
-def _interleaved_best_of(times: int, run_a, run_b):
-    """Best-of-N for two arms, alternating reps so load spikes hit both."""
-    seconds_a, seconds_b = [], []
-    result_a = result_b = None
-    for _ in range(times):
-        start = time.perf_counter()
-        result_a = run_a()
-        seconds_a.append(time.perf_counter() - start)
-        start = time.perf_counter()
-        result_b = run_b()
-        seconds_b.append(time.perf_counter() - start)
-    return (min(seconds_a), result_a), (min(seconds_b), result_b)
 
 
 def _support_labels(space):
@@ -198,7 +185,7 @@ def test_campaign_vs_sequential_legacy_speedup(record):
     run_campaign()
 
     (legacy_seconds, legacy_results), (campaign_seconds, campaign_results) = (
-        _interleaved_best_of(3, run_legacy, run_campaign)
+        interleaved_best_of(3, run_legacy, run_campaign)
     )
     speedup = legacy_seconds / campaign_seconds
 

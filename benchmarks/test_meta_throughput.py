@@ -22,9 +22,10 @@ meta-validation pass over as many held-out episodes, mirroring what
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
+
+from benchmarks.helpers import interleaved_best_of
 
 from repro.datasets.tasks import TaskSampler
 from repro.meta.maml import MAMLConfig, MAMLTrainer, _per_task_mse, _stack_episodes
@@ -88,20 +89,6 @@ def _validate_scalar(trainer, tasks):
     return float(np.mean(losses))
 
 
-def _interleaved_best_of(times: int, run_a, run_b):
-    """Best-of-N for two arms, alternating reps so load spikes hit both."""
-    seconds_a, seconds_b = [], []
-    result_a = result_b = None
-    for _ in range(times):
-        start = time.perf_counter()
-        result_a = run_a()
-        seconds_a.append(time.perf_counter() - start)
-        start = time.perf_counter()
-        result_b = run_b()
-        seconds_b.append(time.perf_counter() - start)
-    return (min(seconds_a), result_a), (min(seconds_b), result_b)
-
-
 def test_meta_step_throughput(benchmark, dataset):
     """Tasks/second through one batched meta_step (for the benchmark table)."""
     trainer = _make_trainer(dataset)
@@ -140,7 +127,7 @@ def test_meta_batch_vs_scalar_speedup(dataset, record):
     round_scalar()
 
     (batched_seconds, batched_losses), (scalar_seconds, scalar_losses) = (
-        _interleaved_best_of(3, round_batched, round_scalar)
+        interleaved_best_of(3, round_batched, round_scalar)
     )
 
     # The two arms took identical optimisation trajectories.

@@ -22,9 +22,10 @@ exact; re-baselining guidance lives in ``docs/benchmarks.md``.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
+
+from benchmarks.helpers import interleaved_best_of
 
 from repro.core.config import experiment_config
 from repro.core.metadse import MetaDSE
@@ -81,20 +82,6 @@ def _sample_tasks(dataset, seed):
     return sampler.sample_batch(TRAIN_WORKLOADS, tasks_per_workload=per_workload)[:META_BATCH]
 
 
-def _interleaved_best_of(times: int, run_a, run_b):
-    """Best-of-N for two arms, alternating reps so load spikes hit both."""
-    seconds_a, seconds_b = [], []
-    result_a = result_b = None
-    for _ in range(times):
-        start = time.perf_counter()
-        result_a = run_a()
-        seconds_a.append(time.perf_counter() - start)
-        start = time.perf_counter()
-        result_b = run_b()
-        seconds_b.append(time.perf_counter() - start)
-    return (min(seconds_a), result_a), (min(seconds_b), result_b)
-
-
 def test_float32_vs_float64_speedup(dataset, split, record):
     """float32 must beat float64 by >= 1.5x on the wide-predictor round,
     while the full float32 few-shot pipeline stays within 2% RMSE of
@@ -113,7 +100,7 @@ def test_float32_vs_float64_speedup(dataset, split, record):
     round_f64()
     round_f32()
 
-    (f64_seconds, f64_loss), (f32_seconds, f32_loss) = _interleaved_best_of(
+    (f64_seconds, f64_loss), (f32_seconds, f32_loss) = interleaved_best_of(
         3, round_f64, round_f32
     )
 

@@ -1,0 +1,168 @@
+"""Campaign-round throughput: parallel runtime vs the serial engine.
+
+PR 5 built the parallel campaign runtime (``repro.runtime``): per-workload
+refit/screen steps become DAG jobs on a process pool and the union-measure
+sweep is sharded over the same executor.  This module pins the speed-up of
+one multi-round, 8-workload campaign (refit tree surrogates per workload
+per round — the throughput-dominant step, and exactly the part that is
+embarrassingly parallel across workloads) against the
+:class:`~repro.runtime.executors.SerialExecutor` reference.
+
+The two arms run the *same algorithm* — the runtime's round-structured
+campaign — differing only in the executor, and the runtime's determinism
+contract makes their results **bitwise identical** (asserted below, which
+is a stronger statement than hypervolume parity and implies it).  The
+measured ratio is recorded in ``benchmarks/results/runtime_speedup.json``
+(``make bench-runtime``) through the pass-gated ``record`` fixture.
+
+The claim is a *parallel* speed-up, so the benchmark requires at least 4
+CPU cores and skips otherwise (a 1-core machine cannot observe it; the
+equivalence guarantees are pinned core-count-independently in
+``tests/test_runtime_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import partial
+
+import numpy as np
+import pytest
+
+from benchmarks.helpers import interleaved_best_of
+from repro.baselines.trees import GradientBoostingRegressor
+from repro.dse.engine import CampaignEngine, ObjectiveSet
+from repro.dse.surrogates import TreeEnsembleSurrogate
+from repro.runtime.executors import ProcessExecutor, SerialExecutor
+from repro.sim.simulator import Simulator
+
+#: Campaign targets (the same 8-workload regime as ``make bench-dse``).
+WORKLOADS = (
+    "605.mcf_s", "625.x264_s", "602.gcc_s", "620.omnetpp_s",
+    "641.leela_s", "648.exchange2_s", "638.imagick_s", "623.xalancbmk_s",
+)
+
+#: Campaign shape: every round refits each workload's tree surrogate on all
+#: measurements so far, screens a fresh shared pool and measures the union.
+CANDIDATE_POOL = 400
+BUDGET = 8
+ROUNDS = 2
+INITIAL_SAMPLES = 24
+
+#: Tree-surrogate capacity (the per-workload refit is the hot step).
+ESTIMATORS = 25
+
+#: SimPoint phases in the simulation substrate.
+PHASES = 4
+
+#: Minimum speed-up of the process-pool campaign over the serial engine.
+MIN_SPEEDUP = 2.0
+
+#: Cores needed before a parallel speed-up claim is observable at all.
+MIN_CORES = 4
+
+CORES = os.cpu_count() or 1
+
+
+def _surrogates():
+    # functools.partial, not a lambda: the factory must pickle into the
+    # process pool's screen jobs.
+    factory = partial(
+        GradientBoostingRegressor, n_estimators=ESTIMATORS, max_depth=3, seed=2
+    )
+    return {
+        workload: TreeEnsembleSurrogate(factory, ("ipc", "power"))
+        for workload in WORKLOADS
+    }
+
+
+def _engine() -> CampaignEngine:
+    simulator = Simulator(simpoint_phases=PHASES, seed=11, evaluation_cache=True)
+    return CampaignEngine(
+        simulator.space,
+        simulator,
+        ObjectiveSet.from_names(("ipc", "power")),
+        seed=5,
+    )
+
+
+def _run_campaign(executor):
+    # Fresh engine + surrogates per run: identical sampler streams for both
+    # arms, so the bitwise comparison below is meaningful.
+    return _engine().run_campaign(
+        WORKLOADS,
+        _surrogates(),
+        candidate_pool=CANDIDATE_POOL,
+        simulation_budget=BUDGET,
+        rounds=ROUNDS,
+        initial_samples=INITIAL_SAMPLES,
+        refit=True,
+        executor=executor,
+    )
+
+
+@pytest.mark.skipif(
+    CORES < MIN_CORES,
+    reason=f"parallel campaign speed-up needs >= {MIN_CORES} cores, have {CORES}",
+)
+def test_parallel_campaign_vs_serial_engine_speedup(record):
+    """The process-pool campaign must beat the serial engine >= 2x."""
+    jobs = min(len(WORKLOADS), CORES)
+    serial = SerialExecutor()
+    with ProcessExecutor(jobs) as parallel:
+        run_serial = lambda: _run_campaign(serial)  # noqa: E731
+        run_parallel = lambda: _run_campaign(parallel)  # noqa: E731
+
+        # Warm both arms (process-pool spin-up, allocator, phase tables).
+        run_serial()
+        run_parallel()
+
+        (serial_seconds, serial_result), (parallel_seconds, parallel_result) = (
+            interleaved_best_of(2, run_serial, run_parallel)
+        )
+    speedup = serial_seconds / parallel_seconds
+
+    # Determinism contract: the parallel campaign is bitwise identical to
+    # the serial one — which subsumes front-hypervolume parity.
+    hypervolumes = {}
+    for workload in WORKLOADS:
+        np.testing.assert_array_equal(
+            serial_result[workload].measured_objectives,
+            parallel_result[workload].measured_objectives,
+            err_msg=workload,
+        )
+        assert (
+            serial_result[workload].selected_indices
+            == parallel_result[workload].selected_indices
+        ), workload
+        serial_hv = serial_result[workload].hypervolume_history()
+        assert serial_hv == parallel_result[workload].hypervolume_history(), workload
+        hypervolumes[workload] = serial_hv[-1]
+
+    record(
+        "runtime_speedup",
+        {
+            "cores": CORES,
+            "jobs": jobs,
+            "workloads": list(WORKLOADS),
+            "candidate_pool": CANDIDATE_POOL,
+            "simulation_budget": BUDGET,
+            "rounds": ROUNDS,
+            "initial_samples": INITIAL_SAMPLES,
+            "estimators": ESTIMATORS,
+            "simpoint_phases": PHASES,
+            "round": "multi-round refit campaign (per-workload tree refit + "
+                     "screen as DAG jobs, sharded union-measure sweep) on a "
+                     "process pool vs SerialExecutor",
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "final_hypervolume": hypervolumes,
+            "results_bitwise_identical": True,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"parallel campaign is only {speedup:.2f}x faster than the serial "
+        f"engine on {CORES} cores ({parallel_seconds * 1e3:.0f} ms vs "
+        f"{serial_seconds * 1e3:.0f} ms)"
+    )

@@ -23,6 +23,9 @@ The package is organised bottom-up:
   acquisition, cross-workload campaigns), the explorer strategy wrappers
   (screening, NSGA-II, active learning), constraints and
   Pareto/ADRS/hypervolume utilities;
+* :mod:`repro.runtime` -- the parallel campaign runtime: DAG job
+  scheduler, serial/thread/process executors, deterministic sharding and
+  resumable campaign checkpoints;
 * :mod:`repro.core` -- the :class:`~repro.core.metadse.MetaDSE` facade;
 * :mod:`repro.cli` -- the ``python -m repro`` command-line interface.
 """

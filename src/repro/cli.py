@@ -16,7 +16,9 @@ writing any Python:
   surrogate screening) on one workload and print the Pareto front;
 * ``dse``        — run a batched cross-workload campaign through the unified
   campaign engine (shared candidate pool, one ``run_sweep`` measurement)
-  and print one Pareto front per workload.
+  and print one Pareto front per workload; ``--jobs N`` dispatches it
+  through the parallel campaign runtime (``--executor`` picks
+  thread/process/serial, ``--checkpoint`` makes the campaign resumable).
 
 Every command accepts ``--seed`` so runs are reproducible, and prints a short
 human-readable report to stdout; machine-readable results are written as JSON
@@ -26,6 +28,7 @@ when ``--output`` is given.
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 from pathlib import Path
@@ -72,17 +75,30 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_executor(args: argparse.Namespace):
+    """Build the executor requested by ``--jobs`` / ``--executor``."""
+    from repro.runtime.executors import resolve_executor
+
+    return resolve_executor(args.jobs, getattr(args, "executor", "thread"))
+
+
 # -- generate -----------------------------------------------------------------------
 def cmd_generate(args: argparse.Namespace) -> int:
     simulator = _build_simulator(args)
     workloads = args.workloads if args.workloads else None
-    dataset = generate_dataset(
-        simulator,
-        workloads=workloads,
-        num_points=args.num_points,
-        sampler_kind=args.sampler,
-        seed=args.seed,
-    )
+    executor = _campaign_executor(args)
+    try:
+        dataset = generate_dataset(
+            simulator,
+            workloads=workloads,
+            num_points=args.num_points,
+            sampler_kind=args.sampler,
+            seed=args.seed,
+            executor=executor,
+        )
+    finally:
+        if executor is not None:
+            executor.shutdown()
     path = save_dataset(dataset, args.output)
     print(
         f"labelled {dataset.num_points} design points for {len(dataset)} workloads "
@@ -302,20 +318,23 @@ def cmd_dse(args: argparse.Namespace) -> int:
             candidate_pool=args.candidate_pool,
             simulation_budget=args.budget,
             seed=args.seed,
+            jobs=args.jobs,
+            executor=args.executor,
+            checkpoint=args.checkpoint,
         )
     else:
         # Tree-surrogate path: fit one ensemble per workload on the dataset
-        # labels and drive the shared-pool campaign directly.
+        # labels and drive the shared-pool campaign directly.  The factory
+        # is a functools.partial (not a lambda) so the surrogates stay
+        # picklable for --executor process.
         objectives = ObjectiveSet.from_names(objective_names)
+        factory = functools.partial(
+            GradientBoostingRegressor, n_estimators=60, max_depth=3, seed=args.seed
+        )
         surrogates = {}
         for workload in workloads:
             data = dataset[workload]
-            surrogate = TreeEnsembleSurrogate(
-                lambda: GradientBoostingRegressor(
-                    n_estimators=60, max_depth=3, seed=args.seed
-                ),
-                objective_names,
-            )
+            surrogate = TreeEnsembleSurrogate(factory, objective_names)
             targets = np.stack(
                 [data.metric(name) for name in objective_names], axis=1
             )
@@ -324,12 +343,19 @@ def cmd_dse(args: argparse.Namespace) -> int:
         engine = CampaignEngine(
             dataset.space, simulator, objectives, seed=args.seed
         )
-        campaign = engine.run_campaign(
-            workloads,
-            surrogates,
-            candidate_pool=args.candidate_pool,
-            simulation_budget=args.budget,
-        )
+        executor = _campaign_executor(args)
+        try:
+            campaign = engine.run_campaign(
+                workloads,
+                surrogates,
+                candidate_pool=args.candidate_pool,
+                simulation_budget=args.budget,
+                executor=executor,
+                checkpoint=args.checkpoint,
+            )
+        finally:
+            if executor is not None:
+                executor.shutdown()
 
     summary = campaign.summary()
     print(
@@ -373,6 +399,15 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         choices=SPEC2017_WORKLOAD_NAMES,
         help="restrict to these workloads (default: all 17)",
+    )
+    generate.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel workers for the labelling sweep (bitwise-identical "
+             "output; see docs/runtime.md)",
+    )
+    generate.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="thread",
+        help="executor kind used with --jobs",
     )
     generate.set_defaults(handler=cmd_generate)
 
@@ -460,6 +495,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument("--phases", type=int, default=1)
     dse.add_argument("--seed", type=int, default=0)
+    dse.add_argument(
+        "--jobs", type=int, default=None,
+        help="dispatch the campaign through the parallel runtime with this "
+             "many workers (results are bitwise identical to serial)",
+    )
+    dse.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="thread",
+        help="executor kind used with --jobs (process pools need picklable "
+             "surrogates; the tree path qualifies)",
+    )
+    dse.add_argument(
+        "--checkpoint",
+        help="checkpoint file for resumable campaigns: completed rounds are "
+             "persisted and a re-run resumes from the last completed round",
+    )
     dse.add_argument("--output", help="optional JSON output path")
     dse.set_defaults(handler=cmd_dse)
 

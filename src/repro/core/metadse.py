@@ -257,6 +257,9 @@ class MetaDSE(CrossWorkloadModel):
         candidate_pool: int = 1000,
         simulation_budget: int = 20,
         seed: int = 0,
+        jobs: Optional[int] = None,
+        executor: str = "thread",
+        checkpoint=None,
     ):
         """Run a batched cross-workload DSE campaign with adapted predictors.
 
@@ -294,6 +297,17 @@ class MetaDSE(CrossWorkloadModel):
         candidate_pool, simulation_budget, seed:
             Campaign knobs, forwarded to
             :meth:`~repro.dse.engine.CampaignEngine.run_campaign`.
+        jobs, executor:
+            Parallel campaign runtime: with ``jobs=N`` the per-workload
+            screening and the union-measure sweep run on an executor of
+            that width (``executor`` picks the kind, ``"thread"`` by
+            default — nn surrogates are not cheaply picklable, and NumPy
+            screening releases the GIL).  Results are bitwise identical to
+            the serial campaign (``docs/runtime.md``).
+        checkpoint:
+            Optional path: completed campaign rounds are persisted there,
+            and a killed campaign re-run with the same arguments resumes
+            from the last completed round.
 
         Returns the engine's :class:`~repro.dse.engine.CampaignResult`
         (per-workload fronts + hypervolume curves, physical units).  Like
@@ -345,12 +359,21 @@ class MetaDSE(CrossWorkloadModel):
             for index, workload in enumerate(workloads)
         }
         engine = CampaignEngine(simulator.space, simulator, objective_set, seed=seed)
-        return engine.run_campaign(
-            workloads,
-            surrogates,
-            candidate_pool=candidate_pool,
-            simulation_budget=simulation_budget,
-        )
+        from repro.runtime.executors import resolve_executor
+
+        campaign_executor = resolve_executor(jobs, executor)
+        try:
+            return engine.run_campaign(
+                workloads,
+                surrogates,
+                candidate_pool=candidate_pool,
+                simulation_budget=simulation_budget,
+                executor=campaign_executor,
+                checkpoint=checkpoint,
+            )
+        finally:
+            if campaign_executor is not None:
+                campaign_executor.shutdown()
 
     # -- inference -----------------------------------------------------------------------
     def predict(self, features: np.ndarray) -> np.ndarray:

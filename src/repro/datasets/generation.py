@@ -143,6 +143,7 @@ def generate_dataset(
     num_points: int = 500,
     sampler_kind: str = "random",
     seed: SeedLike = 2024,
+    executor=None,
 ) -> DSEDataset:
     """Sample and simulate a labelled dataset.
 
@@ -160,6 +161,11 @@ def generate_dataset(
         ``"random"`` / ``"lhs"`` / ``"oa"`` — see :mod:`repro.designspace.sampling`.
     seed:
         Controls design-point sampling (the simulator has its own seed).
+    executor:
+        Optional :class:`~repro.runtime.executors.Executor`: the labelling
+        sweep is sharded over ``(configs x workloads)`` and produces a
+        bitwise-identical dataset (noise-free simulators only; see
+        ``docs/runtime.md``).
     """
     if num_points < 1:
         raise ValueError(f"num_points must be >= 1, got {num_points}")
@@ -175,7 +181,7 @@ def generate_dataset(
     per_workload: dict[str, WorkloadDataset] = {}
     # run_batch returns freshly-allocated metric arrays, so the labels can
     # be stored without defensive copies.
-    for name, batch in simulator.run_sweep(configs, names).items():
+    for name, batch in simulator.run_sweep(configs, names, executor=executor).items():
         labels = {
             "ipc": batch.ipc,
             "power": batch.power_w,

@@ -51,6 +51,7 @@ from repro.dse.pareto import (
 from repro.dse.quality import (
     adrs,
     hypervolume_ratio,
+    monte_carlo_hypervolume,
     normalize_objectives,
     pareto_coverage,
 )
@@ -97,6 +98,7 @@ __all__ = [
     "adrs",
     "pareto_coverage",
     "hypervolume_ratio",
+    "monte_carlo_hypervolume",
     "normalize_objectives",
     "Constraint",
     "feasible_mask",

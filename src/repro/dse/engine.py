@@ -17,8 +17,9 @@ snippets in the examples).  :class:`CampaignEngine` owns that skeleton once:
 * **measure/record bookkeeping** — one vectorized
   :meth:`~repro.sim.simulator.Simulator.run_batch` per acquisition batch and
   a :class:`QualityTracker` that records front size and hypervolume per
-  round (2-D only — the tracker warns explicitly for other arities instead
-  of silently reporting zero).
+  round (exact 2-D sweep; seeded Monte-Carlo estimate for 3+ objectives,
+  with the sample count recorded alongside; single-objective campaigns
+  still warn explicitly instead of silently reporting zero).
 
 The legacy explorers are thin strategy configurations over
 :meth:`CampaignEngine.run` (their pre-refactor loops survive as
@@ -235,6 +236,9 @@ class CampaignRound:
     simulations_total: int
     pareto_size: int
     hypervolume: float
+    #: Monte-Carlo sample count behind ``hypervolume`` (``0`` = exact 2-D
+    #: sweep, or no indicator at all when ``hypervolume`` is NaN).
+    hypervolume_samples: int = 0
 
 
 def front_hypervolume(
@@ -259,16 +263,27 @@ def front_hypervolume(
 class QualityTracker:
     """Per-round front-size / hypervolume bookkeeping shared by all loops.
 
-    The hypervolume indicator implemented here is the two-objective area
-    (IPC vs power); for any other number of objectives the tracker emits a
+    The hypervolume indicator is the exact two-objective area (IPC vs
+    power) when the campaign has two objectives; for **three or more**
+    objectives (e.g. ipc/power/area) it records a seeded Monte-Carlo
+    estimate (:func:`repro.dse.quality.monte_carlo_hypervolume`) and notes
+    the sample count in :attr:`CampaignRound.hypervolume_samples` so the
+    number is never mistaken for an exact sweep.  A single-objective
+    campaign has no hypervolume trade-off at all: the tracker emits a
     ``RuntimeWarning`` once and records ``NaN`` — never a silent ``0.0``,
     which the pre-engine active-learning loop used to report and which is
     indistinguishable from "found nothing".  See the scope note in
     ``docs/benchmarks.md``.
     """
 
-    def __init__(self, objectives: ObjectiveSet) -> None:
+    def __init__(
+        self, objectives: ObjectiveSet, *, mc_samples: Optional[int] = None
+    ) -> None:
+        from repro.dse.quality import MC_HYPERVOLUME_SAMPLES
+
         self.objectives = objectives
+        #: Samples per Monte-Carlo estimate for 3+-objective campaigns.
+        self.mc_samples = mc_samples if mc_samples is not None else MC_HYPERVOLUME_SAMPLES
         self.rounds: list[CampaignRound] = []
         #: Pareto indices of the most recently recorded round (reused by the
         #: engine for the final result instead of recomputing the front).
@@ -278,27 +293,56 @@ class QualityTracker:
     def hypervolume(
         self, measured_min: np.ndarray, front_indices: Optional[np.ndarray] = None
     ) -> float:
-        if measured_min.shape[1] != 2:
-            if not self._warned:
-                warnings.warn(
-                    f"hypervolume tracking is only defined for 2 objectives, "
-                    f"got {measured_min.shape[1]} ({', '.join(self.objectives.names)}); "
-                    f"recording NaN",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
-                self._warned = True
-            return float("nan")
-        return front_hypervolume(measured_min, front_indices)
+        """Hypervolume indicator alone; see :meth:`hypervolume_entry`."""
+        return self.hypervolume_entry(measured_min, front_indices)[0]
+
+    def hypervolume_entry(
+        self, measured_min: np.ndarray, front_indices: Optional[np.ndarray] = None
+    ) -> tuple[float, int]:
+        """``(hypervolume, mc_samples)`` for one round's measured set.
+
+        ``mc_samples`` is ``0`` for the exact 2-D sweep and for the
+        single-objective NaN case.
+        """
+        num_objectives = measured_min.shape[1]
+        if num_objectives == 2:
+            return front_hypervolume(measured_min, front_indices), 0
+        if num_objectives >= 3:
+            from repro.dse.quality import monte_carlo_hypervolume
+
+            if front_indices is None:
+                front_indices = fast_pareto_front(measured_min)
+            nadir = measured_min.max(axis=0)
+            span = np.maximum(nadir - measured_min.min(axis=0), 1e-12)
+            estimate = monte_carlo_hypervolume(
+                measured_min[front_indices],
+                nadir + 0.1 * span,
+                num_samples=self.mc_samples,
+                seed=0,
+            )
+            return estimate, self.mc_samples
+        if not self._warned:
+            warnings.warn(
+                f"hypervolume tracking is only defined for 2 objectives "
+                f"(exactly) or 3+ (Monte-Carlo estimate), got "
+                f"{num_objectives} ({', '.join(self.objectives.names)}); "
+                f"recording NaN",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._warned = True
+        return float("nan"), 0
 
     def record(self, round_index: int, measured_min: np.ndarray, simulations_total: int) -> CampaignRound:
         front_indices = fast_pareto_front(measured_min)
         self.last_front_indices = front_indices
+        hypervolume, samples = self.hypervolume_entry(measured_min, front_indices)
         entry = CampaignRound(
             round_index=round_index,
             simulations_total=simulations_total,
             pareto_size=int(len(front_indices)),
-            hypervolume=self.hypervolume(measured_min, front_indices),
+            hypervolume=hypervolume,
+            hypervolume_samples=samples,
         )
         self.rounds.append(entry)
         return entry
@@ -577,6 +621,8 @@ class CampaignEngine:
         rounds: int = 1,
         initial_samples: int = 0,
         refit: bool = False,
+        executor=None,
+        checkpoint=None,
     ) -> CampaignResult:
         """Explore many workloads in one batched campaign.
 
@@ -596,7 +642,37 @@ class CampaignEngine:
         Multi-round / refitting / surrogate-dependent-generator campaigns
         fall back to per-workload :meth:`run` loops, which still share the
         simulator's phase tables and evaluation cache.
+
+        With an *executor* (:mod:`repro.runtime.executors`) and/or a
+        *checkpoint* path, the campaign is dispatched through the parallel
+        campaign runtime instead (:mod:`repro.runtime.campaign`): each
+        round's per-workload screen steps become DAG jobs joined by a
+        sharded union-measure sweep, completed rounds are checkpointed so
+        a killed campaign resumes from the last completed round, and the
+        results are **bitwise identical** to the
+        :class:`~repro.runtime.executors.SerialExecutor` reference (which
+        itself reproduces the single-round shared-pool path exactly).
+        Multi-round/refit campaigns keep the shared-pool-per-round
+        structure there instead of falling back to per-workload loops;
+        surrogate-dependent generators are rejected.
         """
+        if executor is not None or checkpoint is not None:
+            from repro.runtime.campaign import run_campaign_runtime
+
+            return run_campaign_runtime(
+                self,
+                workloads,
+                surrogates,
+                generator=generator,
+                acquisition=acquisition,
+                candidate_pool=candidate_pool,
+                simulation_budget=simulation_budget,
+                rounds=rounds,
+                initial_samples=initial_samples,
+                refit=refit,
+                executor=executor,
+                checkpoint=checkpoint,
+            )
         workloads = list(workloads)
         if not workloads:
             raise ValueError("run_campaign needs at least one workload")

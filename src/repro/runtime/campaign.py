@@ -1,0 +1,411 @@
+r"""The round-structured parallel campaign driver.
+
+:meth:`repro.dse.engine.CampaignEngine.run_campaign` delegates here
+whenever an ``executor`` or ``checkpoint`` is requested.  Each campaign
+round is dispatched as a small DAG:
+
+```
+ screen:<w1>@round_r  screen:<w2>@round_r  ...  screen:<wN>@round_r
+        \                  |                        /
+         +------------- measure@round_r -----------+        (join node)
+```
+
+* every **screen job** (optionally) refits its workload's surrogate on the
+  measurements accumulated so far, predicts the shared candidate pool and
+  runs acquisition — all independent across workloads, so they run on the
+  executor (module-level function, picklable for process pools);
+* the **measure join** runs inline in the scheduling thread: it unions the
+  per-workload selections in sorted index order and measures the union
+  with one :meth:`~repro.sim.simulator.Simulator.run_sweep`, itself
+  sharded over the same executor.
+
+Determinism: the shared pool is proposed once per round in the parent (one
+sampler-stream consumer, regardless of executor), screening is a pure
+function of ``(surrogate, pool, accumulated measurements)``, the union is
+sorted, and the sweep merges shards in fixed order — so thread/process
+campaigns are **bitwise identical** to the
+:class:`~repro.runtime.executors.SerialExecutor` reference, which in turn
+reproduces the legacy single-round shared-pool path exactly
+(``tests/test_runtime_equivalence.py``).
+
+Resume: with a ``checkpoint`` path, every completed round is persisted
+(:mod:`repro.runtime.checkpoint`); a restarted campaign replays only the
+cheap sampling steps of completed rounds (keeping RNG streams aligned),
+restores their measurements from disk, and continues with the first
+unfinished round.  Every restored round is cross-checked against the
+replay — the stored union configurations must re-derive from the replayed
+pool (and the initial samples must match outright), so an engine rebuilt
+with the wrong seed raises :class:`CheckpointMismatchError` instead of
+silently returning another campaign's results.  The *final* round, when
+restored, additionally re-runs its (simulation-free) screening step so
+``predicted`` is populated and the stored selections are verified — a
+fully resumed campaign is indistinguishable from an uninterrupted one.
+Surrogate-dependent generators (``NSGA2Evolve``) are rejected: they
+consume per-workload RNG inside ``propose``, which has no shared
+per-round pool to replay.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.dse.acquisition import AcquisitionContext, ParetoRankAcquisition
+from repro.runtime.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointMismatchError,
+    RoundRecord,
+    campaign_fingerprint,
+)
+from repro.runtime.dag import Job, run_jobs
+from repro.runtime.executors import Executor, SerialExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.dse.engine import CampaignEngine, CampaignResult
+
+
+def _screen_workload(
+    surrogate,
+    features: np.ndarray,
+    known_features: Optional[np.ndarray],
+    known_targets: Optional[np.ndarray],
+    objectives,
+    acquisition,
+    budget: int,
+    refit: bool,
+) -> tuple[list[int], np.ndarray]:
+    """One workload's refit/predict/select step (runs on the executor).
+
+    Module-level so process pools can pickle it.  With ``refit`` the fit
+    happens on the *worker's* copy of the surrogate under a process
+    executor — that is sound because every round refits from scratch on
+    the full accumulated measurement set, so no fitted state needs to
+    survive the round.
+    """
+    if refit:
+        surrogate.fit(known_features, known_targets)
+    predicted = surrogate.predict(features)
+    predicted_min = objectives.to_minimization(predicted)
+    context = AcquisitionContext(
+        features=features,
+        known_features=known_features,
+        surrogate=surrogate,
+        objectives=objectives,
+    )
+    selected = acquisition.select(predicted_min, budget, context)
+    return [int(i) for i in selected], predicted
+
+
+def _describe_generator(generator) -> str:
+    size = getattr(generator, "size", None)
+    suffix = f"(size={size})" if size is not None else ""
+    return f"{type(generator).__name__}{suffix}"
+
+
+def run_campaign_runtime(
+    engine: "CampaignEngine",
+    workloads: Sequence[str],
+    surrogates,
+    *,
+    generator=None,
+    acquisition=None,
+    candidate_pool: int = 1000,
+    simulation_budget: int = 20,
+    rounds: int = 1,
+    initial_samples: int = 0,
+    refit: bool = False,
+    executor: Optional[Executor] = None,
+    checkpoint=None,
+) -> "CampaignResult":
+    """Run a cross-workload campaign through the parallel runtime.
+
+    Same semantics per round as the engine's shared-pool fast path,
+    generalised to multiple rounds (every round screens a fresh shared
+    pool against all measurements so far and measures the selection
+    union on all workloads), dispatched as DAG jobs on *executor* and
+    checkpointed per round when *checkpoint* is given.
+    """
+    from repro.dse.engine import (
+        CampaignResult,
+        QualityTracker,
+        RandomPool,
+        WorkloadCampaignResult,
+    )
+
+    workloads = list(workloads)
+    if not workloads:
+        raise ValueError("run_campaign needs at least one workload")
+    if simulation_budget < 1:
+        raise ValueError("simulation_budget must be >= 1")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if initial_samples < 0:
+        raise ValueError("initial_samples must be >= 0")
+    if refit and initial_samples < 2:
+        raise ValueError("refit=True needs initial_samples >= 2 to fit on")
+
+    surrogate_for: Callable = (
+        surrogates if callable(surrogates) else surrogates.__getitem__
+    )
+    executor = executor if executor is not None else SerialExecutor()
+    generator = generator if generator is not None else RandomPool(candidate_pool)
+    if generator.surrogate_dependent:
+        raise ValueError(
+            f"the parallel campaign runtime needs a surrogate-independent "
+            f"generator (one shared pool per round); "
+            f"{type(generator).__name__} proposes per workload — use the "
+            f"serial run_campaign path (executor=None, checkpoint=None)"
+        )
+    acquisition = acquisition if acquisition is not None else ParetoRankAcquisition()
+    noise_std = getattr(engine.simulator, "noise_std", 0.0)
+    if noise_std > 0 and (checkpoint is not None or executor.jobs > 1):
+        # A checkpointed resume restores completed rounds without re-running
+        # their sweeps, so the noise RNG stream would sit at the wrong
+        # position for the first live round — the silent divergence the
+        # resume guards exist to prevent.  (Parallel sweeps reject noise
+        # anyway; raising here fails fast instead of mid-campaign.)
+        raise ValueError(
+            "checkpointed or parallel campaigns require a noise-free "
+            "simulator (noise_std == 0): resume restores measurements "
+            "without replaying the measurement-noise stream"
+        )
+
+    objectives = engine.objectives
+    surrogate_by_workload = {workload: surrogate_for(workload) for workload in workloads}
+    if refit:
+        for workload, surrogate in surrogate_by_workload.items():
+            if not surrogate.supports_fit:
+                raise ValueError(
+                    f"refit=True needs refittable surrogates, "
+                    f"{type(surrogate).__name__} (workload {workload!r}) is not"
+                )
+
+    ckpt: Optional[CampaignCheckpoint] = None
+    completed: dict[int, RoundRecord] = {}
+    if checkpoint is not None:
+        fingerprint = campaign_fingerprint(
+            workloads=workloads,
+            objective_names=objectives.names,
+            maximize=objectives.maximize,
+            simulation_budget=simulation_budget,
+            rounds=rounds,
+            initial_samples=initial_samples,
+            refit=refit,
+            generator=_describe_generator(generator),
+            acquisition=type(acquisition).__name__,
+            surrogates={
+                workload: type(surrogate).__name__
+                for workload, surrogate in surrogate_by_workload.items()
+            },
+        )
+        ckpt = CampaignCheckpoint.resume_or_start(checkpoint, fingerprint)
+        completed = ckpt.completed()
+        # Completed rounds must be the contiguous prefix the driver writes;
+        # anything else (hand-edited file, mixed campaigns) cannot be
+        # resumed coherently.
+        expected_prefix = ([-1] if initial_samples else []) + list(range(rounds))
+        stored_order = [record.round_index for record in ckpt.rounds]
+        if stored_order != expected_prefix[: len(stored_order)]:
+            raise CheckpointMismatchError(
+                f"{ckpt.path}: checkpointed rounds {stored_order} are not a "
+                f"contiguous prefix of {expected_prefix}"
+            )
+
+    # -- accumulated campaign state -----------------------------------------
+    simulated: list = []
+    measured = {
+        workload: np.empty((0, objectives.num_objectives), dtype=np.float64)
+        for workload in workloads
+    }
+    trackers = {workload: QualityTracker(objectives) for workload in workloads}
+    last_selected: dict[str, list[int]] = {workload: [] for workload in workloads}
+    last_predicted: dict[str, Optional[np.ndarray]] = {
+        workload: None for workload in workloads
+    }
+    candidates_screened = 0
+
+    def measure_union(union_configs: list) -> dict[str, np.ndarray]:
+        sweep = engine.simulator.run_sweep(union_configs, workloads, executor=executor)
+        return {
+            workload: np.stack(
+                [sweep[workload].objective(name) for name in objectives.names], axis=1
+            )
+            for workload in workloads
+        }
+
+    def absorb(record: RoundRecord) -> None:
+        """Fold one (fresh or restored) round into the campaign state."""
+        offset = len(simulated)
+        simulated.extend(record.union_configs)
+        for workload in workloads:
+            measured[workload] = np.concatenate(
+                [measured[workload], record.measured[workload]], axis=0
+            )
+            if record.round_index >= 0:
+                last_selected[workload] = [
+                    offset + int(position)
+                    for position in record.selections[workload]
+                ]
+                trackers[workload].record(
+                    record.round_index,
+                    objectives.to_minimization(measured[workload]),
+                    len(simulated),
+                )
+
+    # -- initial samples (round -1): measured on every workload ---------------
+    if initial_samples:
+        initial = engine.sampler.sample(initial_samples)
+        record = completed.get(-1)
+        if record is not None:
+            if record.union_configs != initial:
+                raise CheckpointMismatchError(
+                    "resumed initial samples differ from the checkpoint — "
+                    "the engine must be reconstructed with the same seed "
+                    "and sampler to resume a campaign"
+                )
+            record = RoundRecord(-1, initial, record.selections, record.measured)
+        else:
+            record = RoundRecord(
+                round_index=-1,
+                union_configs=initial,
+                selections={workload: [] for workload in workloads},
+                measured=measure_union(initial),
+            )
+            if ckpt is not None:
+                ckpt.record_round(record)
+        absorb(record)
+
+    # -- rounds -----------------------------------------------------------------
+    def make_screen_jobs(round_index: int, features: np.ndarray) -> list[Job]:
+        known_features = (
+            engine.encoder.encode_batch(simulated) if simulated else None
+        )
+        return [
+            Job(
+                f"screen:{workload}@round{round_index}",
+                _screen_workload,
+                args=(
+                    surrogate_by_workload[workload],
+                    features,
+                    known_features,
+                    measured[workload] if refit else None,
+                    objectives,
+                    acquisition,
+                    simulation_budget,
+                    refit,
+                ),
+            )
+            for workload in workloads
+        ]
+
+    for round_index in range(rounds):
+        # Propose even for restored rounds: the generator's RNG stream must
+        # advance exactly as in an uninterrupted run.
+        candidates = generator.propose(engine, None, round_index)
+        candidates_screened += len(candidates)
+
+        record = completed.get(round_index)
+        if record is not None:
+            replayed_union = [
+                candidates[index] for index in record.union_pool_indices
+            ]
+            if replayed_union != record.union_configs:
+                raise CheckpointMismatchError(
+                    f"replayed candidate pool for round {round_index} does "
+                    f"not reproduce the checkpointed union — the engine must "
+                    f"be reconstructed with the same seed and sampler to "
+                    f"resume a campaign"
+                )
+            if round_index == rounds - 1:
+                # The campaign ends on a restored round: re-run its
+                # (simulation-free) screening so `predicted` is populated
+                # and the stored selections verify — a fully resumed
+                # campaign result is indistinguishable from an
+                # uninterrupted one.
+                screen_jobs = make_screen_jobs(
+                    round_index, engine.encoder.encode_batch(candidates)
+                )
+                results = run_jobs(screen_jobs, executor)
+                position = {
+                    index: offset
+                    for offset, index in enumerate(record.union_pool_indices)
+                }
+                for workload, job in zip(workloads, screen_jobs):
+                    selected, predicted = results[job.name]
+                    if [
+                        position.get(index) for index in selected
+                    ] != record.selections[workload]:
+                        raise CheckpointMismatchError(
+                            f"re-screened selections for {workload!r} (round "
+                            f"{round_index}) do not match the checkpoint — "
+                            f"the campaign was resumed with different "
+                            f"surrogates or acquisition settings"
+                        )
+                    last_predicted[workload] = predicted
+            absorb(record)
+            continue
+
+        screen_jobs = make_screen_jobs(
+            round_index, engine.encoder.encode_batch(candidates)
+        )
+
+        def measure_join(screen_results: dict) -> tuple[list[int], dict[str, np.ndarray]]:
+            union = sorted(
+                {
+                    int(index)
+                    for selected, _ in screen_results.values()
+                    for index in selected
+                }
+            )
+            return union, measure_union([candidates[index] for index in union])
+
+        measure_job = Job(
+            f"measure@round{round_index}",
+            measure_join,
+            deps=screen_jobs,
+            inline=True,  # it fans its own sweep shards out to the executor
+            pass_results=True,
+        )
+        results = run_jobs([measure_job], executor)
+
+        union, union_rows = results[measure_job.name]
+        position = {index: offset for offset, index in enumerate(union)}
+        selections = {}
+        for workload, job in zip(workloads, screen_jobs):
+            selected, predicted = results[job.name]
+            selections[workload] = [position[index] for index in selected]
+            last_predicted[workload] = predicted
+        record = RoundRecord(
+            round_index=round_index,
+            union_configs=[candidates[index] for index in union],
+            selections=selections,
+            measured=union_rows,
+            union_pool_indices=union,
+        )
+        if ckpt is not None:
+            ckpt.record_round(record)
+        absorb(record)
+
+    # -- assemble ---------------------------------------------------------------
+    per_workload = {}
+    for workload in workloads:
+        tracker = trackers[workload]
+        per_workload[workload] = WorkloadCampaignResult(
+            workload=workload,
+            objectives=objectives,
+            simulated_configs=list(simulated),
+            measured_objectives=measured[workload],
+            pareto_indices=tracker.last_front_indices,
+            simulations_used=len(simulated),
+            candidates_screened=candidates_screened,
+            rounds=tracker.rounds,
+            selected_indices=last_selected[workload],
+            predicted=last_predicted[workload],
+        )
+    return CampaignResult(
+        per_workload=per_workload,
+        objectives=objectives,
+        candidates_screened=candidates_screened,
+        total_simulations=len(simulated) * len(workloads),
+    )

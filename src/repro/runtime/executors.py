@@ -1,0 +1,171 @@
+"""Pluggable executors behind one tiny, determinism-friendly interface.
+
+The runtime never exposes completion order to its callers: work is
+submitted, futures are collected, and results are merged in the order the
+work was *submitted* (see :mod:`repro.runtime.sharding`).  An
+:class:`Executor` therefore only needs ``submit`` — everything else
+(``starmap``, context management) is shared plumbing.
+
+Three implementations cover the repository's needs:
+
+* :class:`SerialExecutor` — runs the work inline at ``submit`` time.  It is
+  the executable reference every parallel result is compared against
+  (``tests/test_runtime_equivalence.py`` pins thread/process == serial
+  **bitwise**), and the degenerate case ``jobs=1`` resolves to.
+* :class:`ThreadExecutor` — :class:`concurrent.futures.ThreadPoolExecutor`.
+  The default for campaigns: NumPy kernels release the GIL, nothing needs
+  to be picklable, and workers share the process (so e.g. the simulator's
+  memoized phase tables are shared for free).
+* :class:`ProcessExecutor` — :class:`concurrent.futures.ProcessPoolExecutor`.
+  True parallelism for pure-Python hot loops (tree-surrogate refits, the
+  scalar models); task functions and arguments must be picklable, and
+  worker-side state mutations are discarded (see the per-worker
+  evaluation-cache contract on :class:`repro.sim.simulator.Simulator`).
+
+``resolve_executor`` maps the user-facing ``jobs=N`` knob
+(:meth:`MetaDSE.explore`, ``python -m repro dse --jobs N``) to an executor
+instance.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Optional, Sequence
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is not given: one per CPU core."""
+    return os.cpu_count() or 1
+
+
+class Executor:
+    """Minimal executor interface: ``submit`` returning a future.
+
+    Attributes
+    ----------
+    kind:
+        Short name (``"serial"`` / ``"thread"`` / ``"process"``) used in
+        reports and error messages.
+    jobs:
+        The parallelism width.  Sharding layers size their work splits from
+        this (never from completion timing), so the *shape* of the
+        computation is a pure function of ``(inputs, jobs)``.
+    """
+
+    kind: str = "abstract"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
+        raise NotImplementedError
+
+    def starmap(self, fn: Callable, argument_tuples: Iterable[tuple]) -> list:
+        """Apply *fn* to every argument tuple; results in submission order.
+
+        All work is submitted before the first result is awaited, so the
+        tasks run concurrently; the returned list order is the input order
+        regardless of completion order.
+        """
+        futures = [self.submit(fn, *arguments) for arguments in argument_tuples]
+        return [future.result() for future in futures]
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialExecutor(Executor):
+    """Run everything inline at ``submit`` time (the reference executor)."""
+
+    kind = "serial"
+
+    def __init__(self) -> None:
+        super().__init__(jobs=1)
+
+    def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except Exception as error:  # KeyboardInterrupt/SystemExit propagate
+            future.set_exception(error)
+        return future
+
+
+class _PoolExecutor(Executor):
+    """Shared plumbing for the two ``concurrent.futures`` wrappers."""
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        super().__init__(jobs if jobs is not None else default_jobs())
+        self._pool = None
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
+        if self._pool is None:
+            # Lazy: constructing an executor costs nothing until used, so
+            # APIs can build one speculatively (e.g. from a CLI flag).
+            self._pool = self._make_pool()
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            self._pool = None
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool executor (shared memory, no pickling)."""
+
+    kind = "thread"
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(max_workers=self.jobs)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool executor (true parallelism, picklable tasks only)."""
+
+    kind = "process"
+
+    def _make_pool(self):
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+
+#: Executor kinds accepted by :func:`resolve_executor` and the CLI.
+EXECUTOR_KINDS: Sequence[str] = ("serial", "thread", "process")
+
+
+def resolve_executor(
+    jobs: Optional[int], kind: str = "thread"
+) -> Optional[Executor]:
+    """Map the user-facing ``jobs=N`` knob to an executor instance.
+
+    ``None`` stays ``None`` (callers treat that as "keep the serial legacy
+    path"); ``jobs <= 1`` or ``kind="serial"`` is the
+    :class:`SerialExecutor` reference; otherwise a thread or process pool
+    of the requested width.
+    """
+    if jobs is None:
+        return None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(f"unknown executor kind {kind!r}; choose from {EXECUTOR_KINDS}")
+    if jobs == 1 or kind == "serial":
+        return SerialExecutor()
+    if kind == "process":
+        return ProcessExecutor(jobs)
+    return ThreadExecutor(jobs)

@@ -1,0 +1,61 @@
+"""Deterministic work splitting for parallel evaluation.
+
+The sharding contract that makes parallel results bitwise-identical to
+serial ones has two halves:
+
+1. the **split** is a pure function of ``(problem size, executor.jobs)`` —
+   contiguous index ranges, never influenced by scheduling or completion
+   timing;
+2. the **merge** happens in shard-index order after all shards join, so
+   assembled arrays (and any caches fed from them) are ordered exactly as
+   the serial path would have produced them.
+
+Combined with the evaluation kernels being elementwise per configuration
+(see ``docs/runtime.md`` for the exact argument), evaluating a contiguous
+slice yields the same bits as slicing the full evaluation —
+``tests/test_runtime_equivalence.py`` pins this for every executor.
+"""
+
+from __future__ import annotations
+
+
+def split_evenly(count: int, parts: int) -> list[range]:
+    """Split ``range(count)`` into at most *parts* contiguous ranges.
+
+    Sizes differ by at most one (the first ``count % parts`` shards get the
+    extra element); empty shards are dropped, so fewer than *parts* ranges
+    come back when ``count < parts``.  Concatenating the ranges in order
+    reproduces ``range(count)`` exactly.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    parts = min(parts, count)
+    if parts == 0:
+        return []
+    base, extra = divmod(count, parts)
+    shards: list[range] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        shards.append(range(start, start + size))
+        start += size
+    return shards
+
+
+def plan_sweep_shards(num_configs: int, num_workloads: int, jobs: int) -> list[range]:
+    """Per-workload configuration shards for a ``(configs x workloads)`` sweep.
+
+    Every workload gets the *same* list of contiguous configuration ranges
+    (so the per-workload merge is identical), sized so the total task count
+    ``num_workloads * len(ranges)`` is at least *jobs* — enough tasks to
+    occupy every worker even when workloads are fewer than workers, without
+    fragmenting the NumPy batches more than necessary.
+    """
+    if num_workloads < 1:
+        raise ValueError(f"num_workloads must be >= 1, got {num_workloads}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    shards_per_workload = -(-jobs // num_workloads)  # ceil division
+    return split_evenly(num_configs, shards_per_workload)

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.designspace.space import DesignSpace
 from repro.designspace.spec import build_table1_space
+from repro.runtime.sharding import plan_sweep_shards, split_evenly
 from repro.sim.performance import PerformanceModel, PerformanceResult
 from repro.sim.power import PowerModel, PowerResult
 from repro.sim.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
@@ -48,6 +49,17 @@ from repro.workloads.spec2017 import WorkloadSuite, spec2017_suite
 #: Parameter produced by :meth:`Simulator.encode_batch` for the categorical
 #: branch-predictor choice (`True` selects ``TournamentBP``).
 IS_TOURNAMENT_KEY = "is_tournament"
+
+
+def _evaluate_shard_task(
+    simulator: "Simulator",
+    profile_name: str,
+    params: dict[str, np.ndarray],
+    keys: list[tuple],
+) -> tuple[np.ndarray, int]:
+    """Executor task for one evaluation shard (module-level so
+    :class:`~repro.runtime.executors.ProcessExecutor` can pickle it)."""
+    return simulator._evaluate_shard(profile_name, params, keys)
 
 
 @dataclass(frozen=True)
@@ -166,6 +178,17 @@ class Simulator:
         memoized by value, so re-simulating a configuration an active-DSE
         loop has already measured is free.  Only available in noise-free
         mode (a cache would break the run-to-run variation noise models).
+
+        **Concurrency invariant**: the cache dict is only ever *written*
+        by the parent between evaluation calls — never from inside a
+        parallel section.  Parallel paths (``executor=`` on
+        :meth:`run_batch` / :meth:`run_sweep`) give every worker a
+        read-only view (threads) or an empty per-worker copy (processes —
+        see :meth:`__getstate__`) and merge the resulting rows into the
+        parent cache deterministically, in shard order, after all workers
+        join.  Consequently ``evaluation_count`` can be higher under a
+        process executor (workers cannot see parent-cache hits); the
+        returned metric arrays are bitwise identical either way.
     """
 
     def __init__(
@@ -301,7 +324,11 @@ class Simulator:
         return self.run_batch([config], workload)[0]
 
     def run_batch(
-        self, configs: Sequence[Mapping], workload: "str | WorkloadProfile"
+        self,
+        configs: Sequence[Mapping],
+        workload: "str | WorkloadProfile",
+        *,
+        executor=None,
     ) -> BatchSimulationResult:
         """Simulate a list of configurations on one workload, vectorized.
 
@@ -312,10 +339,18 @@ class Simulator:
         one matmul.  With ``evaluation_cache`` enabled, configurations seen
         before (per workload) are served from the cache and only the novel
         ones are evaluated.
+
+        With an *executor* (:mod:`repro.runtime.executors`) of width > 1,
+        the batch is split into ``executor.jobs`` contiguous shards
+        evaluated in parallel and merged in shard order — bitwise identical
+        to the serial result (noise-free mode only; see
+        ``docs/runtime.md`` for the determinism contract).
         """
         profile = self._resolve_workload(workload)
         params, keys = self.encode_batch(configs)
-        return self._run_batch_encoded(profile, params, keys)
+        if executor is None or executor.jobs <= 1 or len(keys) <= 1:
+            return self._run_batch_encoded(profile, params, keys)
+        return self._run_batch_parallel(profile, params, keys, executor)
 
     def _run_batch_encoded(
         self,
@@ -326,11 +361,54 @@ class Simulator:
         """Batch evaluation core over already-encoded configurations.
 
         Shared by :meth:`run_batch` (which encodes first) and
-        :meth:`run_sweep` (which encodes once for many workloads).
+        :meth:`run_sweep` (which encodes once for many workloads): one
+        full-range "shard" evaluated in place, followed by the same
+        parent-side merge (cache insertion, counter) the parallel paths
+        apply after their join — so serial and sharded execution share a
+        single implementation of the keyed-cache protocol.
         """
+        metric_rows, count = self._evaluate_shard(profile.name, params, keys)
+        return self._absorb_rows(profile, keys, metric_rows, count)
+
+    # -- parallel evaluation -----------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle support for :class:`~repro.runtime.executors.ProcessExecutor`.
+
+        The keyed evaluation cache is **not** shipped to worker processes:
+        each worker starts with an empty per-worker cache (shipping a large
+        parent cache with every shard task would dwarf the work), and the
+        parent merges the freshly evaluated rows into its own cache after
+        the join — see the ``evaluation_cache`` invariant in the class
+        docstring.
+        """
+        state = self.__dict__.copy()
+        if state["_evaluation_cache"] is not None:
+            state["_evaluation_cache"] = {}
+        return state
+
+    def _require_parallel_safe(self) -> None:
+        if self.noise_std > 0:
+            raise ValueError(
+                "parallel evaluation requires noise-free mode (noise_std == 0): "
+                "sharding would consume the measurement-noise stream in shard "
+                "order instead of configuration order"
+            )
+
+    def _evaluate_shard(
+        self, profile_name: str, params: dict[str, np.ndarray], keys: list[tuple]
+    ) -> tuple[np.ndarray, int]:
+        """Worker-side shard evaluation: ``(metric rows, evaluation count)``.
+
+        Reads the evaluation cache but **never writes it** and never touches
+        ``evaluation_count`` — all shared-state mutation happens in the
+        parent after the join, which is what makes the thread path safe
+        (workers only read while the parent is blocked in the join) and the
+        process path deterministic (workers mutate a pickled copy that is
+        discarded).
+        """
+        profile = self._resolve_workload(profile_name)
         weights, phases = self._phase_table(profile)
         n = len(keys)
-
         metric_rows = np.empty((n, 5), dtype=np.float64)
         if self._evaluation_cache is not None:
             missing = []
@@ -342,19 +420,32 @@ class Simulator:
                     metric_rows[i] = cached
         else:
             missing = list(range(n))
-
         if missing:
             if len(missing) == n:
                 fresh_params = params
             else:
                 index = np.asarray(missing, dtype=np.int64)
                 fresh_params = {name: values[index] for name, values in params.items()}
-            fresh_rows = self._evaluate_encoded(fresh_params, weights, phases)
-            metric_rows[missing] = fresh_rows
-            if self._evaluation_cache is not None:
-                for row, i in zip(fresh_rows, missing):
-                    self._evaluation_cache[(profile.name, keys[i])] = row
+            metric_rows[missing] = self._evaluate_encoded(fresh_params, weights, phases)
+        return metric_rows, len(phases) * len(missing)
 
+    def _absorb_rows(
+        self,
+        profile: WorkloadProfile,
+        keys: list[tuple],
+        metric_rows: np.ndarray,
+        count: int,
+    ) -> BatchSimulationResult:
+        """Parent-side merge: install rows in the cache, count, assemble.
+
+        The single place shared state is mutated — the serial path and the
+        post-join parallel paths both end here, with *metric_rows* already
+        in configuration order.
+        """
+        self.evaluation_count += count
+        if self._evaluation_cache is not None:
+            for i, key in enumerate(keys):
+                self._evaluation_cache[(profile.name, key)] = metric_rows[i]
         return BatchSimulationResult(
             workload=profile.name,
             ipc=metric_rows[:, 0].copy(),
@@ -362,7 +453,47 @@ class Simulator:
             area_mm2=metric_rows[:, 2].copy(),
             bips=metric_rows[:, 3].copy(),
             energy_per_instruction_nj=metric_rows[:, 4].copy(),
-            num_phases=len(phases),
+            num_phases=len(self._phase_table(profile)[1]),
+        )
+
+    def _merge_shard_rows(
+        self,
+        profile: WorkloadProfile,
+        keys: list[tuple],
+        shards: list[range],
+        shard_results: list[tuple[np.ndarray, int]],
+    ) -> BatchSimulationResult:
+        """Join sharded results: concatenate in shard order, then absorb."""
+        metric_rows = np.empty((len(keys), 5), dtype=np.float64)
+        total = 0
+        for shard, (rows, count) in zip(shards, shard_results):
+            metric_rows[shard.start : shard.stop] = rows
+            total += count
+        return self._absorb_rows(profile, keys, metric_rows, total)
+
+    def _run_batch_parallel(
+        self,
+        profile: WorkloadProfile,
+        params: dict[str, np.ndarray],
+        keys: list[tuple],
+        executor,
+    ) -> BatchSimulationResult:
+        """Sharded :meth:`run_batch` core: scatter shards, join in order."""
+        self._require_parallel_safe()
+        self._phase_table(profile)  # warm before pickling / thread fan-out
+        shards = split_evenly(len(keys), executor.jobs)
+        futures = [
+            executor.submit(
+                _evaluate_shard_task,
+                self,
+                profile.name,
+                {name: values[shard.start : shard.stop] for name, values in params.items()},
+                keys[shard.start : shard.stop],
+            )
+            for shard in shards
+        ]
+        return self._merge_shard_rows(
+            profile, keys, shards, [future.result() for future in futures]
         )
 
     def _evaluate_encoded(
@@ -390,7 +521,6 @@ class Simulator:
             )
             ipc_phases[row] = performance.ipc
             power_phases[row] = power.total_power_w
-        self.evaluation_count += num_phases * n
 
         ipc = weights @ ipc_phases
         power_w = weights @ power_phases
@@ -411,6 +541,8 @@ class Simulator:
         self,
         configs: Sequence[Mapping],
         workloads: Optional[Sequence["str | WorkloadProfile"]] = None,
+        *,
+        executor=None,
     ) -> dict[str, BatchSimulationResult]:
         """Simulate the same configurations on many workloads.
 
@@ -418,14 +550,57 @@ class Simulator:
         (Fig. 2 compares label distributions over a common configuration
         set).  Defaults to every workload the simulator knows.  The
         configurations are validated and encoded once, not per workload.
+
+        With an *executor* of width > 1 the ``configs x workloads`` grid is
+        split into deterministic ``(workload, configuration shard)`` tasks
+        (:func:`repro.runtime.sharding.plan_sweep_shards`) evaluated in
+        parallel; per-workload results are merged in shard order after all
+        tasks join, so the sweep is bitwise identical to the serial one
+        (noise-free mode only).
         """
         targets = list(workloads) if workloads is not None else self.workload_names()
         params, keys = self.encode_batch(configs)
-        sweep: dict[str, BatchSimulationResult] = {}
-        for workload in targets:
-            profile = self._resolve_workload(workload)
-            sweep[profile.name] = self._run_batch_encoded(profile, params, keys)
-        return sweep
+        profiles = [self._resolve_workload(workload) for workload in targets]
+        # Unlike run_batch, a single configuration still parallelises here:
+        # the workload axis alone yields len(profiles) independent tasks.
+        if executor is None or executor.jobs <= 1 or not profiles or not keys:
+            return {
+                profile.name: self._run_batch_encoded(profile, params, keys)
+                for profile in profiles
+            }
+
+        self._require_parallel_safe()
+        for profile in profiles:
+            self._phase_table(profile)  # warm before pickling / thread fan-out
+        shards = plan_sweep_shards(len(keys), len(profiles), executor.jobs)
+        futures = {
+            profile.name: [
+                executor.submit(
+                    _evaluate_shard_task,
+                    self,
+                    profile.name,
+                    {
+                        name: values[shard.start : shard.stop]
+                        for name, values in params.items()
+                    },
+                    keys[shard.start : shard.stop],
+                )
+                for shard in shards
+            ]
+            for profile in profiles
+        }
+        # Join everything before mutating shared state (cache, counters):
+        # thread workers may only ever *read* the evaluation cache.
+        shard_results = {
+            name: [future.result() for future in name_futures]
+            for name, name_futures in futures.items()
+        }
+        return {
+            profile.name: self._merge_shard_rows(
+                profile, keys, shards, shard_results[profile.name]
+            )
+            for profile in profiles
+        }
 
     def run_scalar(
         self, config: Mapping, workload: "str | WorkloadProfile"

@@ -263,3 +263,35 @@ class TestMetaDSEExplore:
                 self._supports(small_dataset, workloads, "ipc"),
                 objectives={"power": pretrained_power},
             )
+
+    def test_explore_with_jobs_matches_serial_bitwise(
+        self, pretrained, pretrained_power, small_dataset, fast_simulator
+    ):
+        # The parallel campaign runtime (MetaDSE.explore(jobs=N)) must not
+        # change a single bit of the campaign outcome.
+        workloads = ("605.mcf_s", "620.omnetpp_s")
+        kwargs = dict(
+            objectives={"power": pretrained_power},
+            objective_supports={
+                "power": self._supports(small_dataset, workloads, "power")
+            },
+            candidate_pool=40,
+            simulation_budget=5,
+            seed=0,
+        )
+        supports = self._supports(small_dataset, workloads, "ipc")
+        serial = pretrained.explore(fast_simulator, supports, **kwargs)
+        parallel = pretrained.explore(fast_simulator, supports, jobs=2, **kwargs)
+        for workload in workloads:
+            np.testing.assert_array_equal(
+                serial[workload].measured_objectives,
+                parallel[workload].measured_objectives,
+            )
+            assert (
+                serial[workload].selected_indices
+                == parallel[workload].selected_indices
+            )
+            assert (
+                serial[workload].hypervolume_history()
+                == parallel[workload].hypervolume_history()
+            )

@@ -125,14 +125,34 @@ class TestActiveLearningEquivalence:
 
 
 class TestQualityTrackerScope:
-    def test_hypervolume_warns_for_non_2d_objectives(self):
+    def test_three_objectives_record_monte_carlo_estimate(self):
+        # ROADMAP's >= 3-objective gap: 3+-objective campaigns get a seeded
+        # Monte-Carlo hypervolume estimate (with its sample count recorded)
+        # instead of the old RuntimeWarning + NaN.
         tracker = QualityTracker(
             ObjectiveSet.from_names(("ipc", "power", "area_mm2"))
         )
         measured_min = np.array([[1.0, 2.0, 3.0], [2.0, 1.0, 4.0]])
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            entry = tracker.record(0, measured_min, simulations_total=2)
+        assert np.isfinite(entry.hypervolume) and entry.hypervolume > 0
+        assert entry.hypervolume_samples == tracker.mc_samples > 0
+        # Deterministic: a fresh tracker reproduces the estimate exactly.
+        again = QualityTracker(
+            ObjectiveSet.from_names(("ipc", "power", "area_mm2"))
+        ).record(0, measured_min, simulations_total=2)
+        assert again.hypervolume == entry.hypervolume
+
+    def test_single_objective_warns_and_records_nan(self):
+        tracker = QualityTracker(ObjectiveSet.from_names(("ipc",)))
+        measured_min = np.array([[1.0], [2.0]])
         with pytest.warns(RuntimeWarning, match="only defined for 2 objectives"):
             entry = tracker.record(0, measured_min, simulations_total=2)
         assert np.isnan(entry.hypervolume)
+        assert entry.hypervolume_samples == 0
         # Warn once per tracker, not per round.
         import warnings as warnings_module
 
@@ -146,3 +166,4 @@ class TestQualityTrackerScope:
         measured_min = np.array([[-1.0, 2.0], [-2.0, 3.0], [-0.5, 1.0]])
         entry = tracker.record(0, measured_min, simulations_total=3)
         assert np.isfinite(entry.hypervolume) and entry.hypervolume >= 0
+        assert entry.hypervolume_samples == 0  # the exact 2-D sweep

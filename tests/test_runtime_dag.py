@@ -1,0 +1,219 @@
+"""Tests for the DAG job scheduler (`repro.runtime.dag`)."""
+
+import pytest
+
+from repro.runtime.dag import (
+    CyclicDependencyError,
+    Job,
+    JobFailedError,
+    collect_jobs,
+    find_cycle,
+    prune,
+    run_jobs,
+)
+from repro.runtime.executors import ProcessExecutor, SerialExecutor, ThreadExecutor
+
+
+def _executors():
+    return [SerialExecutor(), ThreadExecutor(2)]
+
+
+class TestGraphBasics:
+    def test_results_keyed_by_name(self):
+        a = Job("a", lambda: 1)
+        b = Job("b", lambda: 2)
+        results = run_jobs([a, b])
+        assert results == {"a": 1, "b": 2}
+
+    def test_transitive_dependencies_are_collected_and_run(self):
+        a = Job("a", lambda: "root")
+        b = Job("b", lambda: "mid", deps=[a])
+        c = Job("c", lambda: "leaf", deps=[b])
+        # Passing only the sink runs the whole ancestor chain.
+        results = run_jobs([c])
+        assert results == {"a": "root", "b": "mid", "c": "leaf"}
+
+    def test_collect_jobs_orders_dependencies_first(self):
+        a = Job("a", lambda: None)
+        b = Job("b", lambda: None, deps=[a])
+        c = Job("c", lambda: None, deps=[b, a])
+        ordered = [job.name for job in collect_jobs([c])]
+        assert ordered.index("a") < ordered.index("b") < ordered.index("c")
+
+    def test_pass_results_receives_dependency_results(self):
+        a = Job("a", lambda: 10)
+        b = Job("b", lambda: 20)
+        join = Job(
+            "join",
+            lambda results: results["a"] + results["b"],
+            deps=[a, b],
+            pass_results=True,
+        )
+        assert run_jobs([join])["join"] == 30
+
+    def test_dependency_order_is_respected(self):
+        order = []
+        a = Job("a", lambda: order.append("a"))
+        b = Job("b", lambda: order.append("b"), deps=[a])
+        c = Job("c", lambda: order.append("c"), deps=[b])
+        run_jobs([c])
+        assert order == ["a", "b", "c"]
+
+    def test_after_appends_dependencies(self):
+        a = Job("a", lambda: 1)
+        b = Job("b", lambda: 2).after(a)
+        assert b.deps == (a,)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate job names"):
+            run_jobs([Job("same", lambda: 1), Job("same", lambda: 2)])
+
+    def test_prune_keeps_only_ancestors(self):
+        a = Job("a", lambda: None)
+        b = Job("b", lambda: None, deps=[a])
+        unrelated = Job("unrelated", lambda: None)
+        kept = {job.name for job in prune([b])}
+        assert kept == {"a", "b"}
+        assert unrelated.name not in kept
+
+
+class TestCycleDetection:
+    def test_cycle_raises_before_any_execution(self):
+        executed = []
+        a = Job("a", lambda: executed.append("a"))
+        b = Job("b", lambda: executed.append("b"), deps=[a])
+        a.after(b)  # close the loop
+        with pytest.raises(CyclicDependencyError, match="a|b"):
+            run_jobs([b])
+        assert executed == []  # validated before anything ran
+
+    def test_self_cycle(self):
+        a = Job("a", lambda: None)
+        a.after(a)
+        with pytest.raises(CyclicDependencyError):
+            run_jobs([a])
+
+    def test_find_cycle_returns_path(self):
+        a = Job("a", lambda: None)
+        b = Job("b", lambda: None, deps=[a])
+        a.after(b)
+        cycle = find_cycle([a])
+        assert cycle is not None
+        assert cycle[0] is cycle[-1]
+
+    def test_acyclic_graph_has_no_cycle(self):
+        a = Job("a", lambda: None)
+        b = Job("b", lambda: None, deps=[a])
+        diamond = Job("d", lambda: None, deps=[a, b])
+        assert find_cycle([diamond]) is None
+
+
+def _boom():
+    raise RuntimeError("worker exploded")
+
+
+class TestFailurePropagation:
+    @pytest.mark.parametrize("make_executor", [
+        SerialExecutor,
+        lambda: ThreadExecutor(2),
+        lambda: ProcessExecutor(2),
+    ])
+    def test_worker_exception_names_the_failing_job(self, make_executor):
+        ok = Job("ok", sum, args=([1, 2],))
+        bad = Job("screen:605.mcf_s@round3", _boom, deps=[ok])
+        with make_executor() as executor:
+            with pytest.raises(JobFailedError, match="screen:605.mcf_s@round3") as info:
+                run_jobs([bad], executor)
+        assert info.value.job_name == "screen:605.mcf_s@round3"
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_simultaneous_failures_attribute_the_first_submitted_job(self):
+        # wait() hands back an unordered set; attribution must follow
+        # submission order, not hash order, so error reports do not flap.
+        import threading
+
+        barrier = threading.Barrier(2)
+
+        def synchronized_boom(name):
+            barrier.wait(timeout=5)
+            raise RuntimeError(name)
+
+        for _ in range(5):
+            first = Job("first", synchronized_boom, args=("first",))
+            second = Job("second", synchronized_boom, args=("second",))
+            with ThreadExecutor(2) as executor:
+                with pytest.raises(JobFailedError) as info:
+                    run_jobs([first, second], executor)
+            assert info.value.job_name == "first"
+
+    def test_failure_skips_dependent_jobs(self):
+        executed = []
+        bad = Job("bad", _boom)
+        downstream = Job("downstream", lambda: executed.append("downstream"), deps=[bad])
+        with pytest.raises(JobFailedError, match="bad"):
+            run_jobs([downstream])
+        assert executed == []
+
+    def test_inline_job_failure_is_attributed_too(self):
+        bad = Job("join", _boom, inline=True)
+        with pytest.raises(JobFailedError, match="join"):
+            run_jobs([bad])
+
+    def test_inline_failure_defers_to_an_earlier_submitted_worker_failure(self):
+        # An inline job runs after the wave's worker submissions, so when
+        # both fail the worker job (earlier submission index) is the one
+        # attributed — same rule as worker-vs-worker races, and the
+        # in-flight worker is drained before raising.
+        import threading
+
+        release = threading.Event()
+
+        def slow_boom():
+            release.wait(timeout=5)
+            raise RuntimeError("worker side")
+
+        worker = Job("worker", slow_boom)
+
+        def inline_boom():
+            release.set()
+            raise RuntimeError("inline side")
+
+        # Both are sources (no deps): worker submits first, inline runs in
+        # the same wave and fails while the worker is still in flight.
+        inline = Job("inline", inline_boom, inline=True)
+        with ThreadExecutor(1) as executor:
+            with pytest.raises(JobFailedError) as info:
+                run_jobs([worker, inline], executor)
+        assert info.value.job_name == "worker"
+
+
+class TestInlineJoin:
+    def test_inline_join_can_submit_to_the_same_single_worker_executor(self):
+        # The campaign's union-measure join fans its own work out to the
+        # executor it runs under; with a single worker this deadlocks
+        # unless the join runs in the scheduling thread.
+        with ThreadExecutor(1) as executor:
+            leaf_a = Job("leaf_a", sum, args=([1, 1],))
+            leaf_b = Job("leaf_b", sum, args=([2, 2],))
+
+            def join(results):
+                nested = [executor.submit(sum, [results["leaf_a"], results["leaf_b"]])]
+                return nested[0].result()
+
+            joined = Job("join", join, deps=[leaf_a, leaf_b],
+                         inline=True, pass_results=True)
+            assert run_jobs([joined], executor)["join"] == 6
+
+    def test_fan_out_fan_in(self):
+        for executor in _executors():
+            with executor:
+                leaves = [Job(f"leaf{i}", int.__mul__, args=(i, i)) for i in range(6)]
+                join = Job(
+                    "join",
+                    lambda results: sorted(results.values()),
+                    deps=leaves,
+                    inline=True,
+                    pass_results=True,
+                )
+                results = run_jobs([join], executor)
+                assert results["join"] == [i * i for i in range(6)]

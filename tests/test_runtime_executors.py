@@ -1,0 +1,133 @@
+"""Tests for executors and deterministic sharding (`repro.runtime`)."""
+
+import pytest
+
+from repro.runtime.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+from repro.runtime.sharding import plan_sweep_shards, split_evenly
+
+
+def _square(x):
+    return x * x
+
+
+def _raise(message):
+    raise ValueError(message)
+
+
+class TestSerialExecutor:
+    def test_submit_runs_inline_and_returns_future(self):
+        future = SerialExecutor().submit(_square, 7)
+        assert future.done()
+        assert future.result() == 49
+
+    def test_exception_is_captured_in_the_future(self):
+        future = SerialExecutor().submit(_raise, "nope")
+        with pytest.raises(ValueError, match="nope"):
+            future.result()
+
+    def test_jobs_is_one(self):
+        assert SerialExecutor().jobs == 1
+
+
+class TestPoolExecutors:
+    @pytest.mark.parametrize("executor_cls", [ThreadExecutor, ProcessExecutor])
+    def test_starmap_preserves_submission_order(self, executor_cls):
+        with executor_cls(2) as executor:
+            results = executor.starmap(_square, [(i,) for i in range(10)])
+        assert results == [i * i for i in range(10)]
+
+    def test_context_manager_shuts_down(self):
+        executor = ThreadExecutor(2)
+        with executor:
+            executor.submit(_square, 2).result()
+        assert executor._pool is None
+
+    def test_shutdown_is_idempotent(self):
+        executor = ThreadExecutor(2)
+        executor.shutdown()
+        executor.shutdown()
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(0)
+
+
+class TestResolveExecutor:
+    def test_none_jobs_stays_none(self):
+        assert resolve_executor(None) is None
+
+    def test_jobs_one_is_serial(self):
+        assert isinstance(resolve_executor(1), SerialExecutor)
+        assert isinstance(resolve_executor(4, "serial"), SerialExecutor)
+
+    def test_kinds(self):
+        thread = resolve_executor(3, "thread")
+        process = resolve_executor(3, "process")
+        try:
+            assert isinstance(thread, ThreadExecutor) and thread.jobs == 3
+            assert isinstance(process, ProcessExecutor) and process.jobs == 3
+        finally:
+            thread.shutdown()
+            process.shutdown()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor kind"):
+            resolve_executor(2, "gpu")
+
+    def test_nonpositive_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_executor(0)
+
+
+class TestSplitEvenly:
+    def test_concatenation_reproduces_the_range(self):
+        for count in (0, 1, 5, 16, 17, 100):
+            for parts in (1, 2, 3, 7, 32):
+                shards = split_evenly(count, parts)
+                flat = [i for shard in shards for i in shard]
+                assert flat == list(range(count)), (count, parts)
+
+    def test_sizes_differ_by_at_most_one(self):
+        shards = split_evenly(17, 5)
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+        assert len(shards) == 5
+
+    def test_small_counts_drop_empty_shards(self):
+        assert len(split_evenly(3, 8)) == 3
+        assert split_evenly(0, 4) == []
+
+    def test_is_deterministic(self):
+        assert split_evenly(100, 7) == split_evenly(100, 7)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            split_evenly(-1, 2)
+        with pytest.raises(ValueError):
+            split_evenly(5, 0)
+
+
+class TestPlanSweepShards:
+    def test_enough_tasks_to_occupy_every_worker(self):
+        for num_workloads in (1, 3, 8, 17):
+            for jobs in (1, 2, 4, 16):
+                shards = plan_sweep_shards(64, num_workloads, jobs)
+                assert num_workloads * len(shards) >= min(jobs, 64)
+
+    def test_workloads_beyond_jobs_use_one_shard_each(self):
+        assert len(plan_sweep_shards(100, 8, 4)) == 1
+
+    def test_shards_cover_all_configs(self):
+        shards = plan_sweep_shards(33, 2, 8)
+        assert [i for shard in shards for i in shard] == list(range(33))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            plan_sweep_shards(10, 0, 2)
+        with pytest.raises(ValueError):
+            plan_sweep_shards(10, 2, 0)

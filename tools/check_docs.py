@@ -18,6 +18,10 @@ Three failure classes, all of which have bitten stale docs before:
    are committed artefacts whose meaning lives in the ``docs/benchmarks.md``
    catalog.  Every result JSON must be named there, so a benchmark cannot
    land (or be renamed) without its catalog row.
+4. **Unreferenced examples** — every ``examples/*.py`` script must be named
+   in the README's module map / examples list.  Examples are the narrated
+   entry points; one that is not discoverable from the README is dead
+   documentation (and a new example cannot land without its README line).
 
 Exits non-zero listing every offence, so it can gate ``make test``.
 """
@@ -129,6 +133,20 @@ def check_benchmark_catalog() -> list[str]:
     ]
 
 
+def check_examples_referenced() -> list[str]:
+    """Return one message per ``examples/*.py`` not named in the README."""
+    readme = REPO_ROOT / "README.md"
+    if not readme.exists():
+        return ["README.md: missing (examples need a README reference)"]
+    text = readme.read_text()
+    return [
+        f"README.md: unreferenced example -> examples/{script.name} "
+        f"(add it to the examples list in the module map section)"
+        for script in sorted((REPO_ROOT / "examples").glob("*.py"))
+        if f"examples/{script.name}" not in text
+    ]
+
+
 def main() -> int:
     errors: list[str] = []
     for path in LINKED_FILES:
@@ -136,6 +154,7 @@ def main() -> int:
     for path in MODULE_REF_FILES:
         errors.extend(check_module_references(path))
     errors.extend(check_benchmark_catalog())
+    errors.extend(check_examples_referenced())
     if errors:
         print(f"docs-check: {len(errors)} problem(s)")
         for error in errors:
