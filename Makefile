@@ -3,12 +3,16 @@
 #   make test            - tier-1 verification (the command ROADMAP.md pins)
 #                          plus the docs consistency check
 #   make unit            - fast unit tests only (tests/)
+#   make test-fast       - tests/ minus the `slow`-marked modules (quick
+#                          inner-loop signal; full tier stays `make test`)
 #   make bench           - regenerate the paper tables/figures (benchmarks/,
 #                          includes the throughput benchmarks)
 #   make bench-meta      - just the meta-training throughput benchmark
 #   make bench-precision - just the float32-vs-float64 precision benchmark
 #   make bench-dse       - just the cross-workload DSE campaign benchmark
 #   make bench-runtime   - just the parallel campaign runtime benchmark
+#                          (skips on machines with fewer than 4 cores)
+#   make bench-kernels   - just the thread-parallel kernel benchmark
 #                          (skips on machines with fewer than 4 cores)
 #   make docs-check      - fail on dead intra-repo links / stale module refs
 #                          / uncataloged benchmarks/results JSONs
@@ -17,7 +21,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test unit bench bench-meta bench-precision bench-dse bench-runtime docs-check examples
+.PHONY: test unit test-fast bench bench-meta bench-precision bench-dse bench-runtime bench-kernels docs-check examples
 
 test: docs-check
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +30,11 @@ test: docs-check
 # (tests/test_dse_engine_equivalence.py) alongside the rest of tests/.
 unit:
 	$(PYTHON) -m pytest tests -q
+
+# Skips the `slow`-marked modules (whole-protocol baselines, end-to-end
+# pipelines); every equivalence/property suite still runs.
+test-fast:
+	$(PYTHON) -m pytest tests -q -m "not slow"
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -41,6 +50,9 @@ bench-dse:
 
 bench-runtime:
 	$(PYTHON) -m pytest benchmarks/test_runtime_throughput.py -q
+
+bench-kernels:
+	$(PYTHON) -m pytest benchmarks/test_kernel_throughput.py -q
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

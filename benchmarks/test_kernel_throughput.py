@@ -1,0 +1,152 @@
+"""Kernel-level throughput: thread-parallel tiled nn kernels vs one thread.
+
+This PR added a worker-pool policy for the fused nn kernels
+(:mod:`repro.nn.parallel`): ``threads(n)`` switches ``affine``,
+``layer_norm``, ``gelu`` and ``scaled_dot_product_attention`` to tiled
+implementations whose tiles fan out across a shared thread pool.  NumPy
+releases the GIL inside its kernels, so the tiles genuinely overlap on
+multi-core machines.
+
+The pinned workload is the engine's throughput-dominant nn step: one
+**wide-predictor screening round** — a :class:`StackedPredictorSurrogate`
+answering two objectives for a large candidate pool in blocked stacked
+forwards (exactly what ``CampaignEngine`` runs per round when screening
+with adapted predictors).  The two arms execute the *same tiled kernels
+over the same tile boundaries* — ``threads(1)`` vs ``threads(N)`` — so the
+policy's determinism contract makes their predictions **bitwise
+identical** (asserted below; the thread count only decides where each tile
+runs, never what it computes).  The measured ratio is recorded in
+``benchmarks/results/kernel_speedup.json`` (``make bench-kernels``)
+through the pass-gated ``record`` fixture.
+
+The claim is a *parallel* speed-up, so the benchmark requires at least 4
+CPU cores and skips otherwise (a 1-core machine cannot observe it; the
+bitwise-equivalence guarantees are pinned core-count-independently in
+``tests/test_nn_parallel_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks.helpers import interleaved_best_of
+from repro.dse.surrogates import StackedPredictorSurrogate
+from repro.nn import parallel as nn_parallel
+from repro.nn.transformer import TransformerPredictor
+
+#: Table I design-space width (tokens per candidate).
+NUM_PARAMETERS = 22
+
+#: Wide-predictor capacity — the memory/compute-bound screening regime
+#: (the default predictor is sized for few-shot CPU training; the kernel
+#: claim is about the wide end where the tiles carry real numpy work).
+EMBED_DIM = 192
+NUM_HEADS = 4
+NUM_LAYERS = 2
+HEAD_HIDDEN = 128
+
+#: Candidate-pool size of the screened round.
+CANDIDATE_POOL = 2048
+
+#: Screening stream block size (rows per stacked forward).
+TILE_SIZE = 256
+
+#: Minimum speed-up of the multi-threaded kernels over one thread.
+MIN_SPEEDUP = 1.5
+
+#: Cores needed before a parallel speed-up claim is observable at all.
+MIN_CORES = 4
+
+CORES = os.cpu_count() or 1
+
+
+def _surrogate() -> StackedPredictorSurrogate:
+    predictors = [
+        TransformerPredictor(
+            NUM_PARAMETERS,
+            embed_dim=EMBED_DIM,
+            num_heads=NUM_HEADS,
+            num_layers=NUM_LAYERS,
+            head_hidden=HEAD_HIDDEN,
+            dropout=0.0,
+            seed=seed,
+        )
+        for seed in (0, 1)
+    ]
+    return StackedPredictorSurrogate(
+        predictors, ("ipc", "power"), tile_size=TILE_SIZE
+    )
+
+
+def _candidate_pool() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.random((CANDIDATE_POOL, NUM_PARAMETERS))
+
+
+@pytest.mark.multicore
+@pytest.mark.skipif(
+    CORES < MIN_CORES,
+    reason=f"kernel thread speed-up needs >= {MIN_CORES} cores, have {CORES}",
+)
+def test_threaded_screening_round_vs_single_thread_speedup(record):
+    """The thread-parallel screening round must beat one thread >= 1.5x."""
+    workers = min(8, CORES)
+    surrogate = _surrogate()
+    assert surrogate.is_stacked  # the one-graph path is what the round runs
+    features = _candidate_pool()
+
+    def run_single():
+        with nn_parallel.threads(1):
+            return surrogate.predict(features)
+
+    def run_threaded():
+        with nn_parallel.threads(workers):
+            return surrogate.predict(features)
+
+    try:
+        # Warm both arms (thread-pool spin-up, allocator, BLAS init).
+        run_single()
+        run_threaded()
+
+        (single_seconds, single_result), (threaded_seconds, threaded_result) = (
+            interleaved_best_of(3, run_single, run_threaded)
+        )
+    finally:
+        nn_parallel.shutdown_pool()
+    speedup = single_seconds / threaded_seconds
+
+    # Determinism contract: both arms run the same tiles over the same
+    # boundaries; the thread count only decides where each tile runs, so
+    # the screened predictions are bitwise identical.
+    np.testing.assert_array_equal(single_result, threaded_result)
+
+    record(
+        "kernel_speedup",
+        {
+            "cores": CORES,
+            "workers": workers,
+            "num_parameters": NUM_PARAMETERS,
+            "embed_dim": EMBED_DIM,
+            "num_heads": NUM_HEADS,
+            "num_layers": NUM_LAYERS,
+            "head_hidden": HEAD_HIDDEN,
+            "candidate_pool": CANDIDATE_POOL,
+            "tile_size": TILE_SIZE,
+            "kernel_tile_length": nn_parallel.tile_length(),
+            "round": "stacked 2-objective wide-predictor screening round "
+                     "(blocked stacked forwards under the tiled kernels), "
+                     "threads(N) vs threads(1)",
+            "single_thread_seconds": single_seconds,
+            "threaded_seconds": threaded_seconds,
+            "speedup": speedup,
+            "results_bitwise_identical": True,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"threaded kernels are only {speedup:.2f}x faster than one thread "
+        f"on {CORES} cores ({threaded_seconds * 1e3:.0f} ms vs "
+        f"{single_seconds * 1e3:.0f} ms)"
+    )

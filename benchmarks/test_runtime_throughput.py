@@ -101,6 +101,7 @@ def _run_campaign(executor):
     )
 
 
+@pytest.mark.multicore
 @pytest.mark.skipif(
     CORES < MIN_CORES,
     reason=f"parallel campaign speed-up needs >= {MIN_CORES} cores, have {CORES}",

@@ -31,6 +31,7 @@ import argparse
 import functools
 import json
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -48,6 +49,7 @@ from repro.designspace.spec import build_table1_space
 from repro.dse.active import ActiveLearningExplorer
 from repro.dse.explorer import PredictorGuidedExplorer
 from repro.metrics.regression import evaluate_predictions
+from repro.nn import parallel as nn_parallel
 from repro.sim.simulator import Simulator
 from repro.workloads.spec2017 import SPEC2017_WORKLOAD_NAMES
 
@@ -305,7 +307,9 @@ def cmd_dse(args: argparse.Namespace) -> int:
                 )
                 supports[metric][workload] = (task.support_x, task.support_y)
         ipc_model = MetaDSE(
-            dataset.space.num_parameters, config=default_config(seed=args.seed)
+            dataset.space.num_parameters,
+            config=default_config(seed=args.seed),
+            threads=args.threads,
         ).load_pretrained(args.model_ipc)
         power_model = MetaDSE(
             dataset.space.num_parameters, config=default_config(seed=args.seed)
@@ -321,6 +325,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             executor=args.executor,
             checkpoint=args.checkpoint,
+            screen_tile=args.screen_tile,
         )
     else:
         # Tree-surrogate path: fit one ensemble per workload on the dataset
@@ -341,18 +346,26 @@ def cmd_dse(args: argparse.Namespace) -> int:
             surrogate.fit(data.features, targets)
             surrogates[workload] = surrogate
         engine = CampaignEngine(
-            dataset.space, simulator, objectives, seed=args.seed
+            dataset.space,
+            simulator,
+            objectives,
+            seed=args.seed,
+            screen_tile=args.screen_tile,
         )
         executor = _campaign_executor(args)
+        scope = (
+            nn_parallel.threads(args.threads) if args.threads else nullcontext()
+        )
         try:
-            campaign = engine.run_campaign(
-                workloads,
-                surrogates,
-                candidate_pool=args.candidate_pool,
-                simulation_budget=args.budget,
-                executor=executor,
-                checkpoint=args.checkpoint,
-            )
+            with scope:
+                campaign = engine.run_campaign(
+                    workloads,
+                    surrogates,
+                    candidate_pool=args.candidate_pool,
+                    simulation_budget=args.budget,
+                    executor=executor,
+                    checkpoint=args.checkpoint,
+                )
         finally:
             if executor is not None:
                 executor.shutdown()
@@ -509,6 +522,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint",
         help="checkpoint file for resumable campaigns: completed rounds are "
              "persisted and a re-run resumes from the last completed round",
+    )
+    dse.add_argument(
+        "--threads", type=int, default=None,
+        help="kernel worker threads for the nn surrogate forward/backward "
+             "passes (bitwise identical for every thread count)",
+    )
+    dse.add_argument(
+        "--screen-tile", type=int, default=None,
+        help="stream screening over candidate blocks of this many rows "
+             "(bounds peak memory; bitwise identical to whole-pool screening)",
     )
     dse.add_argument("--output", help="optional JSON output path")
     dse.set_defaults(handler=cmd_dse)

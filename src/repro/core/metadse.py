@@ -19,6 +19,7 @@ are returned in physical units.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Mapping, Optional, Sequence
 
@@ -36,6 +37,7 @@ from repro.meta.adaptation import (
 )
 from repro.meta.maml import MAMLTrainer, MetaTrainingHistory
 from repro.meta.wam import ArchitecturalMask, generate_wam
+from repro.nn import parallel as nn_parallel
 from repro.nn.precision import resolve_dtype
 from repro.nn.transformer import TransformerPredictor
 
@@ -72,6 +74,12 @@ class MetaDSE(CrossWorkloadModel):
         path — meta-training, WAM harvesting and adaptation all run 32-bit;
         see ``docs/numerics.md`` for the accuracy contract).  Label
         statistics and returned predictions stay float64 either way.
+    threads:
+        Kernel worker threads for this facade's forward/backward passes:
+        :meth:`explore` and :meth:`predict` run inside
+        ``repro.nn.threads(threads)`` when set (``None`` keeps the ambient
+        policy).  Results are bitwise identical for every thread count
+        (``docs/kernels.md``).
     name:
         Display name used by the benchmark tables.
     """
@@ -83,6 +91,7 @@ class MetaDSE(CrossWorkloadModel):
         config: Optional[MetaDSEConfig] = None,
         use_wam: Optional[bool] = None,
         precision: Optional[str] = None,
+        threads: Optional[int] = None,
         name: Optional[str] = None,
     ) -> None:
         if num_parameters < 1:
@@ -90,6 +99,10 @@ class MetaDSE(CrossWorkloadModel):
         self.num_parameters = num_parameters
         #: Requested surrogate dtype; ``None`` defers to the engine policy.
         self.precision = None if precision is None else resolve_dtype(precision)
+        if threads is not None and int(threads) < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        #: Kernel worker-thread count; ``None`` defers to the ambient policy.
+        self.threads = None if threads is None else int(threads)
         self.config = config if config is not None else default_config()
         if use_wam is not None:
             self.config = replace(self.config, use_wam=use_wam)
@@ -104,6 +117,12 @@ class MetaDSE(CrossWorkloadModel):
         self._metric = "ipc"
         self._label_mean = 0.0
         self._label_std = 1.0
+
+    def _thread_scope(self):
+        """Kernel-thread policy scope for this facade's compute entry points."""
+        if self.threads is None:
+            return nullcontext()
+        return nn_parallel.threads(self.threads)
 
     # -- label scaling -------------------------------------------------------------
     def _fit_label_scaler(self, dataset: DSEDataset, workloads: Sequence[str], metric: str) -> None:
@@ -260,6 +279,7 @@ class MetaDSE(CrossWorkloadModel):
         jobs: Optional[int] = None,
         executor: str = "thread",
         checkpoint=None,
+        screen_tile: Optional[int] = None,
     ):
         """Run a batched cross-workload DSE campaign with adapted predictors.
 
@@ -308,6 +328,10 @@ class MetaDSE(CrossWorkloadModel):
             Optional path: completed campaign rounds are persisted there,
             and a killed campaign re-run with the same arguments resumes
             from the last completed round.
+        screen_tile:
+            Stream every screening step over candidate blocks of this many
+            rows (``None`` screens the whole pool at once); bitwise
+            identical either way (:func:`repro.dse.engine.screen_predict`).
 
         Returns the engine's :class:`~repro.dse.engine.CampaignResult`
         (per-workload fronts + hypervolume curves, physical units).  Like
@@ -344,9 +368,10 @@ class MetaDSE(CrossWorkloadModel):
             missing = [w for w in workloads if w not in model_supports]
             if missing:
                 raise ValueError(f"supports for {metric!r} are missing workloads {missing}")
-            adapted[metric] = model.adapt_many(
-                [model_supports[workload] for workload in workloads]
-            )
+            with self._thread_scope():
+                adapted[metric] = model.adapt_many(
+                    [model_supports[workload] for workload in workloads]
+                )
 
         objective_set = ObjectiveSet.from_names(tuple(models), maximize)
         surrogates = {
@@ -358,19 +383,26 @@ class MetaDSE(CrossWorkloadModel):
             )
             for index, workload in enumerate(workloads)
         }
-        engine = CampaignEngine(simulator.space, simulator, objective_set, seed=seed)
+        engine = CampaignEngine(
+            simulator.space,
+            simulator,
+            objective_set,
+            seed=seed,
+            screen_tile=screen_tile,
+        )
         from repro.runtime.executors import resolve_executor
 
         campaign_executor = resolve_executor(jobs, executor)
         try:
-            return engine.run_campaign(
-                workloads,
-                surrogates,
-                candidate_pool=candidate_pool,
-                simulation_budget=simulation_budget,
-                executor=campaign_executor,
-                checkpoint=checkpoint,
-            )
+            with self._thread_scope():
+                return engine.run_campaign(
+                    workloads,
+                    surrogates,
+                    candidate_pool=candidate_pool,
+                    simulation_budget=simulation_budget,
+                    executor=campaign_executor,
+                    checkpoint=checkpoint,
+                )
         finally:
             if campaign_executor is not None:
                 campaign_executor.shutdown()
@@ -381,7 +413,8 @@ class MetaDSE(CrossWorkloadModel):
         model = self.adapted if self.adapted is not None else self.meta_model
         if model is None:
             raise RuntimeError("predict() called before pretrain()")
-        return self._unscale(model.predict(as_2d(features)))
+        with self._thread_scope():
+            return self._unscale(model.predict(as_2d(features)))
 
     # -- persistence helpers -----------------------------------------------------------
     def save_pretrained(self, path) -> None:

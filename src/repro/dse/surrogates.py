@@ -35,6 +35,7 @@ from typing import Callable, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.baselines.base import Regressor
+from repro.nn import parallel as nn_parallel
 from repro.nn.tensor import Tensor
 from repro.nn.transformer import TransformerPredictor
 
@@ -216,6 +217,15 @@ class StackedPredictorSurrogate(MultiObjectiveSurrogate):
     ``label_means`` / ``label_stds`` undo per-objective label
     standardisation, so a surrogate built from facade-adapted predictors
     emits physical units like ``MetaDSE.predict`` does.
+
+    ``tile_size`` streams the stacked forward over candidate blocks of that
+    many rows instead of materialising one pool-sized ``(m, pool, ...)``
+    stacked intermediate per layer — the memory-bound regime of wide
+    predictors over large pools.  The stacked path always runs under the
+    slice-stable kernels of :mod:`repro.nn.parallel`
+    (``ensure_active``), so the blocked results are **bitwise identical**
+    to the unblocked ones for every tile size, and fan out across threads
+    when a ``repro.nn.parallel.threads(n)`` policy is set.
     """
 
     def __init__(
@@ -225,6 +235,7 @@ class StackedPredictorSurrogate(MultiObjectiveSurrogate):
         *,
         label_means: Optional[Sequence[float]] = None,
         label_stds: Optional[Sequence[float]] = None,
+        tile_size: Optional[int] = None,
     ) -> None:
         predictors = list(predictors)
         objective_names = tuple(objective_names)
@@ -244,6 +255,9 @@ class StackedPredictorSurrogate(MultiObjectiveSurrogate):
         )
         if self._means.shape != (len(predictors),) or self._stds.shape != (len(predictors),):
             raise ValueError("label_means/label_stds must provide one value per objective")
+        if tile_size is not None and int(tile_size) < 1:
+            raise ValueError(f"tile_size must be >= 1, got {tile_size}")
+        self.tile_size = None if tile_size is None else int(tile_size)
         self._params = self._stack_parameters()
 
     def _stack_parameters(self) -> Optional[dict[str, Tensor]]:
@@ -288,17 +302,41 @@ class StackedPredictorSurrogate(MultiObjectiveSurrogate):
             raw = np.stack(
                 [predictor.predict(features) for predictor in self.predictors], axis=1
             )
+            return raw * self._stds[None, :] + self._means[None, :]
+        template = self.predictors[0]
+        cast = features.astype(template.dtype, copy=False)
+        n_rows = len(cast)
+        n_objectives = len(self.predictors)
+        if self.tile_size is None:
+            spans = [(0, n_rows)] if n_rows else []
         else:
-            template = self.predictors[0]
-            tiled = np.broadcast_to(
-                features.astype(template.dtype, copy=False),
-                (len(self.predictors),) + features.shape,
-            ).copy()
-            was_training = template.training
-            template.eval()
-            try:
-                out = template.functional_call(self._params, Tensor(tiled))
-            finally:
-                template.train(was_training)
-            raw = np.asarray(out.data, dtype=np.float64).T.copy()
+            spans = nn_parallel.tile_spans(n_rows, self.tile_size)
+        raw = np.empty((n_rows, n_objectives), dtype=np.float64)
+        was_training = template.training
+        template.eval()
+        # The streamed forward would leave each attention layer's
+        # ``last_attention`` buffer aliasing only the final block; disable
+        # storage for the duration instead of publishing partial state.
+        stored_flags = [
+            (layer, layer.store_attention) for layer in template.attention_layers()
+        ]
+        try:
+            for layer, _ in stored_flags:
+                layer.store_attention = False
+            # Parameters are bound once around the whole block stream (one
+            # mutation/restore instead of one per block); ensure_active
+            # engages the slice-stable kernels so every block reproduces
+            # the bits of the unblocked forward.
+            with nn_parallel.ensure_active(), template.bound_parameters(self._params):
+                for start, stop in spans:
+                    block = np.broadcast_to(
+                        cast[start:stop],
+                        (n_objectives, stop - start) + cast.shape[1:],
+                    ).copy()
+                    out = template.forward(Tensor(block))
+                    raw[start:stop] = np.asarray(out.data, dtype=np.float64).T
+        finally:
+            for layer, flag in stored_flags:
+                layer.store_attention = flag
+            template.train(was_training)
         return raw * self._stds[None, :] + self._means[None, :]

@@ -28,6 +28,13 @@ from repro.nn.optim import (
     clip_grad_norm,
     stacked_sgd_step,
 )
+from repro.nn.parallel import (
+    num_threads,
+    set_num_threads,
+    set_tile_length,
+    threads,
+    tile_length,
+)
 from repro.nn.precision import (
     SUPPORTED_DTYPES,
     default_dtype,
@@ -45,6 +52,11 @@ __all__ = [
     "set_default_dtype",
     "resolve_dtype",
     "SUPPORTED_DTYPES",
+    "threads",
+    "num_threads",
+    "set_num_threads",
+    "tile_length",
+    "set_tile_length",
     "Tensor",
     "tensor",
     "zeros",

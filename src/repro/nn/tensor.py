@@ -44,6 +44,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.nn import parallel as _parallel
 from repro.nn.precision import default_dtype, resolve_dtype
 
 ArrayLike = Union[float, int, Sequence, np.ndarray, "Tensor"]
@@ -426,8 +427,13 @@ class Tensor:
 
         The hottest elementwise op in transformer training on this engine,
         so it is written tightly: ``x*x`` instead of ``np.power``, and the
-        intermediate buffers are updated in place.
+        intermediate buffers are updated in place.  Under the
+        :mod:`repro.nn.parallel` policy the same formula runs tiled over
+        the leading axis (elementwise, so the bits are unchanged).
         """
+        spans = _parallel.kernel_spans(self.data.shape[0]) if self.data.ndim else None
+        if spans is not None:
+            return _gelu_tiled(self, spans)
         x = self.data
         c = np.sqrt(2.0 / np.pi)
         x_sq = x * x
@@ -561,6 +567,13 @@ class Tensor:
         """
         gamma = gamma if isinstance(gamma, Tensor) else Tensor(gamma)
         beta = beta if isinstance(beta, Tensor) else Tensor(beta)
+        spans = (
+            _parallel.kernel_spans(self.data.shape[0])
+            if self.data.ndim >= 2
+            else None
+        )
+        if spans is not None:
+            return _layer_norm_tiled(self, gamma, beta, eps, spans)
         x = self.data
         mean = x.mean(axis=-1, keepdims=True)
         centered = x - mean
@@ -636,6 +649,10 @@ def affine(
     in_features, out_features = weight.data.shape[-2:]
     lead = x.data.shape[:-1]
     stacked = weight.data.ndim == 3
+    if _parallel.active():
+        tiled = _affine_tiled(x, weight, bias, stacked)
+        if tiled is not None:
+            return tiled
     if stacked:
         n_tasks = weight.data.shape[0]
         x_flat = x.data.reshape(n_tasks, -1, in_features)
@@ -696,6 +713,10 @@ def scaled_dot_product_attention(
     head_dim = embed // num_heads
     if num_heads * head_dim != embed:
         raise ValueError(f"embed ({embed}) must be divisible by num_heads ({num_heads})")
+
+    spans = _parallel.kernel_spans(lead[0]) if lead else None
+    if spans is not None:
+        return _attention_tiled(q, k, v, num_heads, scale, mask, spans)
 
     def split(x: np.ndarray) -> np.ndarray:
         # (..., tokens, embed) -> (..., heads, tokens, head_dim); view only.
@@ -781,3 +802,359 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
         return tuple(grads)
 
     return Tensor._make(data, tuple(tensors), backward)
+
+
+# -- thread-parallel tiled kernel implementations ----------------------------
+#
+# Engaged by the repro.nn.parallel policy (``threads(n)``).  Shared rules,
+# pinned by tests/test_nn_parallel_equivalence.py and docs/kernels.md:
+#
+# * tile boundaries come from ``kernel_spans`` — a pure function of the
+#   leading-axis length, never of the thread count;
+# * every tile writes a disjoint slice of preallocated outputs;
+# * cross-tile reductions (affine weight/bias gradients, unsliced mask
+#   gradients) collect per-tile partials and merge them in tile order;
+# * only slice-stable numpy forms are used (per-item batched matmuls,
+#   elementwise ufuncs, row-wise reductions), so evaluating a batch in
+#   blocks reproduces the bits of evaluating it whole.
+#
+# The spans computed at forward time are captured by the backward closures,
+# so a graph built under one thread count backpropagates identically under
+# another.
+
+
+def _gelu_tiled(x_t: Tensor, spans: list[tuple[int, int]]) -> Tensor:
+    x = x_t.data
+    c = np.sqrt(2.0 / np.pi)
+    x_sq = np.empty_like(x)
+    tanh_inner = np.empty_like(x)
+    out_data = np.empty_like(x)
+
+    def forward_tile(a: int, b: int) -> None:
+        xs = x[a:b]
+        sq = np.multiply(xs, xs, out=x_sq[a:b])
+        inner = sq * xs
+        inner *= 0.044715
+        inner += xs
+        inner *= c
+        np.tanh(inner, out=tanh_inner[a:b])
+        out = np.add(1.0, tanh_inner[a:b], out=out_data[a:b])
+        out *= xs
+        out *= 0.5
+
+    _parallel.run_tiles(forward_tile, spans)
+
+    def backward(grad: np.ndarray) -> tuple:
+        out_grad = np.empty_like(x)
+
+        def backward_tile(a: int, b: int) -> None:
+            ti = tanh_inner[a:b]
+            sech2 = 1.0 - ti * ti
+            d_inner = (3 * 0.044715) * x_sq[a:b]
+            d_inner += 1.0
+            d_inner *= c
+            d_inner *= sech2
+            d_inner *= x[a:b]
+            d_inner += 1.0 + ti
+            d_inner *= 0.5
+            d_inner *= grad[a:b]
+            out_grad[a:b] = d_inner
+
+        _parallel.run_tiles(backward_tile, spans)
+        return (out_grad,)
+
+    return Tensor._make(out_data, (x_t,), backward)
+
+
+def _layer_norm_tiled(
+    x_t: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    eps: float,
+    spans: list[tuple[int, int]],
+) -> Tensor:
+    x = x_t.data
+    g_full, b_full = gamma.data, beta.data
+    # Slice gamma/beta along the tile axis only when they actually carry it
+    # (stacked (T, 1, ..., d) parameters against (T, ..., d) inputs);
+    # broadcast shapes pass through whole.
+    slice_gamma = g_full.ndim == x.ndim and g_full.shape[0] == x.shape[0]
+    slice_beta = b_full.ndim == x.ndim and b_full.shape[0] == x.shape[0]
+    normalised = np.empty_like(x)
+    inv_std = np.empty(x.shape[:-1] + (1,), dtype=x.dtype)
+    out_data = np.empty(x.shape, dtype=np.result_type(x.dtype, g_full.dtype))
+
+    def forward_tile(a: int, b: int) -> None:
+        xs = x[a:b]
+        mean = xs.mean(axis=-1, keepdims=True)
+        centered = xs - mean
+        variance = centered * centered
+        variance = variance.mean(axis=-1, keepdims=True)
+        variance += eps
+        np.sqrt(variance, out=variance)
+        inv = np.divide(1.0, variance, out=variance)
+        inv_std[a:b] = inv
+        centered *= inv
+        normalised[a:b] = centered
+        out = centered * (g_full[a:b] if slice_gamma else g_full)
+        out += b_full[a:b] if slice_beta else b_full
+        out_data[a:b] = out
+
+    _parallel.run_tiles(forward_tile, spans)
+
+    def backward(grad: np.ndarray) -> tuple:
+        index_of = {start: i for i, (start, _) in enumerate(spans)}
+        d_x = np.empty(x.shape, dtype=np.result_type(grad.dtype, g_full.dtype))
+        gg_dtype = np.result_type(grad.dtype, x.dtype)
+        if slice_gamma:
+            grad_gamma_out = np.empty(g_full.shape, dtype=gg_dtype)
+            gamma_parts = None
+        else:
+            grad_gamma_out = None
+            gamma_parts = [None] * len(spans)
+        if slice_beta:
+            grad_beta_out = np.empty(b_full.shape, dtype=grad.dtype)
+            beta_parts = None
+        else:
+            grad_beta_out = None
+            beta_parts = [None] * len(spans)
+
+        def backward_tile(a: int, b: int) -> None:
+            i = index_of[a]
+            gs = grad[a:b]
+            norm = normalised[a:b]
+            g_tile = g_full[a:b] if slice_gamma else g_full
+            d_normalised = gs * g_tile
+            d_mean = d_normalised.mean(axis=-1, keepdims=True)
+            d_proj = (d_normalised * norm).mean(axis=-1, keepdims=True)
+            if slice_gamma:
+                grad_gamma_out[a:b] = _unbroadcast(gs * norm, g_tile.shape)
+            else:
+                gamma_parts[i] = _unbroadcast(gs * norm, g_full.shape)
+            if slice_beta:
+                grad_beta_out[a:b] = _unbroadcast(gs, b_full[a:b].shape)
+            else:
+                beta_parts[i] = _unbroadcast(gs, b_full.shape)
+            d_normalised -= d_mean
+            d_normalised -= norm * d_proj
+            d_normalised *= inv_std[a:b]
+            d_x[a:b] = d_normalised
+
+        _parallel.run_tiles(backward_tile, spans)
+        grad_gamma = (
+            grad_gamma_out if slice_gamma else _parallel.ordered_sum(gamma_parts)
+        )
+        grad_beta = grad_beta_out if slice_beta else _parallel.ordered_sum(beta_parts)
+        return (d_x, grad_gamma, grad_beta)
+
+    return Tensor._make(out_data, (x_t, gamma, beta), backward)
+
+
+def _affine_tiled(
+    x_t: Tensor, weight: Tensor, bias: Optional[Tensor], stacked: bool
+) -> Optional[Tensor]:
+    """Tiled ``affine``, or ``None`` for shapes the tiler does not cover.
+
+    The uncovered shapes (single-row batches, rank-deficient inputs) fall
+    back to the legacy flatten-GEMM, which computes the identical per-item
+    GEMM the batched form would — so the fallback keeps both the
+    thread-count invariance and the block/whole slice stability.
+    """
+    x, w = x_t.data, weight.data
+    in_features, out_features = w.shape[-2:]
+    if stacked:
+        if x.ndim < 3 or x.shape[0] != w.shape[0]:
+            return None
+        batch_axis = 1
+    else:
+        if x.ndim < 2:
+            return None
+        batch_axis = 0
+    spans = _parallel.kernel_spans(x.shape[batch_axis])
+    if spans is None:
+        return None
+
+    b_arr = None if bias is None else bias.data
+    out_data = np.empty(
+        x.shape[:-1] + (out_features,), dtype=np.result_type(x.dtype, w.dtype)
+    )
+    if stacked:
+        n_tasks = w.shape[0]
+        # (m, 1, ..., in, out): broadcasts against every batch axis, keeping
+        # each item's GEMM independent of the batch extent (slice-stable).
+        w_fwd = w.reshape(n_tasks, *([1] * max(x.ndim - 3, 1)), in_features, out_features)
+        w_bwd = np.swapaxes(w_fwd, -1, -2)
+        b_exp = (
+            None
+            if b_arr is None
+            else b_arr.reshape(n_tasks, *([1] * (x.ndim - 2)), out_features)
+        )
+
+        def forward_tile(a: int, b: int) -> None:
+            xs = x[:, a:b]
+            if x.ndim == 3:
+                out = np.matmul(xs[:, :, None, :], w_fwd)[:, :, 0, :]
+            else:
+                out = np.matmul(xs, w_fwd)
+            if b_exp is not None:
+                out += b_exp
+            out_data[:, a:b] = out
+
+    else:
+
+        def forward_tile(a: int, b: int) -> None:
+            xs = x[a:b]
+            if x.ndim == 2:
+                out = np.matmul(xs[:, None, :], w)[:, 0, :]
+            else:
+                out = np.matmul(xs, w)
+            if b_arr is not None:
+                out += b_arr
+            out_data[a:b] = out
+
+    _parallel.run_tiles(forward_tile, spans)
+
+    def backward(grad: np.ndarray) -> tuple:
+        index_of = {start: i for i, (start, _) in enumerate(spans)}
+        grad_x = np.empty(x.shape, dtype=np.result_type(grad.dtype, w.dtype))
+        w_parts = [None] * len(spans)
+        b_parts = [None] * len(spans) if b_arr is not None else None
+
+        if stacked:
+
+            def backward_tile(a: int, b: int) -> None:
+                i = index_of[a]
+                gs = grad[:, a:b]
+                xs = x[:, a:b]
+                if x.ndim == 3:
+                    grad_x[:, a:b] = np.matmul(gs[:, :, None, :], w_bwd)[:, :, 0, :]
+                else:
+                    grad_x[:, a:b] = np.matmul(gs, w_bwd)
+                g_flat = gs.reshape(n_tasks, -1, out_features)
+                x_flat = xs.reshape(n_tasks, -1, in_features)
+                w_parts[i] = np.matmul(x_flat.swapaxes(-1, -2), g_flat)
+                if b_parts is not None:
+                    b_parts[i] = g_flat.sum(axis=1)
+
+        else:
+            w_t = w.T
+
+            def backward_tile(a: int, b: int) -> None:
+                i = index_of[a]
+                gs = grad[a:b]
+                xs = x[a:b]
+                if x.ndim == 2:
+                    grad_x[a:b] = np.matmul(gs[:, None, :], w_t)[:, 0, :]
+                else:
+                    grad_x[a:b] = np.matmul(gs, w_t)
+                g_flat = gs.reshape(-1, out_features)
+                x_flat = xs.reshape(-1, in_features)
+                w_parts[i] = np.matmul(x_flat.T, g_flat)
+                if b_parts is not None:
+                    b_parts[i] = g_flat.sum(axis=0)
+
+        _parallel.run_tiles(backward_tile, spans)
+        grads = (grad_x, _parallel.ordered_sum(w_parts))
+        if b_parts is not None:
+            grads = grads + (_parallel.ordered_sum(b_parts),)
+        return grads
+
+    parents = (x_t, weight) if bias is None else (x_t, weight, bias)
+    return Tensor._make(out_data, parents, backward)
+
+
+def _attention_tiled(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    num_heads: int,
+    scale: float,
+    mask: Optional[Tensor],
+    spans: list[tuple[int, int]],
+) -> tuple[Tensor, np.ndarray]:
+    lead = q.data.shape[:-2]
+    tokens, embed = q.data.shape[-2:]
+    head_dim = embed // num_heads
+    att_dtype = np.result_type(q.data.dtype, k.data.dtype)
+    attention = np.empty((*lead, num_heads, tokens, tokens), dtype=att_dtype)
+    out_data = np.empty(
+        (*lead, tokens, embed), dtype=np.result_type(att_dtype, v.data.dtype)
+    )
+    m_arr = None if mask is None else mask.data
+    slice_mask = (
+        m_arr is not None
+        and m_arr.ndim == len(lead) + 3
+        and m_arr.shape[0] == lead[0]
+    )
+
+    def split_tile(x: np.ndarray) -> np.ndarray:
+        # (n, ..., tokens, embed) -> (n, ..., heads, tokens, head_dim); view.
+        return x.reshape(
+            x.shape[0], *lead[1:], tokens, num_heads, head_dim
+        ).swapaxes(-3, -2)
+
+    def merge_tile(x: np.ndarray) -> np.ndarray:
+        # (n, ..., heads, tokens, head_dim) -> (n, ..., tokens, embed)
+        return np.ascontiguousarray(x.swapaxes(-3, -2)).reshape(
+            x.shape[0], *lead[1:], tokens, embed
+        )
+
+    def forward_tile(a: int, b: int) -> None:
+        q4, k4, v4 = split_tile(q.data[a:b]), split_tile(k.data[a:b]), split_tile(v.data[a:b])
+        logits = np.matmul(q4, k4.swapaxes(-1, -2))
+        logits *= scale
+        if m_arr is not None:
+            logits += m_arr[a:b] if slice_mask else m_arr
+        logits -= logits.max(axis=-1, keepdims=True)
+        np.exp(logits, out=logits)
+        logits /= logits.sum(axis=-1, keepdims=True)
+        attention[a:b] = logits
+        out_data[a:b] = merge_tile(np.matmul(logits, v4))
+
+    _parallel.run_tiles(forward_tile, spans)
+
+    def backward(grad: np.ndarray) -> tuple:
+        index_of = {start: i for i, (start, _) in enumerate(spans)}
+        dl_dtype = np.result_type(grad.dtype, v.data.dtype)
+        d_q_out = np.empty(q.data.shape, dtype=np.result_type(dl_dtype, k.data.dtype))
+        d_k_out = np.empty(k.data.shape, dtype=np.result_type(dl_dtype, q.data.dtype))
+        d_v_out = np.empty(v.data.shape, dtype=np.result_type(att_dtype, grad.dtype))
+        if m_arr is not None and slice_mask:
+            d_mask_out = np.empty(m_arr.shape, dtype=dl_dtype)
+            mask_parts = None
+        else:
+            d_mask_out = None
+            mask_parts = [None] * len(spans) if m_arr is not None else None
+
+        def backward_tile(a: int, b: int) -> None:
+            q4, k4, v4 = split_tile(q.data[a:b]), split_tile(k.data[a:b]), split_tile(v.data[a:b])
+            att = attention[a:b]
+            d_context = split_tile(grad[a:b])
+            d_attention = np.matmul(d_context, v4.swapaxes(-1, -2))
+            d_v_out[a:b] = merge_tile(np.matmul(att.swapaxes(-1, -2), d_context))
+            dot = (d_attention * att).sum(axis=-1, keepdims=True)
+            d_attention -= dot
+            d_attention *= att
+            d_logits = d_attention
+            if m_arr is not None:
+                if slice_mask:
+                    d_mask_out[a:b] = _unbroadcast(d_logits, m_arr[a:b].shape)
+                else:
+                    mask_parts[index_of[a]] = _unbroadcast(d_logits, m_arr.shape)
+            d_q = np.matmul(d_logits, k4)
+            d_q *= scale
+            d_k = np.matmul(d_logits.swapaxes(-1, -2), q4)
+            d_k *= scale
+            d_q_out[a:b] = merge_tile(d_q)
+            d_k_out[a:b] = merge_tile(d_k)
+
+        _parallel.run_tiles(backward_tile, spans)
+        grads = (d_q_out, d_k_out, d_v_out)
+        if m_arr is not None:
+            grads = grads + (
+                (d_mask_out if slice_mask else _parallel.ordered_sum(mask_parts)),
+            )
+        return grads
+
+    parents = (q, k, v) if mask is None else (q, k, v, mask)
+    return Tensor._make(out_data, parents, backward), attention

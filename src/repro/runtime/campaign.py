@@ -74,6 +74,7 @@ def _screen_workload(
     acquisition,
     budget: int,
     refit: bool,
+    screen_tile: Optional[int] = None,
 ) -> tuple[list[int], np.ndarray]:
     """One workload's refit/predict/select step (runs on the executor).
 
@@ -81,11 +82,15 @@ def _screen_workload(
     happens on the *worker's* copy of the surrogate under a process
     executor — that is sound because every round refits from scratch on
     the full accumulated measurement set, so no fitted state needs to
-    survive the round.
+    survive the round.  ``screen_tile`` streams the pool prediction in
+    blocks (bitwise identical to the unblocked screen, see
+    :func:`repro.dse.engine.screen_predict`).
     """
+    from repro.dse.engine import screen_predict
+
     if refit:
         surrogate.fit(known_features, known_targets)
-    predicted = surrogate.predict(features)
+    predicted = screen_predict(surrogate, features, screen_tile)
     predicted_min = objectives.to_minimization(predicted)
     context = AcquisitionContext(
         features=features,
@@ -294,6 +299,7 @@ def run_campaign_runtime(
                     acquisition,
                     simulation_budget,
                     refit,
+                    engine.screen_tile,
                 ),
             )
             for workload in workloads

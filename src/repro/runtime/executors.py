@@ -30,6 +30,7 @@ instance.
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -37,6 +38,61 @@ from typing import Callable, Iterable, Optional, Sequence
 def default_jobs() -> int:
     """Worker count used when ``jobs`` is not given: one per CPU core."""
     return os.cpu_count() or 1
+
+
+class BroadcastHandle:
+    """Lightweight stand-in for a value broadcast to process-pool workers.
+
+    Produced by :meth:`ProcessExecutor.broadcast`; consumed worker-side by
+    :func:`resolve_broadcast`.  ``payload`` is the pickled value for the
+    warm-pool fallback path; it is ``None`` when the value was delivered
+    through the pool initializer instead.
+    """
+
+    __slots__ = ("key", "payload")
+
+    def __init__(self, key: str, payload: Optional[bytes] = None) -> None:
+        self.key = key
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        via = "initializer" if self.payload is None else f"{len(self.payload)}B"
+        return f"BroadcastHandle({self.key!r}, {via})"
+
+
+#: Worker-side cache of broadcast values, keyed by handle key.  Filled by
+#: the pool initializer (cold pools) or lazily on first resolve (warm
+#: pools); either way each worker materialises a broadcast value once.
+_WORKER_BROADCASTS: dict[str, object] = {}
+
+
+def _install_broadcasts(payloads: dict[str, bytes]) -> None:
+    """Process-pool initializer: unpickle broadcast values once per worker."""
+    for key, payload in payloads.items():
+        _WORKER_BROADCASTS[key] = pickle.loads(payload)
+
+
+def resolve_broadcast(value):
+    """Materialise *value* if it is a :class:`BroadcastHandle`.
+
+    Non-handles pass through unchanged, so task functions can resolve
+    unconditionally and stay executor-agnostic (serial and thread executors
+    broadcast by identity).  Handle resolution hits the worker's cache
+    first; a warm-pool handle that misses unpickles its carried payload and
+    caches it, so later tasks on the same worker reuse the object.
+    """
+    if not isinstance(value, BroadcastHandle):
+        return value
+    cached = _WORKER_BROADCASTS.get(value.key)
+    if cached is None:
+        if value.payload is None:
+            raise RuntimeError(
+                f"broadcast {value.key!r} was not installed in this worker "
+                f"and carries no payload"
+            )
+        cached = pickle.loads(value.payload)
+        _WORKER_BROADCASTS[value.key] = cached
+    return cached
 
 
 class Executor:
@@ -72,6 +128,19 @@ class Executor:
         """
         futures = [self.submit(fn, *arguments) for arguments in argument_tuples]
         return [future.result() for future in futures]
+
+    def broadcast(self, value):
+        """Publish *value* once for reuse across this executor's tasks.
+
+        The returned object substitutes for *value* in ``submit`` argument
+        lists; task functions recover it with :func:`resolve_broadcast`.
+        In-process executors broadcast by identity (the value itself);
+        :class:`ProcessExecutor` overrides this to pickle the value once
+        and hand out a :class:`BroadcastHandle`, so a simulator shared by
+        hundreds of shard tasks crosses the pickle boundary once per
+        worker instead of once per task.
+        """
+        return value
 
     def shutdown(self, wait: bool = True) -> None:
         """Release worker resources (idempotent)."""
@@ -136,12 +205,48 @@ class ThreadExecutor(_PoolExecutor):
 
 
 class ProcessExecutor(_PoolExecutor):
-    """Process-pool executor (true parallelism, picklable tasks only)."""
+    """Process-pool executor (true parallelism, picklable tasks only).
+
+    Values shared across many tasks should go through :meth:`broadcast`:
+    each distinct object is pickled exactly once in the parent, delivered
+    to workers through the pool initializer (cold pool) or a cached
+    payload (warm pool), and reused by every task that resolves its
+    handle — pinned by the pickle-count test in
+    ``tests/test_runtime_executors.py``.
+    """
 
     kind = "process"
 
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        super().__init__(jobs)
+        # id(value) -> (key, value) — the strong reference keeps id() valid
+        # for the executor's lifetime, so re-broadcasting the same object
+        # reuses the existing payload instead of pickling again.
+        self._broadcast_keys: dict[int, tuple[str, object]] = {}
+        self._broadcast_payloads: dict[str, bytes] = {}
+
     def _make_pool(self):
-        return ProcessPoolExecutor(max_workers=self.jobs)
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_install_broadcasts,
+            initargs=(dict(self._broadcast_payloads),),
+        )
+
+    def broadcast(self, value) -> BroadcastHandle:
+        entry = self._broadcast_keys.get(id(value))
+        if entry is not None and entry[1] is value:
+            key = entry[0]
+        else:
+            key = f"broadcast-{os.getpid()}-{id(self)}-{len(self._broadcast_keys)}"
+            self._broadcast_keys[id(value)] = (key, value)
+            self._broadcast_payloads[key] = pickle.dumps(value)
+        if self._pool is None:
+            # The pool does not exist yet: the initializer will install the
+            # payload in every worker, so the handle travels weightless.
+            return BroadcastHandle(key)
+        # Warm pool: workers may predate this broadcast, so the handle
+        # carries the payload; each worker unpickles it at most once.
+        return BroadcastHandle(key, self._broadcast_payloads[key])
 
 
 #: Executor kinds accepted by :func:`resolve_executor` and the CLI.

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.designspace.space import DesignSpace
 from repro.designspace.spec import build_table1_space
+from repro.runtime.executors import resolve_broadcast
 from repro.runtime.sharding import plan_sweep_shards, split_evenly
 from repro.sim.performance import PerformanceModel, PerformanceResult
 from repro.sim.power import PowerModel, PowerResult
@@ -58,8 +59,13 @@ def _evaluate_shard_task(
     keys: list[tuple],
 ) -> tuple[np.ndarray, int]:
     """Executor task for one evaluation shard (module-level so
-    :class:`~repro.runtime.executors.ProcessExecutor` can pickle it)."""
-    return simulator._evaluate_shard(profile_name, params, keys)
+    :class:`~repro.runtime.executors.ProcessExecutor` can pickle it).
+
+    *simulator* may arrive as a broadcast handle: the scatter sites
+    broadcast the simulator once per batch, so a process pool pickles it
+    once per worker instead of once per shard task.
+    """
+    return resolve_broadcast(simulator)._evaluate_shard(profile_name, params, keys)
 
 
 @dataclass(frozen=True)
@@ -482,10 +488,11 @@ class Simulator:
         self._require_parallel_safe()
         self._phase_table(profile)  # warm before pickling / thread fan-out
         shards = split_evenly(len(keys), executor.jobs)
+        simulator_ref = executor.broadcast(self)
         futures = [
             executor.submit(
                 _evaluate_shard_task,
-                self,
+                simulator_ref,
                 profile.name,
                 {name: values[shard.start : shard.stop] for name, values in params.items()},
                 keys[shard.start : shard.stop],
@@ -573,11 +580,12 @@ class Simulator:
         for profile in profiles:
             self._phase_table(profile)  # warm before pickling / thread fan-out
         shards = plan_sweep_shards(len(keys), len(profiles), executor.jobs)
+        simulator_ref = executor.broadcast(self)
         futures = {
             profile.name: [
                 executor.submit(
                     _evaluate_shard_task,
-                    self,
+                    simulator_ref,
                     profile.name,
                     {
                         name: values[shard.start : shard.stop]

@@ -7,6 +7,10 @@ from repro.baselines.trdse import TrDSE, TrEE
 from repro.datasets.tasks import holdout_task
 from repro.metrics.regression import rmse
 
+#: Whole-protocol baseline runs dominate the suite's wall clock; the
+#: fast tier (`make test-fast`) skips them.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def target_task(small_dataset):

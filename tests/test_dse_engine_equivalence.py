@@ -10,13 +10,25 @@ the same configurations, measure the same objective rows, and report the
 same fronts and hypervolume histories.
 """
 
+from functools import partial
+
 import numpy as np
 import pytest
 
 from repro.baselines.trees import GradientBoostingRegressor
 from repro.dse.active import ActiveLearningExplorer
-from repro.dse.engine import ObjectiveSet, QualityTracker
+from repro.dse.engine import (
+    CampaignEngine,
+    ObjectiveSet,
+    QualityTracker,
+    RandomPool,
+    screen_predict,
+)
 from repro.dse.explorer import PredictorGuidedExplorer
+from repro.dse.surrogates import StackedPredictorSurrogate, TreeEnsembleSurrogate
+from repro.nn import parallel as nn_parallel
+from repro.nn.transformer import TransformerPredictor
+from repro.runtime.executors import ThreadExecutor
 
 WORKLOAD = "605.mcf_s"
 
@@ -122,6 +134,175 @@ class TestActiveLearningEquivalence:
             engine_run.measured_objectives, reference.measured_objectives
         )
         assert engine_run.hypervolume_history() == reference.hypervolume_history()
+
+
+# -- screening tiling --------------------------------------------------------------
+#: Pool size the tiling tests screen, and the tile sizes the contract pins:
+#: degenerate single-row blocks, one-short, exact, and overshooting tiles.
+POOL = 40
+SCREEN_TILES = (1, POOL - 1, POOL, POOL + 7)
+
+
+def _fitted_tree_surrogate(fast_simulator, table1_space, seed=0):
+    from repro.designspace.encoding import OrdinalEncoder
+    from repro.designspace.sampling import RandomSampler
+
+    encoder = OrdinalEncoder(table1_space)
+    configs = RandomSampler(table1_space, seed=seed).sample(50)
+    features = encoder.encode_batch(configs)
+    batch = fast_simulator.run_batch(configs, WORKLOAD)
+    factory = partial(GradientBoostingRegressor, n_estimators=10, max_depth=2, seed=seed)
+    surrogate = TreeEnsembleSurrogate(factory, ("ipc", "power"))
+    surrogate.fit(
+        features, np.stack([batch.objective(n) for n in ("ipc", "power")], axis=1)
+    )
+    return surrogate
+
+
+def _stacked_surrogate(num_parameters, tile_size=None):
+    predictors = [
+        TransformerPredictor(
+            num_parameters, embed_dim=8, num_heads=2, num_layers=1, head_hidden=8, seed=s
+        )
+        for s in (0, 1)
+    ]
+    return StackedPredictorSurrogate(
+        predictors, ("ipc", "power"), tile_size=tile_size
+    )
+
+
+class TestScreenPredictEquivalence:
+    """Blocked screening == whole-pool screening, bitwise, for every tile."""
+
+    @pytest.mark.parametrize("tile", SCREEN_TILES)
+    def test_tree_surrogate_blocked_bitwise(
+        self, fast_simulator, table1_space, tile
+    ):
+        surrogate = _fitted_tree_surrogate(fast_simulator, table1_space)
+        features = np.random.default_rng(0).uniform(size=(POOL, 22))
+        np.testing.assert_array_equal(
+            screen_predict(surrogate, features, tile),
+            surrogate.predict(features),
+        )
+
+    @pytest.mark.parametrize("tile", SCREEN_TILES)
+    def test_stacked_surrogate_blocked_bitwise(self, tile):
+        surrogate = _stacked_surrogate(6)
+        assert surrogate.is_stacked
+        features = np.random.default_rng(1).uniform(size=(POOL, 6))
+        np.testing.assert_array_equal(
+            screen_predict(surrogate, features, tile),
+            surrogate.predict(features),
+        )
+
+    @pytest.mark.parametrize("tile", (1, 7))
+    def test_stacked_surrogate_blocked_under_kernel_threads(self, tile):
+        """Screen tiling composes with the kernel thread policy bitwise."""
+        surrogate = _stacked_surrogate(6)
+        features = np.random.default_rng(2).uniform(size=(POOL, 6))
+        reference = surrogate.predict(features)
+        previous = nn_parallel.set_num_threads(None)
+        try:
+            with nn_parallel.threads(3):
+                np.testing.assert_array_equal(
+                    screen_predict(surrogate, features, tile), reference
+                )
+        finally:
+            nn_parallel.set_num_threads(previous)
+            nn_parallel.shutdown_pool()
+
+    @pytest.mark.parametrize("tile", SCREEN_TILES)
+    def test_surrogate_tile_size_knob_bitwise(self, tile):
+        """The StackedPredictorSurrogate's own tile_size knob agrees too."""
+        features = np.random.default_rng(3).uniform(size=(POOL, 6))
+        np.testing.assert_array_equal(
+            _stacked_surrogate(6, tile_size=tile).predict(features),
+            _stacked_surrogate(6).predict(features),
+        )
+
+    def test_invalid_tile_rejected(self):
+        surrogate = _stacked_surrogate(6)
+        with pytest.raises(ValueError, match="tile_size"):
+            screen_predict(surrogate, np.zeros((5, 6)), 0)
+        with pytest.raises(ValueError, match="tile_size"):
+            _stacked_surrogate(6, tile_size=0)
+
+
+class TestCampaignScreenTileEquivalence:
+    """Engine campaigns with screen_tile are bitwise equal to untiled ones."""
+
+    def _make_engine(self, fast_simulator, screen_tile=None):
+        return CampaignEngine(
+            fast_simulator.space,
+            fast_simulator,
+            ObjectiveSet.from_names(("ipc", "power")),
+            seed=5,
+            screen_tile=screen_tile,
+        )
+
+    @pytest.mark.parametrize("tile", SCREEN_TILES)
+    def test_single_workload_run_bitwise(self, fast_simulator, table1_space, tile):
+        def outcome(screen_tile):
+            surrogate = _fitted_tree_surrogate(fast_simulator, table1_space)
+            return self._make_engine(fast_simulator, screen_tile).run(
+                WORKLOAD,
+                surrogate,
+                generator=RandomPool(POOL),
+                simulation_budget=6,
+            )
+
+        reference = outcome(None)
+        tiled = outcome(tile)
+        assert tiled.simulated_configs == reference.simulated_configs
+        np.testing.assert_array_equal(
+            tiled.measured_objectives, reference.measured_objectives
+        )
+        np.testing.assert_array_equal(tiled.predicted, reference.predicted)
+        assert tiled.selected_indices == reference.selected_indices
+
+    @pytest.mark.parametrize("tile", (1, POOL - 1))
+    def test_campaign_with_thread_executor_and_kernel_threads_bitwise(
+        self, fast_simulator, table1_space, tile
+    ):
+        """screen_tile composed with a ThreadExecutor campaign and the nn
+        thread policy reproduces the plain serial campaign bitwise."""
+        workloads = (WORKLOAD, "625.x264_s")
+
+        def surrogates():
+            return {
+                workload: _fitted_tree_surrogate(fast_simulator, table1_space, seed=i)
+                for i, workload in enumerate(workloads)
+            }
+
+        reference = self._make_engine(fast_simulator).run_campaign(
+            workloads, surrogates(), candidate_pool=POOL, simulation_budget=4
+        )
+        previous = nn_parallel.set_num_threads(None)
+        try:
+            with nn_parallel.threads(2), ThreadExecutor(2) as executor:
+                tiled = self._make_engine(fast_simulator, tile).run_campaign(
+                    workloads,
+                    surrogates(),
+                    candidate_pool=POOL,
+                    simulation_budget=4,
+                    executor=executor,
+                )
+        finally:
+            nn_parallel.set_num_threads(previous)
+            nn_parallel.shutdown_pool()
+        assert tiled.candidates_screened == reference.candidates_screened
+        for workload in workloads:
+            ref, got = reference[workload], tiled[workload]
+            np.testing.assert_array_equal(
+                got.measured_objectives, ref.measured_objectives
+            )
+            assert got.selected_indices == ref.selected_indices
+            assert got.simulated_configs == ref.simulated_configs
+            np.testing.assert_array_equal(got.predicted, ref.predicted)
+
+    def test_engine_rejects_invalid_screen_tile(self, fast_simulator):
+        with pytest.raises(ValueError, match="screen_tile"):
+            self._make_engine(fast_simulator, screen_tile=0)
 
 
 class TestQualityTrackerScope:

@@ -17,6 +17,10 @@ from repro.datasets.tasks import holdout_task
 from repro.meta.maml import MAMLConfig
 from repro.metrics.regression import evaluate_predictions, rmse
 
+#: End-to-end pretrain/adapt/compare pipelines are the slowest tests in
+#: the suite; the fast tier (`make test-fast`) skips them.
+pytestmark = pytest.mark.slow
+
 
 def integration_config(seed=0):
     config = default_config(seed=seed)

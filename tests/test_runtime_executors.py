@@ -1,11 +1,14 @@
 """Tests for executors and deterministic sharding (`repro.runtime`)."""
 
+import numpy as np
 import pytest
 
 from repro.runtime.executors import (
+    BroadcastHandle,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    resolve_broadcast,
     resolve_executor,
 )
 from repro.runtime.sharding import plan_sweep_shards, split_evenly
@@ -17,6 +20,28 @@ def _square(x):
 
 def _raise(message):
     raise ValueError(message)
+
+
+def _resolved_value(handle):
+    return resolve_broadcast(handle).value
+
+
+class _Payload:
+    """Picklable value with an observable identity for broadcast tests."""
+
+    def __init__(self, value):
+        self.value = value
+
+
+class _CountingPayload(_Payload):
+    """Payload that records every parent-side pickle (module-level so the
+    pickled bytes reconstruct in worker processes)."""
+
+    pickles: list = []
+
+    def __getstate__(self):
+        type(self).pickles.append(1)
+        return self.__dict__
 
 
 class TestSerialExecutor:
@@ -82,6 +107,102 @@ class TestResolveExecutor:
     def test_nonpositive_jobs_rejected(self):
         with pytest.raises(ValueError):
             resolve_executor(0)
+
+
+class TestBroadcast:
+    def test_in_process_executors_broadcast_by_identity(self):
+        payload = _Payload(3)
+        assert SerialExecutor().broadcast(payload) is payload
+        with ThreadExecutor(2) as executor:
+            assert executor.broadcast(payload) is payload
+
+    def test_resolve_passes_non_handles_through(self):
+        payload = _Payload(5)
+        assert resolve_broadcast(payload) is payload
+        assert resolve_broadcast(None) is None
+
+    def test_process_broadcast_resolves_in_workers_cold_pool(self):
+        payload = _Payload(11)
+        with ProcessExecutor(2) as executor:
+            handle = executor.broadcast(payload)
+            assert isinstance(handle, BroadcastHandle)
+            # Cold pool: the initializer delivers the value, the handle
+            # travels without a payload copy.
+            assert handle.payload is None
+            results = executor.starmap(_resolved_value, [(handle,)] * 6)
+        assert results == [11] * 6
+
+    def test_process_broadcast_resolves_in_workers_warm_pool(self):
+        payload = _Payload(13)
+        with ProcessExecutor(2) as executor:
+            executor.submit(_square, 2).result()  # warm the pool first
+            handle = executor.broadcast(payload)
+            # Warm pool: workers may predate the broadcast, so the handle
+            # carries the pickled payload as a fallback.
+            assert handle.payload is not None
+            results = executor.starmap(_resolved_value, [(handle,)] * 6)
+        assert results == [13] * 6
+
+    def test_rebroadcasting_the_same_object_pickles_once(self):
+        _CountingPayload.pickles = []
+        counted = _CountingPayload(7)
+        with ProcessExecutor(2) as executor:
+            first = executor.broadcast(counted)
+            second = executor.broadcast(counted)
+        assert first.key == second.key
+        assert len(_CountingPayload.pickles) == 1
+
+    def test_unknown_handle_without_payload_is_an_error(self):
+        with pytest.raises(RuntimeError, match="not installed"):
+            resolve_broadcast(BroadcastHandle("missing-key"))
+
+
+class TestSimulatorBroadcast:
+    """The simulator crosses the pickle boundary once per pool, not per shard."""
+
+    def test_sweep_pickles_simulator_once_across_sweeps(self, monkeypatch):
+        from repro.designspace.sampling import RandomSampler
+        from repro.sim.simulator import Simulator
+
+        calls = []
+        original = Simulator.__getstate__
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(Simulator, "__getstate__", counting)
+        simulator = Simulator(simpoint_phases=1, seed=3)
+        configs = RandomSampler(simulator.space, seed=5).sample(8)
+        workloads = ("605.mcf_s", "625.x264_s")
+        with ProcessExecutor(2) as executor:
+            first = simulator.run_sweep(configs, workloads, executor=executor)
+            second = simulator.run_sweep(configs, workloads, executor=executor)
+        # Two sweeps over two workloads fan out many shard tasks, yet the
+        # simulator is pickled exactly once (at broadcast time).
+        assert len(calls) == 1
+        reference = simulator.run_sweep(configs, workloads)
+        for workload in workloads:
+            np.testing.assert_array_equal(first[workload].ipc, reference[workload].ipc)
+            np.testing.assert_array_equal(second[workload].ipc, reference[workload].ipc)
+
+    def test_thread_sweep_does_not_pickle_at_all(self, monkeypatch):
+        from repro.designspace.sampling import RandomSampler
+        from repro.sim.simulator import Simulator
+
+        calls = []
+        original = Simulator.__getstate__
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(Simulator, "__getstate__", counting)
+        simulator = Simulator(simpoint_phases=1, seed=3)
+        configs = RandomSampler(simulator.space, seed=5).sample(6)
+        with ThreadExecutor(2) as executor:
+            simulator.run_sweep(configs, ("605.mcf_s",), executor=executor)
+        assert calls == []
 
 
 class TestSplitEvenly:
