@@ -14,16 +14,18 @@
 #                          (skips on machines with fewer than 4 cores)
 #   make bench-kernels   - just the thread-parallel kernel benchmark
 #                          (skips on machines with fewer than 4 cores)
+#   make bench-pruning   - just the attention-guided pruning benchmark
 #   make docs-check      - fail on dead intra-repo links / stale module refs
 #                          / uncataloged benchmarks/results JSONs
+#   make repo-check      - fail on git-tracked build/bytecode artifacts
 #   make examples        - run every example script end to end
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test unit test-fast bench bench-meta bench-precision bench-dse bench-runtime bench-kernels docs-check examples
+.PHONY: test unit test-fast bench bench-meta bench-precision bench-dse bench-runtime bench-kernels bench-pruning docs-check repo-check examples
 
-test: docs-check
+test: docs-check repo-check
 	$(PYTHON) -m pytest -x -q
 
 # Includes the DSE engine-vs-reference equivalence tests
@@ -54,8 +56,14 @@ bench-runtime:
 bench-kernels:
 	$(PYTHON) -m pytest benchmarks/test_kernel_throughput.py -q
 
+bench-pruning:
+	$(PYTHON) -m pytest benchmarks/test_pruning_throughput.py -q
+
 docs-check:
 	$(PYTHON) tools/check_docs.py
+
+repo-check:
+	$(PYTHON) tools/check_repo.py
 
 examples:
 	@set -e; for script in examples/*.py; do \

@@ -18,7 +18,10 @@ writing any Python:
   campaign engine (shared candidate pool, one ``run_sweep`` measurement)
   and print one Pareto front per workload; ``--jobs N`` dispatches it
   through the parallel campaign runtime (``--executor`` picks
-  thread/process/serial, ``--checkpoint`` makes the campaign resumable).
+  thread/process/serial, ``--checkpoint`` makes the campaign resumable),
+  and ``--prune`` / ``--focus F`` shrink the candidate pool to the
+  parameters the adapted predictors' attention marks as important
+  (``docs/pruning.md``).
 
 Every command accepts ``--seed`` so runs are reproducible, and prints a short
 human-readable report to stdout; machine-readable results are written as JSON
@@ -288,6 +291,13 @@ def cmd_dse(args: argparse.Namespace) -> int:
         raise SystemExit(f"dataset is missing workloads: {missing}")
     objective_names = tuple(args.objectives)
 
+    # --prune is shorthand for the default focus; an explicit --focus wins.
+    focus = args.focus
+    if focus is None and args.prune:
+        focus = 0.5
+    if focus is not None and not 0.0 < focus <= 1.0:
+        raise SystemExit(f"--focus must be in (0, 1], got {focus}")
+
     if args.model_ipc or args.model_power:
         # MetaDSE facade path: adapt pre-trained predictors to every target
         # (one stacked graph per metric) and campaign with stacked surrogates.
@@ -326,8 +336,16 @@ def cmd_dse(args: argparse.Namespace) -> int:
             executor=args.executor,
             checkpoint=args.checkpoint,
             screen_tile=args.screen_tile,
+            focus=focus,
+            focus_levels=args.focus_levels,
         )
     else:
+        if focus is not None:
+            raise SystemExit(
+                "--focus/--prune distil importance from attention and need the "
+                "--model-ipc/--model-power predictor path; tree surrogates have "
+                "no attention to harvest (see docs/pruning.md)"
+            )
         # Tree-surrogate path: fit one ensemble per workload on the dataset
         # labels and drive the shared-pool campaign directly.  The factory
         # is a functools.partial (not a lambda) so the surrogates stay
@@ -532,6 +550,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--screen-tile", type=int, default=None,
         help="stream screening over candidate blocks of this many rows "
              "(bounds peak memory; bitwise identical to whole-pool screening)",
+    )
+    dse.add_argument(
+        "--focus", type=float, default=None,
+        help="attention-guided pruning (docs/pruning.md): keep this fraction "
+             "of parameters at full resolution and coarse-grid the rest; "
+             "needs the --model-ipc/--model-power path, 1.0 = unpruned",
+    )
+    dse.add_argument(
+        "--focus-levels", type=int, default=1,
+        help="grid levels kept per unfocused parameter (1 = clamp to the "
+             "median level)",
+    )
+    dse.add_argument(
+        "--prune", action="store_true",
+        help="shorthand for --focus 0.5",
     )
     dse.add_argument("--output", help="optional JSON output path")
     dse.set_defaults(handler=cmd_dse)

@@ -280,6 +280,9 @@ class MetaDSE(CrossWorkloadModel):
         executor: str = "thread",
         checkpoint=None,
         screen_tile: Optional[int] = None,
+        focus: Optional[float] = None,
+        focus_levels: int = 1,
+        focus_probe: int = 64,
     ):
         """Run a batched cross-workload DSE campaign with adapted predictors.
 
@@ -332,6 +335,16 @@ class MetaDSE(CrossWorkloadModel):
             Stream every screening step over candidate blocks of this many
             rows (``None`` screens the whole pool at once); bitwise
             identical either way (:func:`repro.dse.engine.screen_predict`).
+        focus, focus_levels, focus_probe:
+            Attention-guided design-space pruning (``docs/pruning.md``).
+            With ``focus`` set, the shared candidate pool is drawn by a
+            :class:`~repro.dse.engine.FocusedPool`: the adapted predictors'
+            attention over ``focus_probe`` probe configurations is distilled
+            into a pooled importance profile, the top ``focus`` fraction of
+            parameters keep their full grids, and the rest collapse to a
+            coarse grid of ``focus_levels`` levels (1 = clamped to the
+            median level).  ``focus=None`` (default) leaves the campaign
+            untouched; ``focus=1.0`` degrades to the unpruned pool bitwise.
 
         Returns the engine's :class:`~repro.dse.engine.CampaignResult`
         (per-workload fronts + hypervolume curves, physical units).  Like
@@ -390,6 +403,41 @@ class MetaDSE(CrossWorkloadModel):
             seed=seed,
             screen_tile=screen_tile,
         )
+
+        generator = None
+        if focus is not None:
+            from repro.designspace.sampling import RandomSampler
+            from repro.dse.engine import FocusedPool
+            from repro.meta.wam import merge_profiles
+
+            if not 0.0 < focus <= 1.0:
+                raise ValueError(f"focus must be in (0, 1], got {focus}")
+            profile = None
+            if focus < 1.0:
+                # One pooled profile for the shared cross-workload pool:
+                # probe once, harvest each workload's stacked surrogate,
+                # average.  Fixed-profile FocusedPool stays surrogate-
+                # independent, so the shared-pool fast path, the DAG
+                # runtime, and checkpoint resume all still apply.
+                probe = RandomSampler(simulator.space, seed=seed).sample(
+                    focus_probe
+                )
+                probe_features = engine.encoder.encode_batch(probe)
+                with self._thread_scope():
+                    profile = merge_profiles(
+                        [
+                            surrogates[workload].attention_profile(probe_features)
+                            for workload in workloads
+                        ]
+                    )
+            generator = FocusedPool(
+                candidate_pool,
+                keep_fraction=focus,
+                coarse_levels=focus_levels,
+                profile=profile,
+                refocus=False,
+            )
+
         from repro.runtime.executors import resolve_executor
 
         campaign_executor = resolve_executor(jobs, executor)
@@ -398,6 +446,7 @@ class MetaDSE(CrossWorkloadModel):
                 return engine.run_campaign(
                     workloads,
                     surrogates,
+                    generator=generator,
                     candidate_pool=candidate_pool,
                     simulation_budget=simulation_budget,
                     executor=campaign_executor,
@@ -415,6 +464,23 @@ class MetaDSE(CrossWorkloadModel):
             raise RuntimeError("predict() called before pretrain()")
         with self._thread_scope():
             return self._unscale(model.predict(as_2d(features)))
+
+    def importance_profile(self, features: np.ndarray, *, workload=None):
+        """Distil a parameter-importance profile from the current predictor.
+
+        One eval-mode forward over *features* through the adapted (or, before
+        adaptation, the meta-trained) predictor, returning the normalized
+        :class:`~repro.meta.wam.ImportanceProfile` the pruning layer consumes
+        (``docs/pruning.md``).  Deterministic for fixed weights and features,
+        bitwise invariant to the kernel thread count.
+        """
+        from repro.meta.wam import importance_profile as _importance_profile
+
+        model = self.adapted if self.adapted is not None else self.meta_model
+        if model is None:
+            raise RuntimeError("importance_profile() called before pretrain()")
+        with self._thread_scope():
+            return _importance_profile(model, as_2d(features), workload=workload)
 
     # -- persistence helpers -----------------------------------------------------------
     def save_pretrained(self, path) -> None:

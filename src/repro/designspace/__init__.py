@@ -10,6 +10,7 @@ from repro.designspace.parameters import (
     strided_range,
 )
 from repro.designspace.sampling import (
+    FocusedSampler,
     LatinHypercubeSampler,
     OrthogonalArraySampler,
     RandomSampler,
@@ -39,6 +40,7 @@ __all__ = [
     "RandomSampler",
     "LatinHypercubeSampler",
     "OrthogonalArraySampler",
+    "FocusedSampler",
     "make_sampler",
     "BRANCH_PREDICTORS",
     "DRAM_SIZE_MB",

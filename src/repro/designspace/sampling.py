@@ -1,6 +1,6 @@
 """Design-point sampling strategies.
 
-Three samplers are provided:
+Four samplers are provided:
 
 * :class:`RandomSampler` — uniform sampling over the candidate grid, used to
   generate the labelled datasets for all experiments;
@@ -9,6 +9,11 @@ Three samplers are provided:
 * :class:`OrthogonalArraySampler` — the OA-style sampling referenced by the
   TrDSE/TrEE baselines (Section II-A of the paper); implemented as a strength-1
   balanced design over the ordinal grid.
+* :class:`FocusedSampler` — importance-guided sampling (AttentionDSE-style
+  pruning, see ``docs/pruning.md``): spends the budget on the high-importance
+  parameters and coarse-grids or clamps the rest.  With every parameter
+  focused it consumes its RNG stream exactly like :class:`RandomSampler`,
+  so ``keep_fraction=1.0`` degrades to uniform sampling bitwise.
 
 All samplers deduplicate configurations when asked to (collisions are likely
 for tiny parameter cardinalities) and are deterministic given a seed.
@@ -149,6 +154,91 @@ class OrthogonalArraySampler(BaseSampler):
 
     def _sample_one(self) -> Configuration:  # pragma: no cover - not used directly
         return RandomSampler(self.space, seed=self.rng)._sample_one()
+
+
+class FocusedSampler(BaseSampler):
+    """Importance-guided sampling: full resolution where attention points.
+
+    *scores* is a per-parameter importance vector (an
+    :class:`repro.meta.wam.ImportanceProfile` or any non-negative array of
+    length ``space.num_parameters``).  The top ``ceil(keep_fraction * P)``
+    parameters by score (ties broken towards the earlier declaration) keep
+    their full candidate grids; every other parameter is restricted to a
+    coarse sub-grid of at most *coarse_levels* evenly spaced levels
+    (``coarse_levels=1`` clamps it to its median level, the same anchor as
+    ``DesignSpace.default_configuration``).
+
+    RNG contract: each draw consumes exactly one ``rng.integers(0, L_i)``
+    per parameter in declaration order, where ``L_i`` is the number of
+    retained levels.  With ``keep_fraction=1.0`` every ``L_i`` equals the
+    parameter cardinality and the level map is the identity, so the sampler
+    is **bitwise identical** to :class:`RandomSampler` on the same stream —
+    the equivalence that lets ``FocusedPool(keep_fraction=1.0)`` degrade to
+    ``RandomPool`` exactly (see ``tests/test_designspace_sampling.py``).
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        scores,
+        *,
+        keep_fraction: float = 0.5,
+        coarse_levels: int = 1,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(space, seed=seed)
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError(
+                f"keep_fraction must be in (0, 1], got {keep_fraction}"
+            )
+        if coarse_levels < 1:
+            raise ValueError(f"coarse_levels must be >= 1, got {coarse_levels}")
+        values = np.asarray(
+            getattr(scores, "scores", scores), dtype=np.float64
+        ).reshape(-1)
+        if values.shape[0] != space.num_parameters:
+            raise ValueError(
+                f"scores has {values.shape[0]} entries for a space with "
+                f"{space.num_parameters} parameters"
+            )
+        if not np.all(np.isfinite(values)) or np.any(values < 0.0):
+            raise ValueError("scores must be finite and non-negative")
+        self.keep_fraction = float(keep_fraction)
+        self.coarse_levels = int(coarse_levels)
+        self.scores = values
+        num_parameters = space.num_parameters
+        keep = max(1, int(np.ceil(self.keep_fraction * num_parameters)))
+        # Descending score, earlier declaration wins ties (lexsort is stable
+        # on its last key, so negate scores and tiebreak on position).
+        order = np.lexsort((np.arange(num_parameters), -values))
+        mask = np.zeros(num_parameters, dtype=bool)
+        mask[order[:keep]] = True
+        self.focused_mask = mask
+        self._levels: list[np.ndarray] = []
+        for focused, parameter in zip(mask, space.parameters):
+            cardinality = parameter.cardinality
+            if focused or self.coarse_levels >= cardinality:
+                levels = np.arange(cardinality)
+            elif self.coarse_levels == 1:
+                levels = np.array([cardinality // 2])
+            else:
+                levels = np.unique(
+                    np.round(
+                        np.linspace(0, cardinality - 1, self.coarse_levels)
+                    ).astype(int)
+                )
+            self._levels.append(levels)
+
+    def pool_cardinality(self) -> int:
+        """Size of the pruned candidate grid (product of retained levels)."""
+        return int(np.prod([len(levels) for levels in self._levels], dtype=object))
+
+    def _sample_one(self) -> Configuration:
+        indices = [
+            int(levels[int(self.rng.integers(0, len(levels)))])
+            for levels in self._levels
+        ]
+        return self.space.from_indices(indices)
 
 
 def make_sampler(

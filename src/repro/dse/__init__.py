@@ -29,6 +29,7 @@ from repro.dse.engine import (
     CampaignResult,
     CampaignRound,
     CandidateGenerator,
+    FocusedPool,
     NSGA2Evolve,
     ObjectiveSet,
     QualityTracker,
@@ -75,6 +76,7 @@ __all__ = [
     "ObjectiveSet",
     "QualityTracker",
     "RandomPool",
+    "FocusedPool",
     "NSGA2Evolve",
     "WorkloadCampaignResult",
     "AcquisitionContext",

@@ -10,8 +10,9 @@ snippets in the examples).  :class:`CampaignEngine` owns that skeleton once:
 * **objective handling** — :class:`ObjectiveSet` holds names and maximize
   flags and converts measured/predicted matrices to minimisation form;
 * **candidate generation** — pluggable :class:`CandidateGenerator`
-  (:class:`RandomPool`, :class:`NSGA2Evolve` reusing the
-  :mod:`repro.dse.nsga2` machinery);
+  (:class:`RandomPool`, :class:`FocusedPool` for attention-guided pruned
+  pools, :class:`NSGA2Evolve` reusing the :mod:`repro.dse.nsga2`
+  machinery);
 * **acquisition scoring** — pluggable
   :class:`~repro.dse.acquisition.AcquisitionStrategy`;
 * **measure/record bookkeeping** — one vectorized
@@ -45,7 +46,7 @@ from typing import Callable, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.designspace.encoding import OrdinalEncoder
-from repro.designspace.sampling import BaseSampler, RandomSampler
+from repro.designspace.sampling import BaseSampler, FocusedSampler, RandomSampler
 from repro.designspace.space import Configuration, DesignSpace
 from repro.dse.acquisition import (
     AcquisitionContext,
@@ -147,6 +148,119 @@ class RandomPool(CandidateGenerator):
     ) -> list[Configuration]:
         sampler = self.sampler if self.sampler is not None else engine.sampler
         return sampler.sample(self.size)
+
+
+class FocusedPool(CandidateGenerator):
+    """Attention-guided pruned candidate pool (``docs/pruning.md``).
+
+    Samples each round's pool through a
+    :class:`~repro.designspace.sampling.FocusedSampler` built from a
+    per-parameter importance profile, so the budget lands on the parameters
+    the surrogates' attention says matter.  The profile comes from one of
+    two sources, checked in order:
+
+    1. **live refocus** (``refocus=True``, the default): when the round's
+       surrogate exposes ``attention_profile(features)`` (e.g.
+       :class:`~repro.dse.surrogates.StackedPredictorSurrogate`), a fixed
+       probe pool (``probe_size`` configurations from a private
+       ``probe_seed`` stream) is encoded and profiled, so the focus tracks
+       the surrogate as it refits between rounds;
+    2. **fixed profile**: the ``profile=`` passed at construction — an
+       :class:`~repro.meta.wam.ImportanceProfile` or raw score array.  This
+       is the form the shared-pool / runtime campaign paths use (propose is
+       called with ``surrogate=None`` there), which keeps the generator
+       surrogate-independent and therefore eligible for the shared pool,
+       DAG scheduling, and checkpoint resume.
+
+    ``keep_fraction=1.0`` skips profiling entirely and draws from the
+    engine's sampler exactly like :class:`RandomPool` — **bitwise**, the
+    repository's standard fast-path equivalence (pinned by
+    ``tests/test_dse_pruning.py``).  ``fingerprint()`` feeds the runtime's
+    checkpoint descriptor so resuming with different focus knobs is
+    rejected instead of silently diverging.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        keep_fraction: float = 1.0,
+        coarse_levels: int = 1,
+        profile=None,
+        probe_size: int = 64,
+        probe_seed: SeedLike = 0,
+        refocus: bool = True,
+        sampler: Optional[BaseSampler] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError(
+                f"keep_fraction must be in (0, 1], got {keep_fraction}"
+            )
+        if coarse_levels < 1:
+            raise ValueError(f"coarse_levels must be >= 1, got {coarse_levels}")
+        if probe_size < 1:
+            raise ValueError(f"probe_size must be >= 1, got {probe_size}")
+        self.size = size
+        self.keep_fraction = float(keep_fraction)
+        self.coarse_levels = int(coarse_levels)
+        self.profile = profile
+        self.probe_size = int(probe_size)
+        self.probe_seed = probe_seed
+        self.refocus = bool(refocus)
+        self.sampler = sampler
+
+    def fingerprint(self) -> str:
+        """Checkpoint descriptor: every knob that changes the proposals."""
+        return (
+            f"FocusedPool(size={self.size}, "
+            f"keep_fraction={self.keep_fraction}, "
+            f"coarse_levels={self.coarse_levels}, "
+            f"probe_size={self.probe_size}, refocus={self.refocus})"
+        )
+
+    def _scores(
+        self,
+        engine: "CampaignEngine",
+        surrogate: Optional[MultiObjectiveSurrogate],
+    ):
+        if (
+            self.refocus
+            and surrogate is not None
+            and hasattr(surrogate, "attention_profile")
+        ):
+            probe = RandomSampler(engine.space, seed=self.probe_seed).sample(
+                self.probe_size
+            )
+            return surrogate.attention_profile(engine.encoder.encode_batch(probe))
+        if self.profile is not None:
+            return self.profile
+        raise ValueError(
+            "FocusedPool with keep_fraction < 1.0 needs an importance source: "
+            "pass profile=... at construction, or propose with a surrogate "
+            "exposing attention_profile() and refocus=True"
+        )
+
+    def propose(
+        self,
+        engine: "CampaignEngine",
+        surrogate: Optional[MultiObjectiveSurrogate],
+        round_index: int,
+    ) -> list[Configuration]:
+        sampler = self.sampler if self.sampler is not None else engine.sampler
+        if self.keep_fraction >= 1.0:
+            # Degenerate focus: consume the shared stream exactly like
+            # RandomPool so existing campaigns reproduce bitwise.
+            return sampler.sample(self.size)
+        focused = FocusedSampler(
+            engine.space,
+            self._scores(engine, surrogate),
+            keep_fraction=self.keep_fraction,
+            coarse_levels=self.coarse_levels,
+            seed=sampler.rng,
+        )
+        return focused.sample(self.size)
 
 
 def screen_predict(

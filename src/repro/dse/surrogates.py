@@ -340,3 +340,21 @@ class StackedPredictorSurrogate(MultiObjectiveSurrogate):
                 layer.store_attention = flag
             template.train(was_training)
         return raw * self._stds[None, :] + self._means[None, :]
+
+    def attention_profile(self, features: np.ndarray):
+        """Distil a parameter-importance profile from the stacked models.
+
+        Runs :func:`repro.meta.wam.profile_from_predictors` over every
+        per-objective predictor on *features* (one eval-mode forward each
+        with attention storage temporarily enabled) and merges the
+        per-objective profiles into one normalized
+        :class:`~repro.meta.wam.ImportanceProfile`.  This is the hook
+        :class:`~repro.dse.engine.FocusedPool` probes for when refocusing a
+        pruned candidate pool between rounds; it is deterministic for fixed
+        *features* and bitwise invariant to the ``threads(n)`` policy.
+        """
+        # Function-level import: repro.meta.wam already imports the nn layer
+        # this module builds on, so a top-level import would be cyclic.
+        from repro.meta.wam import profile_from_predictors
+
+        return profile_from_predictors(self.predictors, features)

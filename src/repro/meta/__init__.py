@@ -19,7 +19,17 @@ from repro.meta.variants import (
     MetaSGDTrainer,
     make_meta_trainer,
 )
-from repro.meta.wam import ArchitecturalMask, WAMBuilder, WAMConfig, generate_wam
+from repro.meta.wam import (
+    ArchitecturalMask,
+    ImportanceProfile,
+    WAMBuilder,
+    WAMConfig,
+    attention_importance,
+    generate_wam,
+    importance_profile,
+    merge_profiles,
+    profile_from_predictors,
+)
 
 __all__ = [
     "MAMLConfig",
@@ -35,6 +45,11 @@ __all__ = [
     "WAMBuilder",
     "ArchitecturalMask",
     "generate_wam",
+    "ImportanceProfile",
+    "attention_importance",
+    "importance_profile",
+    "profile_from_predictors",
+    "merge_profiles",
     "AdaptationConfig",
     "PAPER_ADAPTATION_CONFIG",
     "AdaptationResult",

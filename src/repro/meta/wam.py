@@ -21,6 +21,17 @@ Design choices made explicit:
   to matter for the target workload — this is what makes the mask
   *workload-adaptive* rather than a hard structural prune.
 
+Beyond the mask, the harvested attention carries a second signal
+(AttentionDSE, arXiv:2410.18368 — the same authors' companion paper): how
+much attention each *parameter* receives identifies which design parameters
+matter for a workload.  The importance-profile API at the bottom of this
+module distils that into :class:`ImportanceProfile` — normalized
+per-parameter scores from one task-batched forward — which the design-space
+pruning layer (:class:`repro.designspace.sampling.FocusedSampler`,
+:class:`repro.dse.engine.FocusedPool`) uses for *acquisition*: spending the
+candidate budget on high-importance parameters while clamping or
+coarse-gridding the rest.  See ``docs/pruning.md``.
+
 Precision: the collection forwards run in the model's own dtype (a float32
 surrogate is harvested in float32), but the frequency statistics accumulate
 in float64 — summing thousands of small probabilities is exactly where
@@ -200,3 +211,163 @@ def generate_wam(
     builder = WAMBuilder(model.num_parameters, config)
     builder.collect_from_model(model, sampler, source_workloads)
     return builder.build()
+
+
+# -- parameter-importance profiles (attention-guided pruning) -----------------------
+@dataclass(frozen=True)
+class ImportanceProfile:
+    """Normalized per-parameter importance scores for one workload.
+
+    ``scores`` is a float64 vector with one entry per architectural
+    parameter (declaration order), every entry non-negative and the whole
+    vector summing to 1 — the average attention each parameter *receives*
+    across queries, heads and batch rows.  The profile is the acquisition
+    signal of the pruning layer: :meth:`focused_parameters` picks the
+    positions a :class:`~repro.designspace.sampling.FocusedSampler` keeps
+    at full resolution.
+    """
+
+    scores: np.ndarray
+    #: Workload the profile was harvested for (``None`` for merged profiles).
+    workload: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        scores = np.asarray(self.scores, dtype=np.float64)
+        if scores.ndim != 1 or scores.shape[0] < 1:
+            raise ValueError(
+                f"scores must be a non-empty 1-D vector, got shape {scores.shape}"
+            )
+        if not np.all(np.isfinite(scores)) or np.any(scores < 0):
+            raise ValueError("scores must be finite and non-negative")
+        total = float(scores.sum())
+        if total <= 0:
+            raise ValueError("scores must have positive mass")
+        object.__setattr__(self, "scores", scores / total)
+
+    @property
+    def num_parameters(self) -> int:
+        return int(self.scores.shape[0])
+
+    def ranking(self) -> np.ndarray:
+        """Parameter positions sorted by descending score.
+
+        Ties break on the lower position, so the ranking — and everything
+        derived from it — is deterministic for equal scores.
+        """
+        positions = np.arange(self.num_parameters)
+        return np.lexsort((positions, -self.scores))
+
+    def top_parameters(self, count: int) -> list[int]:
+        """The *count* highest-importance parameter positions, ranked."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return [int(i) for i in self.ranking()[:count]]
+
+    def focused_parameters(self, keep_fraction: float) -> np.ndarray:
+        """Boolean mask of the positions kept at full resolution.
+
+        ``ceil(keep_fraction * num_parameters)`` parameters are focused
+        (at least one); ``keep_fraction=1.0`` focuses every parameter,
+        which is how the pruning layer degrades to unpruned sampling.
+        """
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError(
+                f"keep_fraction must be in (0, 1], got {keep_fraction}"
+            )
+        count = max(1, int(np.ceil(keep_fraction * self.num_parameters)))
+        focused = np.zeros(self.num_parameters, dtype=bool)
+        focused[self.ranking()[:count]] = True
+        return focused
+
+
+def attention_importance(attention: np.ndarray) -> np.ndarray:
+    """Per-parameter importance from recorded attention probabilities.
+
+    Accepts any tensor whose last two axes are ``(queries, keys)`` over the
+    architectural parameters (leading batch/heads/task axes are averaged
+    out, in float64 like the WAM statistics).  A parameter's importance is
+    the average attention it receives as a *key*; the result is normalized
+    to sum to 1.
+    """
+    attention = np.asarray(attention, dtype=np.float64)
+    if attention.ndim < 2 or attention.shape[-1] != attention.shape[-2]:
+        raise ValueError(
+            f"attention must end in square (queries, keys) axes, "
+            f"got shape {attention.shape}"
+        )
+    scores = attention.mean(axis=tuple(range(attention.ndim - 1)))
+    total = float(scores.sum())
+    if not np.isfinite(total) or total <= 0:
+        raise ValueError("attention probabilities must have positive finite mass")
+    return scores / total
+
+
+def importance_profile(
+    model: TransformerPredictor,
+    features: np.ndarray,
+    *,
+    workload: Optional[str] = None,
+) -> ImportanceProfile:
+    """Harvest a parameter-importance profile from one batched forward.
+
+    Runs *features* (``(n, P)``, optionally with a leading task axis)
+    through the predictor in eval mode — a single forward, no RNG — and
+    distils the last attention layer's probabilities with
+    :func:`attention_importance`.  Deterministic for a fixed model and
+    feature matrix, and **bitwise invariant to the kernel thread count**
+    (the ``repro.nn.parallel`` determinism contract); the layer's stored
+    ``last_attention`` is restored afterwards so profile harvesting never
+    perturbs WAM collection state.
+    """
+    was_training = model.training
+    layer = model.last_attention_layer
+    stored_flag = layer.store_attention
+    stored_attention = layer.last_attention
+    model.eval()
+    layer.store_attention = True
+    try:
+        model(Tensor(np.asarray(features, dtype=model.dtype)))
+        scores = attention_importance(layer.last_attention)
+    finally:
+        layer.store_attention = stored_flag
+        layer.last_attention = stored_attention
+        model.train(was_training)
+    return ImportanceProfile(scores=scores, workload=workload)
+
+
+def profile_from_predictors(
+    predictors: Sequence[TransformerPredictor],
+    features: np.ndarray,
+    *,
+    workload: Optional[str] = None,
+) -> ImportanceProfile:
+    """Profile averaged over several predictors of the same workload.
+
+    A multi-objective campaign adapts one predictor per objective (IPC,
+    power, ...); a parameter matters when *any* objective attends to it,
+    so the per-model profiles are averaged and renormalized.
+    """
+    if not predictors:
+        raise ValueError("profile_from_predictors needs at least one predictor")
+    profiles = [
+        importance_profile(model, features, workload=workload)
+        for model in predictors
+    ]
+    return merge_profiles(profiles, workload=workload)
+
+
+def merge_profiles(
+    profiles: Sequence[ImportanceProfile], *, workload: Optional[str] = None
+) -> ImportanceProfile:
+    """Mean of several (already normalized) profiles, renormalized.
+
+    Used to fold per-workload profiles into the single pooled profile a
+    shared cross-workload candidate pool is focused with.
+    """
+    if not profiles:
+        raise ValueError("merge_profiles needs at least one profile")
+    width = profiles[0].num_parameters
+    if any(profile.num_parameters != width for profile in profiles[1:]):
+        raise ValueError("profiles cover different numbers of parameters")
+    scores = np.mean([profile.scores for profile in profiles], axis=0)
+    return ImportanceProfile(scores=scores, workload=workload)

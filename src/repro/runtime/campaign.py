@@ -103,6 +103,13 @@ def _screen_workload(
 
 
 def _describe_generator(generator) -> str:
+    # Generators with proposal-shaping knobs beyond ``size`` (e.g.
+    # FocusedPool's keep_fraction/coarse_levels) publish them through
+    # ``fingerprint()`` so resuming a checkpoint with different knobs is
+    # rejected instead of silently diverging.
+    fingerprint = getattr(generator, "fingerprint", None)
+    if callable(fingerprint):
+        return str(fingerprint())
     size = getattr(generator, "size", None)
     suffix = f"(size={size})" if size is not None else ""
     return f"{type(generator).__name__}{suffix}"

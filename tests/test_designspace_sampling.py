@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.designspace.sampling import (
+    FocusedSampler,
     LatinHypercubeSampler,
     OrthogonalArraySampler,
     RandomSampler,
@@ -95,3 +96,107 @@ class TestMakeSampler:
     def test_unknown_kind(self, space):
         with pytest.raises(ValueError, match="unknown sampler"):
             make_sampler("sobol", space)
+
+
+class TestFocusedSampler:
+    def _scores(self, space, seed=0):
+        return np.random.default_rng(seed).random(space.num_parameters)
+
+    def test_keep_fraction_one_matches_random_sampler_bitwise(self, space):
+        # The equivalence FocusedPool(keep_fraction=1.0) builds on: with
+        # every parameter focused, the sampler consumes its RNG stream
+        # exactly like RandomSampler, so the draws are bitwise identical.
+        reference = RandomSampler(space, seed=42).sample(60)
+        focused = FocusedSampler(
+            space, self._scores(space), keep_fraction=1.0, seed=42
+        ).sample(60)
+        assert focused == reference
+
+    def test_count_validity_determinism(self, space):
+        sampler = FocusedSampler(
+            space, self._scores(space), keep_fraction=0.4, seed=3
+        )
+        configs = sampler.sample(30)
+        assert len(configs) == 30
+        assert all(space.is_valid(c) for c in configs)
+        again = FocusedSampler(
+            space, self._scores(space), keep_fraction=0.4, seed=3
+        ).sample(30)
+        assert configs == again
+
+    def test_unfocused_parameters_clamped_to_median(self, space):
+        sampler = FocusedSampler(
+            space, self._scores(space), keep_fraction=0.3, coarse_levels=1, seed=1
+        )
+        indices = np.array(
+            [space.to_indices(c) for c in sampler.sample(40)]
+        )
+        for position, (focused, parameter) in enumerate(
+            zip(sampler.focused_mask, space.parameters)
+        ):
+            if not focused:
+                assert set(indices[:, position]) == {parameter.cardinality // 2}
+
+    def test_coarse_grid_membership_and_extremes(self, space):
+        sampler = FocusedSampler(
+            space, self._scores(space), keep_fraction=0.3, coarse_levels=3, seed=2
+        )
+        indices = np.array(
+            [space.to_indices(c) for c in sampler.sample(80)]
+        )
+        for position, (focused, parameter) in enumerate(
+            zip(sampler.focused_mask, space.parameters)
+        ):
+            if focused:
+                continue
+            levels = sampler._levels[position]
+            assert len(levels) <= 3
+            assert levels[0] == 0 and levels[-1] == parameter.cardinality - 1
+            assert set(indices[:, position]) <= set(levels.tolist())
+
+    def test_focus_count_and_tiebreak(self, space):
+        num = space.num_parameters
+        uniform = np.ones(num)
+        sampler = FocusedSampler(space, uniform, keep_fraction=0.5, seed=0)
+        expected = int(np.ceil(0.5 * num))
+        assert sampler.focused_mask.sum() == expected
+        # Equal scores break ties towards the earlier declaration.
+        assert sampler.focused_mask[:expected].all()
+
+    def test_accepts_importance_profile(self, space):
+        from repro.meta.wam import ImportanceProfile
+
+        profile = ImportanceProfile(scores=self._scores(space) + 0.01)
+        by_profile = FocusedSampler(
+            space, profile, keep_fraction=0.4, seed=7
+        ).sample(10)
+        by_array = FocusedSampler(
+            space, profile.scores, keep_fraction=0.4, seed=7
+        ).sample(10)
+        assert by_profile == by_array
+
+    def test_pool_cardinality_shrinks(self, space):
+        full = int(np.prod([p.cardinality for p in space.parameters], dtype=object))
+        sampler = FocusedSampler(
+            space, self._scores(space), keep_fraction=0.4, coarse_levels=2, seed=0
+        )
+        assert sampler.pool_cardinality() < full
+        unpruned = FocusedSampler(
+            space, self._scores(space), keep_fraction=1.0, seed=0
+        )
+        assert unpruned.pool_cardinality() == full
+
+    def test_validation(self, space):
+        scores = self._scores(space)
+        with pytest.raises(ValueError, match="keep_fraction"):
+            FocusedSampler(space, scores, keep_fraction=0.0)
+        with pytest.raises(ValueError, match="keep_fraction"):
+            FocusedSampler(space, scores, keep_fraction=1.5)
+        with pytest.raises(ValueError, match="coarse_levels"):
+            FocusedSampler(space, scores, coarse_levels=0)
+        with pytest.raises(ValueError, match="entries"):
+            FocusedSampler(space, scores[:-1])
+        bad = scores.copy()
+        bad[0] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            FocusedSampler(space, bad)

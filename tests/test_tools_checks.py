@@ -1,0 +1,99 @@
+"""Tests for the repository hygiene checker (tools/check_repo.py).
+
+The classifier is a pure function over path lists, so the rules are
+verified against planted offenders without touching the real git index;
+one integration test also runs the checker against the actual repository,
+which must be clean (that is the guard ``make test`` relies on).
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" / "check_repo.py"
+
+
+@pytest.fixture(scope="module")
+def check_repo():
+    spec = importlib.util.spec_from_file_location("check_repo", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestIsArtifact:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "src/repro/__pycache__/engine.cpython-311.pyc",
+            "src/repro/nn/__pycache__/tensor.cpython-311.pyc",
+            "tests/__pycache__/conftest.cpython-311.pyc",
+            "module.pyc",
+            "module.pyo",
+            "extension.so",
+            "extension.pyd",
+            "lib/native.dylib",
+            "build/objects/kernel.o",
+            "vendored/lib.a",
+            "dist/repro-0.1-py3-none-any.whl",
+            "src/repro.egg-info/PKG-INFO",
+            ".eggs/setuptools.egg",
+            ".pytest_cache/v/cache/lastfailed",
+        ],
+    )
+    def test_flags_artifacts(self, check_repo, path):
+        assert check_repo.is_artifact(path)
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "src/repro/dse/engine.py",
+            "docs/pruning.md",
+            "benchmarks/results/pruning_speedup.json",
+            "Makefile",
+            ".gitignore",
+            "tools/check_repo.py",
+            # Names that merely contain artifact substrings are fine.
+            "src/repro/pycache_notes.md",
+            "docs/sonnets.md",
+        ],
+    )
+    def test_passes_source_files(self, check_repo, path):
+        assert not check_repo.is_artifact(path)
+
+
+class TestFindTrackedArtifacts:
+    def test_planted_pyc_is_caught(self, check_repo):
+        paths = [
+            "src/repro/cli.py",
+            "src/repro/__pycache__/planted.cpython-311.pyc",
+            "README.md",
+        ]
+        assert check_repo.find_tracked_artifacts(paths) == [
+            "src/repro/__pycache__/planted.cpython-311.pyc"
+        ]
+
+    def test_clean_list_passes(self, check_repo):
+        paths = ["src/repro/cli.py", "tests/test_dse_pruning.py", "README.md"]
+        assert check_repo.find_tracked_artifacts(paths) == []
+
+    def test_preserves_order(self, check_repo):
+        paths = ["b.pyc", "ok.py", "a.pyc"]
+        assert check_repo.find_tracked_artifacts(paths) == ["b.pyc", "a.pyc"]
+
+
+class TestMain:
+    def test_repository_is_clean(self, check_repo):
+        # The real index must pass — this is the invariant the PR restores
+        # after the accidentally committed bytecode of PR 6.
+        assert check_repo.main() == 0
+
+    def test_cli_exit_status(self):
+        result = subprocess.run(
+            [sys.executable, str(_TOOL)], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "OK" in result.stdout

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Repository hygiene checker (the ``make repo-check`` target).
+
+PR 6 accidentally committed 88 ``src/**/__pycache__/*.pyc`` files — bytecode
+is machine-local noise that bloats diffs and goes stale the moment the
+source changes.  ``.gitignore`` keeps *new* artifacts out of ``git add``,
+but nothing in the toolchain noticed the already-tracked ones; this check
+closes that hole by failing whenever any compiled/bytecode/build artifact
+is **git-tracked**, so the problem can never land again.
+
+The classification lives in :func:`find_tracked_artifacts`, a pure function
+over a path list, so the unit tests (``tests/test_tools_checks.py``) verify
+the rules against planted offenders without touching the real index.
+
+Exits non-zero listing every offence; wired as a prerequisite of
+``make test`` next to ``tools/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path, PurePosixPath
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Path components that mark everything beneath them as an artifact.
+ARTIFACT_DIRS = frozenset({"__pycache__", ".eggs", ".pytest_cache"})
+
+#: File suffixes of compiled / bytecode / native-build outputs.
+ARTIFACT_SUFFIXES = (
+    ".pyc",
+    ".pyo",
+    ".pyd",
+    ".so",
+    ".dylib",
+    ".o",
+    ".a",
+    ".whl",
+)
+
+#: Directory-name suffixes of packaging output (any path component).
+ARTIFACT_DIR_SUFFIXES = (".egg-info",)
+
+
+def is_artifact(path: str) -> bool:
+    """True when *path* (repo-relative, posix) is a build/bytecode artifact."""
+    pure = PurePosixPath(path)
+    if any(part in ARTIFACT_DIRS for part in pure.parts):
+        return True
+    if any(part.endswith(ARTIFACT_DIR_SUFFIXES) for part in pure.parts):
+        return True
+    return pure.name.endswith(ARTIFACT_SUFFIXES)
+
+
+def find_tracked_artifacts(paths: list[str]) -> list[str]:
+    """The subset of *paths* that must never be git-tracked, in order."""
+    return [path for path in paths if is_artifact(path)]
+
+
+def tracked_files() -> list[str]:
+    """Every git-tracked path (staged additions included) as posix strings."""
+    output = subprocess.run(
+        ["git", "ls-files", "-z"],
+        cwd=REPO_ROOT,
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    return [path for path in output.split("\0") if path]
+
+
+def main() -> int:
+    offenders = find_tracked_artifacts(tracked_files())
+    if offenders:
+        print(f"repo-check: {len(offenders)} tracked artifact(s)")
+        for path in offenders:
+            print(f"  git-tracked build/bytecode artifact -> {path}")
+        print("  (git rm --cached them; .gitignore already covers the patterns)")
+        return 1
+    print("repo-check: OK (no tracked build/bytecode artifacts)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
