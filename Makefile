@@ -10,11 +10,13 @@
 #   make bench-meta      - just the meta-training throughput benchmark
 #   make bench-precision - just the float32-vs-float64 precision benchmark
 #   make bench-dse       - just the cross-workload DSE campaign benchmark
+#                          (the speed-up band skips below 4 cores)
 #   make bench-runtime   - just the parallel campaign runtime benchmark
 #                          (skips on machines with fewer than 4 cores)
 #   make bench-kernels   - just the thread-parallel kernel benchmark
 #                          (skips on machines with fewer than 4 cores)
 #   make bench-pruning   - just the attention-guided pruning benchmark
+#   make bench-portfolio - just the strategy-portfolio quality benchmark
 #   make docs-check      - fail on dead intra-repo links / stale module refs
 #                          / uncataloged benchmarks/results JSONs
 #   make repo-check      - fail on git-tracked build/bytecode artifacts
@@ -23,7 +25,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test unit test-fast bench bench-meta bench-precision bench-dse bench-runtime bench-kernels bench-pruning docs-check repo-check examples
+.PHONY: test unit test-fast bench bench-meta bench-precision bench-dse bench-runtime bench-kernels bench-pruning bench-portfolio docs-check repo-check examples
 
 test: docs-check repo-check
 	$(PYTHON) -m pytest -x -q
@@ -58,6 +60,9 @@ bench-kernels:
 
 bench-pruning:
 	$(PYTHON) -m pytest benchmarks/test_pruning_throughput.py -q
+
+bench-portfolio:
+	$(PYTHON) -m pytest benchmarks/test_portfolio_quality.py -q
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

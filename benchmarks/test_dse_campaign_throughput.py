@@ -33,8 +33,10 @@ legacy hypervolume per workload.  The measured ratio is recorded in
 
 from __future__ import annotations
 
+import os
 
 import numpy as np
+import pytest
 
 from benchmarks.helpers import interleaved_best_of
 
@@ -76,6 +78,15 @@ PREDICTOR = dict(embed_dim=16, num_heads=2, num_layers=1, head_hidden=16)
 #: Minimum acceptable campaign speed-up over the sequential legacy round.
 MIN_SPEEDUP = 2.0
 
+#: Cores needed before the >= 2x band is reliably observable.  The claim is
+#: a *batching* speed-up, but on a 1-core box the interleaved timing arms
+#: contend with each other and the host for the single core, and the
+#: measured ratio is noise-dominated (the band failed spuriously there, see
+#: CHANGES PR 7) — the same guard bench-runtime and bench-kernels use.
+MIN_CORES = 4
+
+CORES = os.cpu_count() or 1
+
 #: Campaign fronts must retain at least this fraction of the legacy
 #: hypervolume (they share the measured union, so they are usually better).
 MIN_HV_FRACTION = 0.7
@@ -111,6 +122,11 @@ def _front_hypervolume_vs(reference_rows, rows):
     )
 
 
+@pytest.mark.multicore
+@pytest.mark.skipif(
+    CORES < MIN_CORES,
+    reason=f"campaign speed-up band needs >= {MIN_CORES} cores, have {CORES}",
+)
 def test_campaign_vs_sequential_legacy_speedup(record):
     """The batched cross-workload campaign must beat the legacy round >= 2x."""
     space = build_table1_space()

@@ -1,0 +1,161 @@
+"""Extended benchmark — strategy-portfolio quality versus fixed strategies.
+
+The pitch of :mod:`repro.dse.portfolio` (after SoberDSE's observation that
+no single exploration algorithm wins everywhere) is that a UCB bandit over
+strategy arms is a safe default: it should never do much worse than the
+*worst* fixed arm, and it should track the *best* fixed arm within a parity
+band — without knowing in advance which arm that is.  This benchmark runs
+the same multi-round refitting campaign over eight SPEC workloads three
+ways — fixed ``RandomPool``, fixed ``NSGA2Evolve``, and the two-arm
+portfolio — and compares the mean final hypervolume across workloads.
+
+Everything is seeded and noise-free, so the numbers are deterministic and
+the asserted bands are exact-repeatability guards, not statistical ones.
+The regenerated table lands in ``benchmarks/results/portfolio_quality.json``
+(run via ``make bench-portfolio``).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from repro.baselines.trees import GradientBoostingRegressor
+from repro.core.config import is_full_eval
+from repro.dse.engine import CampaignEngine, NSGA2Evolve, ObjectiveSet, RandomPool
+from repro.dse.portfolio import StrategyPortfolio
+from repro.dse.surrogates import TreeEnsembleSurrogate
+from repro.runtime.executors import SerialExecutor
+from repro.sim.simulator import Simulator
+
+WORKLOADS = (
+    "600.perlbench_s",
+    "602.gcc_s",
+    "605.mcf_s",
+    "620.omnetpp_s",
+    "625.x264_s",
+    "623.xalancbmk_s",
+    "638.imagick_s",
+    "644.nab_s",
+)
+
+POOL = 60 if is_full_eval() else 24
+ROUNDS = 6 if is_full_eval() else 4
+CAMPAIGN = dict(
+    simulation_budget=8 if is_full_eval() else 5,
+    rounds=ROUNDS,
+    initial_samples=10 if is_full_eval() else 6,
+    refit=True,
+)
+
+
+def make_engine() -> CampaignEngine:
+    simulator = Simulator(simpoint_phases=2, seed=7, evaluation_cache=True)
+    return CampaignEngine(
+        simulator.space,
+        simulator,
+        ObjectiveSet.from_names(("ipc", "power")),
+        seed=3,
+    )
+
+
+def surrogates():
+    factory = partial(GradientBoostingRegressor, n_estimators=20, max_depth=3, seed=0)
+    return {
+        workload: TreeEnsembleSurrogate(factory, ("ipc", "power"))
+        for workload in WORKLOADS
+    }
+
+
+def make_arms():
+    return {
+        "random": RandomPool(POOL, seed=9),
+        "nsga2": NSGA2Evolve(population_size=POOL, generations=6, seed=9),
+    }
+
+
+def _final_hypervolumes(campaign) -> dict[str, float]:
+    return {
+        workload: float(campaign[workload].hypervolume_history()[-1])
+        for workload in campaign.workloads
+    }
+
+
+def test_portfolio_tracks_the_best_fixed_arm(benchmark, record):
+    portfolio = StrategyPortfolio(make_arms())
+
+    def run_all():
+        results = {}
+        for name, generator in make_arms().items():
+            results[name] = make_engine().run_campaign(
+                WORKLOADS,
+                surrogates(),
+                generator=generator,
+                executor=SerialExecutor(),
+                **CAMPAIGN,
+            )
+        results["portfolio"] = make_engine().run_campaign(
+            WORKLOADS,
+            surrogates(),
+            generator=portfolio,
+            executor=SerialExecutor(),
+            **CAMPAIGN,
+        )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = {}
+    for name, campaign in results.items():
+        hypervolumes = _final_hypervolumes(campaign)
+        table[name] = {
+            "mean_final_hypervolume": float(np.mean(list(hypervolumes.values()))),
+            "per_workload": hypervolumes,
+            "total_simulations": int(campaign.total_simulations),
+        }
+
+    arm_means = {
+        name: table[name]["mean_final_hypervolume"] for name in make_arms()
+    }
+    portfolio_mean = table["portfolio"]["mean_final_hypervolume"]
+    best_name = max(arm_means, key=arm_means.get)
+    worst_name = min(arm_means, key=arm_means.get)
+    allocation = [
+        {key: entry[key] for key in ("workload", "round", "arm")}
+        for entry in portfolio.allocation_trace()
+    ]
+    record("portfolio_quality", {
+        "workloads": list(WORKLOADS),
+        "campaign": {k: int(v) if isinstance(v, int) else v for k, v in CAMPAIGN.items()},
+        "candidate_pool": POOL,
+        "methods": table,
+        "best_fixed_arm": best_name,
+        "worst_fixed_arm": worst_name,
+        "portfolio_allocation": allocation,
+    })
+
+    print(f"\nPortfolio quality over {len(WORKLOADS)} workloads "
+          f"({ROUNDS} rounds, budget {CAMPAIGN['simulation_budget']}/round)")
+    print(f"{'method':<12} {'mean final HV':>14} {'sims':>6}")
+    for name, row in table.items():
+        print(f"{name:<12} {row['mean_final_hypervolume']:>14.4f} "
+              f"{row['total_simulations']:>6d}")
+
+    for row in table.values():
+        assert np.isfinite(row["mean_final_hypervolume"])
+    # The safe-default bands: never meaningfully below the worst fixed arm,
+    # and within a 10 % parity band of the best fixed arm.
+    assert portfolio_mean >= 0.98 * arm_means[worst_name], (
+        f"portfolio {portfolio_mean:.4f} fell below the worst fixed arm "
+        f"{worst_name} ({arm_means[worst_name]:.4f})"
+    )
+    assert portfolio_mean >= 0.90 * arm_means[best_name], (
+        f"portfolio {portfolio_mean:.4f} outside the parity band of the best "
+        f"fixed arm {best_name} ({arm_means[best_name]:.4f})"
+    )
+    # Every workload warmed up through both arms before UCB took over.
+    for workload in WORKLOADS:
+        arms_played = [row["arm"] for row in allocation if row["workload"] == workload]
+        assert arms_played[:2] == ["random", "nsga2"]
+        assert len(arms_played) == ROUNDS

@@ -297,6 +297,8 @@ def cmd_dse(args: argparse.Namespace) -> int:
         focus = 0.5
     if focus is not None and not 0.0 < focus <= 1.0:
         raise SystemExit(f"--focus must be in (0, 1], got {focus}")
+    # --portfolio is shorthand for --strategy portfolio.
+    strategy = "portfolio" if args.portfolio else args.strategy
 
     if args.model_ipc or args.model_power:
         # MetaDSE facade path: adapt pre-trained predictors to every target
@@ -331,7 +333,9 @@ def cmd_dse(args: argparse.Namespace) -> int:
             objective_supports={"power": supports["power"]},
             candidate_pool=args.candidate_pool,
             simulation_budget=args.budget,
+            rounds=args.rounds,
             seed=args.seed,
+            strategy=strategy,
             jobs=args.jobs,
             executor=args.executor,
             checkpoint=args.checkpoint,
@@ -350,6 +354,21 @@ def cmd_dse(args: argparse.Namespace) -> int:
         # labels and drive the shared-pool campaign directly.  The factory
         # is a functools.partial (not a lambda) so the surrogates stay
         # picklable for --executor process.
+        from repro.dse.engine import NSGA2Evolve, RandomPool
+        from repro.dse.portfolio import StrategyPortfolio
+
+        generator = None
+        if strategy == "nsga2":
+            generator = NSGA2Evolve(seed=args.seed)
+        elif strategy == "portfolio":
+            # No focused arm here: tree surrogates expose no attention
+            # profile to focus on (docs/portfolio.md).
+            generator = StrategyPortfolio(
+                {
+                    "random": RandomPool(args.candidate_pool, seed=args.seed),
+                    "nsga2": NSGA2Evolve(seed=args.seed),
+                }
+            )
         objectives = ObjectiveSet.from_names(objective_names)
         factory = functools.partial(
             GradientBoostingRegressor, n_estimators=60, max_depth=3, seed=args.seed
@@ -379,8 +398,10 @@ def cmd_dse(args: argparse.Namespace) -> int:
                 campaign = engine.run_campaign(
                     workloads,
                     surrogates,
+                    generator=generator,
                     candidate_pool=args.candidate_pool,
                     simulation_budget=args.budget,
+                    rounds=args.rounds,
                     executor=executor,
                     checkpoint=args.checkpoint,
                 )
@@ -520,6 +541,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument("--budget", type=int, default=20, help="simulations per workload")
     dse.add_argument("--candidate-pool", type=int, default=500)
+    dse.add_argument(
+        "--rounds", type=int, default=1,
+        help="acquisition rounds per campaign (each screens a fresh pool)",
+    )
+    dse.add_argument(
+        "--strategy",
+        choices=("random", "nsga2", "portfolio"),
+        default="random",
+        help="candidate-generation strategy (docs/portfolio.md)",
+    )
+    dse.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="shorthand for --strategy portfolio (UCB bandit over strategy arms)",
+    )
     dse.add_argument(
         "--show-front", type=int, default=5,
         help="Pareto points printed per workload",

@@ -275,7 +275,9 @@ class MetaDSE(CrossWorkloadModel):
         maximize: "Optional[Mapping[str, bool]]" = None,
         candidate_pool: int = 1000,
         simulation_budget: int = 20,
+        rounds: int = 1,
         seed: int = 0,
+        strategy: str = "random",
         jobs: Optional[int] = None,
         executor: str = "thread",
         checkpoint=None,
@@ -317,9 +319,20 @@ class MetaDSE(CrossWorkloadModel):
         maximize:
             Optimisation sense per metric; defaults to ``ipc`` maximised,
             everything else minimised.
-        candidate_pool, simulation_budget, seed:
+        candidate_pool, simulation_budget, rounds, seed:
             Campaign knobs, forwarded to
             :meth:`~repro.dse.engine.CampaignEngine.run_campaign`.
+        strategy:
+            Candidate-generation strategy.  ``"random"`` (default) screens
+            shared random pools (or attention-pruned ones with ``focus``);
+            ``"nsga2"`` evolves each workload's pool with NSGA-II over its
+            surrogate (:class:`~repro.dse.engine.NSGA2Evolve`, keyed
+            per-``(workload, round)`` RNG streams); ``"portfolio"`` runs a
+            :class:`~repro.dse.portfolio.StrategyPortfolio` — a per-workload
+            UCB bandit over a random, a focused and an NSGA-II arm, scored
+            by hypervolume slope (``docs/portfolio.md``).  The portfolio's
+            warm-up plays each arm once, so give it ``rounds >= 3`` to get
+            past round-robin.
         jobs, executor:
             Parallel campaign runtime: with ``jobs=N`` the per-workload
             screening and the union-measure sweep run on an executor of
@@ -404,38 +417,72 @@ class MetaDSE(CrossWorkloadModel):
             screen_tile=screen_tile,
         )
 
-        generator = None
-        if focus is not None:
+        if focus is not None and not 0.0 < focus <= 1.0:
+            raise ValueError(f"focus must be in (0, 1], got {focus}")
+
+        def harvest_profile():
+            # One pooled profile for the campaign: probe once, harvest each
+            # workload's stacked surrogate, average.  Fixed-profile
+            # FocusedPool stays surrogate-independent, so the shared-pool
+            # fast path, the DAG runtime, and checkpoint resume all still
+            # apply.
             from repro.designspace.sampling import RandomSampler
-            from repro.dse.engine import FocusedPool
             from repro.meta.wam import merge_profiles
 
-            if not 0.0 < focus <= 1.0:
-                raise ValueError(f"focus must be in (0, 1], got {focus}")
-            profile = None
-            if focus < 1.0:
-                # One pooled profile for the shared cross-workload pool:
-                # probe once, harvest each workload's stacked surrogate,
-                # average.  Fixed-profile FocusedPool stays surrogate-
-                # independent, so the shared-pool fast path, the DAG
-                # runtime, and checkpoint resume all still apply.
-                probe = RandomSampler(simulator.space, seed=seed).sample(
-                    focus_probe
+            probe = RandomSampler(simulator.space, seed=seed).sample(focus_probe)
+            probe_features = engine.encoder.encode_batch(probe)
+            with self._thread_scope():
+                return merge_profiles(
+                    [
+                        surrogates[workload].attention_profile(probe_features)
+                        for workload in workloads
+                    ]
                 )
-                probe_features = engine.encoder.encode_batch(probe)
-                with self._thread_scope():
-                    profile = merge_profiles(
-                        [
-                            surrogates[workload].attention_profile(probe_features)
-                            for workload in workloads
-                        ]
-                    )
-            generator = FocusedPool(
-                candidate_pool,
-                keep_fraction=focus,
-                coarse_levels=focus_levels,
-                profile=profile,
-                refocus=False,
+
+        generator = None
+        if strategy == "random":
+            if focus is not None:
+                from repro.dse.engine import FocusedPool
+
+                generator = FocusedPool(
+                    candidate_pool,
+                    keep_fraction=focus,
+                    coarse_levels=focus_levels,
+                    profile=harvest_profile() if focus < 1.0 else None,
+                    refocus=False,
+                )
+        elif strategy == "nsga2":
+            from repro.dse.engine import NSGA2Evolve
+
+            if focus is not None:
+                raise ValueError(
+                    "focus= prunes candidate pools, which NSGA-II evolution "
+                    "does not sample; use strategy='portfolio' to combine them"
+                )
+            generator = NSGA2Evolve(seed=seed)
+        elif strategy == "portfolio":
+            from repro.dse.engine import FocusedPool, NSGA2Evolve, RandomPool
+            from repro.dse.portfolio import StrategyPortfolio
+
+            keep = focus if focus is not None else 0.5
+            generator = StrategyPortfolio(
+                {
+                    "random": RandomPool(candidate_pool, seed=seed),
+                    "focused": FocusedPool(
+                        candidate_pool,
+                        keep_fraction=keep,
+                        coarse_levels=focus_levels,
+                        profile=harvest_profile() if keep < 1.0 else None,
+                        refocus=False,
+                        seed=seed,
+                    ),
+                    "nsga2": NSGA2Evolve(seed=seed),
+                }
+            )
+        else:
+            raise ValueError(
+                f"unknown strategy {strategy!r}: expected 'random', 'nsga2' "
+                f"or 'portfolio'"
             )
 
         from repro.runtime.executors import resolve_executor
@@ -449,6 +496,7 @@ class MetaDSE(CrossWorkloadModel):
                     generator=generator,
                     candidate_pool=candidate_pool,
                     simulation_budget=simulation_budget,
+                    rounds=rounds,
                     executor=campaign_executor,
                     checkpoint=checkpoint,
                 )

@@ -42,6 +42,7 @@ from repro.dse.explorer import (
     PredictorGuidedExplorer,
 )
 from repro.dse.nsga2 import NSGA2Explorer, NSGA2Result, fast_non_dominated_sort
+from repro.dse.portfolio import StrategyPortfolio
 from repro.dse.pareto import (
     crowding_distance,
     hypervolume_2d,
@@ -51,7 +52,9 @@ from repro.dse.pareto import (
 )
 from repro.dse.quality import (
     adrs,
+    adrs_slope,
     hypervolume_ratio,
+    hypervolume_slope,
     monte_carlo_hypervolume,
     normalize_objectives,
     pareto_coverage,
@@ -78,6 +81,7 @@ __all__ = [
     "RandomPool",
     "FocusedPool",
     "NSGA2Evolve",
+    "StrategyPortfolio",
     "WorkloadCampaignResult",
     "AcquisitionContext",
     "AcquisitionStrategy",
@@ -98,8 +102,10 @@ __all__ = [
     "ActiveLearningResult",
     "ActiveLearningRound",
     "adrs",
+    "adrs_slope",
     "pareto_coverage",
     "hypervolume_ratio",
+    "hypervolume_slope",
     "monte_carlo_hypervolume",
     "normalize_objectives",
     "Constraint",

@@ -121,6 +121,16 @@ class CandidateGenerator(abc.ABC):
     #: cross-workload candidate pool in :meth:`CampaignEngine.run_campaign`).
     surrogate_dependent: bool = False
 
+    #: Whether :meth:`propose_for` is a pure function of the generator's
+    #: construction arguments and ``(workload, round_index)`` — invariant to
+    #: the executor, the shard count, and any proposals already made for
+    #: other workloads or rounds.  Rank-stable generators draw from keyed
+    #: per-``(workload, round)`` RNG streams (:func:`repro.utils.rng.
+    #: keyed_rng`) instead of a shared mutable one, which is what qualifies
+    #: them for the runtime's per-workload-pool parallel path
+    #: (``docs/runtime.md``) even when they are surrogate-dependent.
+    rank_stable: bool = False
+
     @abc.abstractmethod
     def propose(
         self,
@@ -130,15 +140,121 @@ class CandidateGenerator(abc.ABC):
     ) -> list[Configuration]:
         """Return the candidate pool for *round_index*."""
 
+    def propose_for(
+        self,
+        engine: "CampaignEngine",
+        surrogate: Optional[MultiObjectiveSurrogate],
+        workload: Optional[str],
+        round_index: int,
+    ) -> list[Configuration]:
+        """Return the candidate pool for ``(workload, round_index)``.
+
+        Workload-agnostic generators ignore the workload and delegate to
+        :meth:`propose`; rank-stable generators key their RNG stream on it.
+        ``engine`` may be a full :class:`CampaignEngine` or the light
+        :class:`ProposalContext` the parallel runtime ships to workers.
+        """
+        return self.propose(engine, surrogate, round_index)
+
+    def proposer_for(
+        self, workload: Optional[str], round_index: int
+    ) -> "CandidateGenerator":
+        """The generator that actually proposes for ``(workload, round)``.
+
+        Plain generators return themselves; :class:`~repro.dse.portfolio.
+        StrategyPortfolio` returns the bandit-selected arm so the parallel
+        runtime can ship only that arm (not the mutable bandit state) to
+        worker processes.
+        """
+        return self
+
+    def observe_round(
+        self, workload: str, round_index: int, tracker: "QualityTracker"
+    ) -> None:
+        """Hook called after *tracker* records ``(workload, round_index)``.
+
+        The default is a no-op; the strategy portfolio uses it to fold the
+        round's quality slope into its bandit state.  Callers must invoke it
+        in round order, once per ``(workload, round)``.
+        """
+
+
+@dataclass
+class ProposalContext:
+    """The slice of :class:`CampaignEngine` that candidate generation needs.
+
+    The parallel campaign runtime proposes pools inside worker jobs; shipping
+    the full engine would drag the simulator through pickling, so workers get
+    this context instead.  It duck-types the engine attributes every
+    generator's :meth:`~CandidateGenerator.propose_for` touches (``space``,
+    ``objectives``, ``encoder``; ``sampler`` stays ``None`` because only
+    rank-stable generators — which never touch the shared stream — run
+    through the per-workload-pool path).
+    """
+
+    space: DesignSpace
+    objectives: ObjectiveSet
+    encoder: OrdinalEncoder
+    sampler: Optional[BaseSampler] = None
+
 
 class RandomPool(CandidateGenerator):
-    """Uniform random candidate pool (the classic screening pool)."""
+    """Uniform random candidate pool (the classic screening pool).
 
-    def __init__(self, size: int, *, sampler: Optional[BaseSampler] = None) -> None:
+    By default every proposal draws from the engine's shared sampler stream
+    (or an explicit ``sampler=``), so successive rounds and workloads see
+    fresh but order-dependent pools.  With ``seed=`` the generator instead
+    draws each pool from a keyed per-``(workload, round)`` stream derived
+    from that seed — a pure function of ``(seed, workload, round_index)``,
+    which makes it :attr:`~CandidateGenerator.rank_stable` and eligible as a
+    strategy-portfolio arm.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        sampler: Optional[BaseSampler] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        from repro.utils.rng import seed_entropy
+
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
+        if seed is not None and sampler is not None:
+            raise ValueError("pass either seed= (keyed streams) or sampler=, not both")
         self.size = size
         self.sampler = sampler
+        self.seed_entropy = None if seed is None else seed_entropy(seed)
+        self.rank_stable = self.seed_entropy is not None
+
+    def fingerprint(self) -> str:
+        """Checkpoint descriptor: every knob that changes the proposals."""
+        mode = (
+            "shared-stream"
+            if self.seed_entropy is None
+            else f"entropy={self.seed_entropy}"
+        )
+        return f"RandomPool(size={self.size}, {mode})"
+
+    def _pool_sampler(
+        self,
+        engine: "CampaignEngine",
+        workload: Optional[str],
+        round_index: int,
+    ) -> BaseSampler:
+        if self.seed_entropy is not None:
+            from repro.utils.rng import keyed_rng
+
+            return RandomSampler(
+                engine.space,
+                seed=keyed_rng(
+                    self.seed_entropy,
+                    workload if workload is not None else "",
+                    round_index,
+                ),
+            )
+        return self.sampler if self.sampler is not None else engine.sampler
 
     def propose(
         self,
@@ -146,8 +262,16 @@ class RandomPool(CandidateGenerator):
         surrogate: Optional[MultiObjectiveSurrogate],
         round_index: int,
     ) -> list[Configuration]:
-        sampler = self.sampler if self.sampler is not None else engine.sampler
-        return sampler.sample(self.size)
+        return self._pool_sampler(engine, None, round_index).sample(self.size)
+
+    def propose_for(
+        self,
+        engine: "CampaignEngine",
+        surrogate: Optional[MultiObjectiveSurrogate],
+        workload: Optional[str],
+        round_index: int,
+    ) -> list[Configuration]:
+        return self._pool_sampler(engine, workload, round_index).sample(self.size)
 
 
 class FocusedPool(CandidateGenerator):
@@ -178,6 +302,10 @@ class FocusedPool(CandidateGenerator):
     ``tests/test_dse_pruning.py``).  ``fingerprint()`` feeds the runtime's
     checkpoint descriptor so resuming with different focus knobs is
     rejected instead of silently diverging.
+
+    As with :class:`RandomPool`, passing ``seed=`` switches pool sampling
+    to keyed per-``(workload, round)`` streams, making the generator
+    :attr:`~CandidateGenerator.rank_stable` (portfolio-arm eligible).
     """
 
     def __init__(
@@ -191,7 +319,10 @@ class FocusedPool(CandidateGenerator):
         probe_seed: SeedLike = 0,
         refocus: bool = True,
         sampler: Optional[BaseSampler] = None,
+        seed: SeedLike = None,
     ) -> None:
+        from repro.utils.rng import seed_entropy
+
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
         if not 0.0 < keep_fraction <= 1.0:
@@ -202,6 +333,8 @@ class FocusedPool(CandidateGenerator):
             raise ValueError(f"coarse_levels must be >= 1, got {coarse_levels}")
         if probe_size < 1:
             raise ValueError(f"probe_size must be >= 1, got {probe_size}")
+        if seed is not None and sampler is not None:
+            raise ValueError("pass either seed= (keyed streams) or sampler=, not both")
         self.size = size
         self.keep_fraction = float(keep_fraction)
         self.coarse_levels = int(coarse_levels)
@@ -210,14 +343,21 @@ class FocusedPool(CandidateGenerator):
         self.probe_seed = probe_seed
         self.refocus = bool(refocus)
         self.sampler = sampler
+        self.seed_entropy = None if seed is None else seed_entropy(seed)
+        self.rank_stable = self.seed_entropy is not None
 
     def fingerprint(self) -> str:
         """Checkpoint descriptor: every knob that changes the proposals."""
+        mode = (
+            "shared-stream"
+            if self.seed_entropy is None
+            else f"entropy={self.seed_entropy}"
+        )
         return (
             f"FocusedPool(size={self.size}, "
             f"keep_fraction={self.keep_fraction}, "
             f"coarse_levels={self.coarse_levels}, "
-            f"probe_size={self.probe_size}, refocus={self.refocus})"
+            f"probe_size={self.probe_size}, refocus={self.refocus}, {mode})"
         )
 
     def _scores(
@@ -248,6 +388,36 @@ class FocusedPool(CandidateGenerator):
         surrogate: Optional[MultiObjectiveSurrogate],
         round_index: int,
     ) -> list[Configuration]:
+        return self.propose_for(engine, surrogate, None, round_index)
+
+    def propose_for(
+        self,
+        engine: "CampaignEngine",
+        surrogate: Optional[MultiObjectiveSurrogate],
+        workload: Optional[str],
+        round_index: int,
+    ) -> list[Configuration]:
+        if self.seed_entropy is not None:
+            from repro.utils.rng import keyed_rng
+
+            # Keyed mode: a fresh stream per (workload, round) — the scores
+            # themselves are already deterministic (fixed profile, or a probe
+            # drawn from the private probe_seed stream).
+            rng = keyed_rng(
+                self.seed_entropy,
+                workload if workload is not None else "",
+                round_index,
+            )
+            if self.keep_fraction >= 1.0:
+                return RandomSampler(engine.space, seed=rng).sample(self.size)
+            focused = FocusedSampler(
+                engine.space,
+                self._scores(engine, surrogate),
+                keep_fraction=self.keep_fraction,
+                coarse_levels=self.coarse_levels,
+                seed=rng,
+            )
+            return focused.sample(self.size)
         sampler = self.sampler if self.sampler is not None else engine.sampler
         if self.keep_fraction >= 1.0:
             # Degenerate focus: consume the shared stream exactly like
@@ -326,8 +496,20 @@ class NSGA2Evolve(CandidateGenerator):
 
     Reuses :class:`~repro.dse.nsga2.NSGA2Explorer` wholesale; the final
     population (already concentrated around the predicted front) becomes
-    the screening pool.  Each round continues the generator's RNG stream,
-    so successive rounds evolve fresh populations.
+    the screening pool.  The RNG plumbing has two modes:
+
+    * **keyed streams** (``seed`` is an int / ``SeedSequence`` / ``None``,
+      the default): every proposal evolves from a fresh generator keyed on
+      ``(seed, workload, round_index)``, so the pool for one workload-round
+      is a pure function of those three values — invariant to the executor,
+      the shard count, and any evolution already run for other workloads.
+      This is the :attr:`~CandidateGenerator.rank_stable` mode the parallel
+      campaign runtime and the strategy portfolio require;
+    * **shared stream** (``seed`` is an existing ``numpy`` ``Generator``):
+      every proposal continues the caller's mutable stream, preserving the
+      pre-portfolio behaviour :class:`~repro.dse.explorer.
+      NSGA2GuidedExplorer` pins bitwise (it deliberately shares its
+      sampler's stream).  Order-dependent, hence not rank-stable.
     """
 
     surrogate_dependent = True
@@ -340,23 +522,42 @@ class NSGA2Evolve(CandidateGenerator):
         seed: SeedLike = 0,
         **nsga2_kwargs,
     ) -> None:
-        from repro.utils.rng import as_rng
+        from repro.utils.rng import seed_entropy
 
         self.population_size = population_size
         self.generations = generations
         self.nsga2_kwargs = nsga2_kwargs
-        self.rng = as_rng(seed)
+        if isinstance(seed, np.random.Generator):
+            self.seed_entropy = None
+            self.rng: Optional[np.random.Generator] = seed
+        else:
+            self.seed_entropy = seed_entropy(seed)
+            self.rng = None
+        self.rank_stable = self.seed_entropy is not None
 
-    def propose(
+    def fingerprint(self) -> str:
+        """Checkpoint descriptor: every knob that changes the proposals."""
+        mode = (
+            "shared-stream"
+            if self.seed_entropy is None
+            else f"entropy={self.seed_entropy}"
+        )
+        extras = "".join(
+            f", {key}={self.nsga2_kwargs[key]!r}" for key in sorted(self.nsga2_kwargs)
+        )
+        return (
+            f"NSGA2Evolve(population_size={self.population_size}, "
+            f"generations={self.generations}, {mode}{extras})"
+        )
+
+    def _evolve(
         self,
         engine: "CampaignEngine",
-        surrogate: Optional[MultiObjectiveSurrogate],
-        round_index: int,
+        surrogate: MultiObjectiveSurrogate,
+        rng: np.random.Generator,
     ) -> list[Configuration]:
         from repro.dse.nsga2 import NSGA2Explorer
 
-        if surrogate is None:
-            raise ValueError("NSGA2Evolve needs a surrogate to evolve against")
         shared = _SharedPrediction(surrogate)
         predictors = {
             name: shared.column(column)
@@ -366,7 +567,7 @@ class NSGA2Evolve(CandidateGenerator):
             engine.space,
             population_size=self.population_size,
             generations=self.generations,
-            seed=self.rng,
+            seed=rng,
             **self.nsga2_kwargs,
         )
         result = explorer.explore(
@@ -374,6 +575,35 @@ class NSGA2Evolve(CandidateGenerator):
             maximize=dict(zip(engine.objectives.names, engine.objectives.maximize)),
         )
         return result.configs
+
+    def propose(
+        self,
+        engine: "CampaignEngine",
+        surrogate: Optional[MultiObjectiveSurrogate],
+        round_index: int,
+    ) -> list[Configuration]:
+        return self.propose_for(engine, surrogate, None, round_index)
+
+    def propose_for(
+        self,
+        engine: "CampaignEngine",
+        surrogate: Optional[MultiObjectiveSurrogate],
+        workload: Optional[str],
+        round_index: int,
+    ) -> list[Configuration]:
+        if surrogate is None:
+            raise ValueError("NSGA2Evolve needs a surrogate to evolve against")
+        if self.seed_entropy is None:
+            rng = self.rng
+        else:
+            from repro.utils.rng import keyed_rng
+
+            rng = keyed_rng(
+                self.seed_entropy,
+                workload if workload is not None else "",
+                round_index,
+            )
+        return self._evolve(engine, surrogate, rng)
 
 
 # -- quality tracking ------------------------------------------------------------
@@ -388,6 +618,9 @@ class CampaignRound:
     #: Monte-Carlo sample count behind ``hypervolume`` (``0`` = exact 2-D
     #: sweep, or no indicator at all when ``hypervolume`` is NaN).
     hypervolume_samples: int = 0
+    #: Free-form strategy annotations — the strategy portfolio records the
+    #: bandit-selected arm name under ``"arm"`` (``docs/portfolio.md``).
+    extras: dict = field(default_factory=dict)
 
 
 def front_hypervolume(
@@ -719,7 +952,7 @@ class CampaignEngine:
             if refit:
                 surrogate.fit(known_features, measured)
 
-            candidates = generator.propose(self, surrogate, round_index)
+            candidates = generator.propose_for(self, surrogate, workload, round_index)
             features = self.encoder.encode_batch(candidates)
             predicted = screen_predict(surrogate, features, self.screen_tile)
             predicted_min = self.objectives.to_minimization(predicted)
@@ -740,11 +973,15 @@ class CampaignEngine:
             last_selected = selected
             last_predicted = predicted
             if tracker is not None:
-                tracker.record(
+                entry = tracker.record(
                     round_index,
                     self.objectives.to_minimization(measured),
                     len(simulated),
                 )
+                arm_for = getattr(generator, "arm_for", None)
+                if arm_for is not None:
+                    entry.extras["arm"] = arm_for(workload, round_index)
+                generator.observe_round(workload, round_index, tracker)
 
         measured_min = self.objectives.to_minimization(measured)
         # The tracker already computed the final front when it recorded the
@@ -800,7 +1037,12 @@ class CampaignEngine:
 
         Multi-round / refitting / surrogate-dependent-generator campaigns
         fall back to per-workload :meth:`run` loops, which still share the
-        simulator's phase tables and evaluation cache.
+        simulator's phase tables and evaluation cache.  Rank-stable
+        generators (seeded pools, ``NSGA2Evolve``, ``StrategyPortfolio``)
+        never fall back: they always run the runtime's per-workload-pool
+        rounds — on a :class:`~repro.runtime.executors.SerialExecutor`
+        when no executor is given — so ``executor``/``jobs`` change
+        throughput but never the campaign outcome.
 
         With an *executor* (:mod:`repro.runtime.executors`) and/or a
         *checkpoint* path, the campaign is dispatched through the parallel
@@ -812,9 +1054,27 @@ class CampaignEngine:
         :class:`~repro.runtime.executors.SerialExecutor` reference (which
         itself reproduces the single-round shared-pool path exactly).
         Multi-round/refit campaigns keep the shared-pool-per-round
-        structure there instead of falling back to per-workload loops;
-        surrogate-dependent generators are rejected.
+        structure there instead of falling back to per-workload loops.
+        Rank-stable generators (seeded pools, ``NSGA2Evolve``,
+        :class:`~repro.dse.portfolio.StrategyPortfolio`) run the runtime's
+        per-workload-pool mode instead — pools proposed inside the screen
+        jobs from keyed pure RNG streams; surrogate-dependent generators
+        that are *not* rank-stable are rejected there.
         """
+        if (
+            executor is None
+            and checkpoint is None
+            and generator is not None
+            and generator.rank_stable
+        ):
+            # Rank-stable generators define their campaign semantics on the
+            # runtime's per-workload-pool rounds (keyed pools, union
+            # measure — docs/portfolio.md): run them there even without an
+            # executor, so `jobs=N` changes throughput but never the
+            # outcome.
+            from repro.runtime.executors import SerialExecutor
+
+            executor = SerialExecutor()
         if executor is not None or checkpoint is not None:
             from repro.runtime.campaign import run_campaign_runtime
 

@@ -13,6 +13,9 @@ exhaustively simulating a candidate pool):
 * :func:`monte_carlo_hypervolume` — seeded Monte-Carlo estimate of the
   dominated hypervolume at *any* objective count (the exact sweep in
   :func:`repro.dse.pareto.hypervolume_2d` only covers two objectives);
+* :func:`hypervolume_slope` / :func:`adrs_slope` — per-round improvement
+  rate of a quality series, the reward signal the strategy portfolio's
+  bandit consumes (see :mod:`repro.dse.portfolio`);
 * :func:`normalize_objectives` — min-max scaling shared by the above so
   objectives with different units contribute equally.
 
@@ -21,6 +24,8 @@ All functions expect minimisation objectives; use
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -141,6 +146,50 @@ def monte_carlo_hypervolume(
             np.all(front[None, :, :] <= block[:, None, :], axis=2), axis=1
         )
     return volume * float(dominated.mean())
+
+
+def _finite_slope(values: np.ndarray, *, window: int | None, sign: float) -> float:
+    """Mean of finite consecutive deltas over the trailing *window* rounds.
+
+    Non-finite entries (e.g. the NaN hypervolume recorded for single-point
+    fronts) void the deltas they touch; with fewer than two finite points in
+    the window the slope is 0.0 — a neutral reward, never NaN.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"quality series must be 1-D, got shape {values.shape}")
+    if window is not None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        # A window of w rounds spans w deltas, i.e. w + 1 trailing values.
+        values = values[-(window + 1) :]
+    if values.shape[0] < 2:
+        return 0.0
+    deltas = np.diff(values)
+    finite = np.isfinite(deltas)
+    if not np.any(finite):
+        return 0.0
+    return sign * float(np.mean(deltas[finite]))
+
+
+def hypervolume_slope(values: Sequence[float], *, window: int | None = None) -> float:
+    """Per-round hypervolume improvement rate (higher is better).
+
+    *values* is a hypervolume history as recorded by ``QualityTracker``
+    (one entry per round, possibly NaN).  Returns the mean finite
+    round-over-round delta, restricted to the trailing *window* rounds when
+    given; 0.0 when the series is too short or too NaN-ridden to measure.
+    """
+    return _finite_slope(np.asarray(values, dtype=np.float64), window=window, sign=1.0)
+
+
+def adrs_slope(values: Sequence[float], *, window: int | None = None) -> float:
+    """Per-round ADRS improvement rate, negated so higher is better.
+
+    ADRS decreases as the front improves, so the reward is the negative mean
+    delta: a strategy that cuts ADRS by 0.1 per round scores +0.1.
+    """
+    return _finite_slope(np.asarray(values, dtype=np.float64), window=window, sign=-1.0)
 
 
 def hypervolume_ratio(

@@ -28,21 +28,40 @@ campaigns are **bitwise identical** to the
 reproduces the legacy single-round shared-pool path exactly
 (``tests/test_runtime_equivalence.py``).
 
+Rank-stable generators (``NSGA2Evolve`` and ``RandomPool``/``FocusedPool``
+constructed with ``seed=``, and :class:`~repro.dse.portfolio.
+StrategyPortfolio` over such arms) run a second mode, **per-workload
+pools**: each screen job *proposes its own workload's pool inside the
+worker* — drawing from keyed per-``(workload, round)`` RNG streams that
+are a pure function of the generator's seed, so there is no shared
+mutable stream sharding could reorder — and the measure join unions the
+selected *configurations* (deduplicated in fixed workload order) before
+the one sweep.  This is what admits surrogate-dependent strategies
+(NSGA-II evolution needs the round's surrogate, which lives in the screen
+job) to the parallel path; only surrogate-dependent generators with a
+shared mutable stream (``NSGA2Evolve`` seeded with an existing numpy
+``Generator``) remain rejected.  See ``docs/runtime.md`` and
+``docs/portfolio.md``.
+
 Resume: with a ``checkpoint`` path, every completed round is persisted
 (:mod:`repro.runtime.checkpoint`); a restarted campaign replays only the
 cheap sampling steps of completed rounds (keeping RNG streams aligned),
 restores their measurements from disk, and continues with the first
-unfinished round.  Every restored round is cross-checked against the
-replay — the stored union configurations must re-derive from the replayed
-pool (and the initial samples must match outright), so an engine rebuilt
-with the wrong seed raises :class:`CheckpointMismatchError` instead of
-silently returning another campaign's results.  The *final* round, when
-restored, additionally re-runs its (simulation-free) screening step so
-``predicted`` is populated and the stored selections are verified — a
-fully resumed campaign is indistinguishable from an uninterrupted one.
-Surrogate-dependent generators (``NSGA2Evolve``) are rejected: they
-consume per-workload RNG inside ``propose``, which has no shared
-per-round pool to replay.
+unfinished round.  Every restored shared-pool round is cross-checked
+against the replay — the stored union configurations must re-derive from
+the replayed pool (and the initial samples must match outright), so an
+engine rebuilt with the wrong seed raises :class:`CheckpointMismatchError`
+instead of silently returning another campaign's results.  The *final*
+round, when restored, additionally re-runs its (simulation-free)
+screening step so ``predicted`` is populated and the stored selections
+are verified — a fully resumed campaign is indistinguishable from an
+uninterrupted one.  Per-workload-pool rounds have no parent-side stream
+to advance: their generator seeds live in the campaign fingerprint (via
+``fingerprint()``), strategy-portfolio campaigns additionally persist the
+bandit-selected arm per workload (``RoundRecord.arms``) and a resume
+replays the bandit from the restored quality histories and cross-checks
+its selections, and the final restored round re-proposes and re-screens
+exactly like the shared-pool mode.
 """
 
 from __future__ import annotations
@@ -100,6 +119,51 @@ def _screen_workload(
     )
     selected = acquisition.select(predicted_min, budget, context)
     return [int(i) for i in selected], predicted
+
+
+def _propose_screen_workload(
+    proposer,
+    context,
+    surrogate,
+    workload: str,
+    round_index: int,
+    known_features: Optional[np.ndarray],
+    known_targets: Optional[np.ndarray],
+    objectives,
+    acquisition,
+    budget: int,
+    refit: bool,
+    screen_tile: Optional[int] = None,
+) -> tuple[list, np.ndarray, int]:
+    """One workload's refit/propose/screen/select step (per-workload pools).
+
+    The per-workload-pool twin of :func:`_screen_workload`: the pool is
+    proposed *inside the job* because rank-stable proposers draw it from a
+    keyed pure stream (no shared state) and surrogate-dependent ones need
+    the freshly refit surrogate.  Refit precedes proposal, mirroring
+    :meth:`repro.dse.engine.CampaignEngine.run`.  *proposer* is the
+    generator itself — or, for a strategy portfolio, the bandit-selected
+    arm (the parent resolves :meth:`~repro.dse.engine.CandidateGenerator.
+    proposer_for` before submitting, so workers never touch bandit state).
+    Returns the selected configurations, the full-pool predictions and the
+    pool size.
+    """
+    from repro.dse.engine import screen_predict
+
+    if refit:
+        surrogate.fit(known_features, known_targets)
+    candidates = proposer.propose_for(context, surrogate, workload, round_index)
+    features = context.encoder.encode_batch(candidates)
+    predicted = screen_predict(surrogate, features, screen_tile)
+    predicted_min = objectives.to_minimization(predicted)
+    acquisition_context = AcquisitionContext(
+        features=features,
+        known_features=known_features,
+        surrogate=surrogate,
+        objectives=objectives,
+    )
+    selected = acquisition.select(predicted_min, budget, acquisition_context)
+    return [candidates[int(i)] for i in selected], predicted, len(candidates)
 
 
 def _describe_generator(generator) -> str:
@@ -162,11 +226,18 @@ def run_campaign_runtime(
     )
     executor = executor if executor is not None else SerialExecutor()
     generator = generator if generator is not None else RandomPool(candidate_pool)
-    if generator.surrogate_dependent:
+    # Mode selection: rank-stable generators propose per workload inside the
+    # screen jobs (keyed pure streams); everything else screens one shared
+    # pool proposed in the parent.  Surrogate-dependent generators without
+    # rank-stability have neither a shared pool to replay nor pure streams
+    # to shard, so they cannot run (or resume) deterministically here.
+    per_workload_pools = bool(getattr(generator, "rank_stable", False))
+    if generator.surrogate_dependent and not per_workload_pools:
         raise ValueError(
             f"the parallel campaign runtime needs a surrogate-independent "
-            f"generator (one shared pool per round); "
-            f"{type(generator).__name__} proposes per workload — use the "
+            f"or rank-stable generator; {type(generator).__name__} proposes "
+            f"per workload from a shared mutable RNG stream — seed it with "
+            f"an int (keyed per-(workload, round) streams) or use the "
             f"serial run_campaign path (executor=None, checkpoint=None)"
         )
     acquisition = acquisition if acquisition is not None else ParetoRankAcquisition()
@@ -236,6 +307,8 @@ def run_campaign_runtime(
         workload: None for workload in workloads
     }
     candidates_screened = 0
+    screened_by_workload = {workload: 0 for workload in workloads}
+    arm_for = getattr(generator, "arm_for", None)
 
     def measure_union(union_configs: list) -> dict[str, np.ndarray]:
         sweep = engine.simulator.run_sweep(union_configs, workloads, executor=executor)
@@ -259,10 +332,19 @@ def run_campaign_runtime(
                     offset + int(position)
                     for position in record.selections[workload]
                 ]
-                trackers[workload].record(
+                entry = trackers[workload].record(
                     record.round_index,
                     objectives.to_minimization(measured[workload]),
                     len(simulated),
+                )
+                if record.arms:
+                    entry.extras["arm"] = record.arms[workload]
+        if record.round_index >= 0:
+            # Parent-side, in round order — fresh and restored rounds alike,
+            # so a resumed bandit replays into the same state bitwise.
+            for workload in workloads:
+                generator.observe_round(
+                    workload, record.round_index, trackers[workload]
                 )
 
     # -- initial samples (round -1): measured on every workload ---------------
@@ -288,7 +370,68 @@ def run_campaign_runtime(
                 ckpt.record_round(record)
         absorb(record)
 
-    # -- rounds -----------------------------------------------------------------
+    # -- rounds (per-workload-pool mode) ----------------------------------------
+    from repro.dse.engine import ProposalContext
+
+    proposal_context = ProposalContext(
+        space=engine.space, objectives=objectives, encoder=engine.encoder
+    )
+
+    def config_key(config) -> tuple:
+        return tuple(sorted(config.items()))
+
+    def make_propose_jobs(round_index: int) -> list[Job]:
+        known_features = (
+            engine.encoder.encode_batch(simulated) if simulated else None
+        )
+        return [
+            Job(
+                f"screen:{workload}@round{round_index}",
+                _propose_screen_workload,
+                args=(
+                    generator.proposer_for(workload, round_index),
+                    proposal_context,
+                    surrogate_by_workload[workload],
+                    workload,
+                    round_index,
+                    known_features,
+                    measured[workload] if refit else None,
+                    objectives,
+                    acquisition,
+                    simulation_budget,
+                    refit,
+                    engine.screen_tile,
+                ),
+            )
+            for workload in workloads
+        ]
+
+    def union_of(screen_jobs: list[Job], screen_results: dict):
+        """Dedup-union the per-workload picks in fixed workload order.
+
+        Workload order (not arrival order) keys the union, so the result is
+        independent of the executor and of which screen job finished first.
+        """
+        union_configs: list = []
+        position: dict[tuple, int] = {}
+        selections: dict[str, list[int]] = {}
+        pool_sizes: dict[str, int] = {}
+        predicted: dict[str, np.ndarray] = {}
+        for workload, job in zip(workloads, screen_jobs):
+            picks, job_predicted, pool_size = screen_results[job.name]
+            offsets = []
+            for config in picks:
+                key = config_key(config)
+                if key not in position:
+                    position[key] = len(union_configs)
+                    union_configs.append(config)
+                offsets.append(position[key])
+            selections[workload] = offsets
+            pool_sizes[workload] = int(pool_size)
+            predicted[workload] = job_predicted
+        return union_configs, selections, pool_sizes, predicted
+
+    # -- rounds (shared-pool mode) ----------------------------------------------
     def make_screen_jobs(round_index: int, features: np.ndarray) -> list[Job]:
         known_features = (
             engine.encoder.encode_batch(simulated) if simulated else None
@@ -313,6 +456,97 @@ def run_campaign_runtime(
         ]
 
     for round_index in range(rounds):
+        if per_workload_pools:
+            # Bandit selections are resolved parent-side from the state
+            # accumulated over rounds < round_index (arm_for is pure), so
+            # workers never touch — and cannot race on — bandit state.
+            arms_map = (
+                {
+                    workload: arm_for(workload, round_index)
+                    for workload in workloads
+                }
+                if arm_for is not None
+                else {}
+            )
+            record = completed.get(round_index)
+            if record is not None:
+                if arm_for is not None and record.arms != arms_map:
+                    raise CheckpointMismatchError(
+                        f"replayed bandit arms for round {round_index} "
+                        f"({arms_map}) do not match the checkpoint "
+                        f"({record.arms}) — the campaign was resumed with a "
+                        f"different portfolio or quality signal"
+                    )
+                for workload in workloads:
+                    screened_by_workload[workload] += record.pool_sizes.get(
+                        workload, 0
+                    )
+                if round_index == rounds - 1:
+                    # Final round restored: re-propose and re-screen
+                    # (simulation-free — proposals come from keyed pure
+                    # streams) so `predicted` is populated and the stored
+                    # union and selections verify.
+                    screen_jobs = make_propose_jobs(round_index)
+                    results = run_jobs(screen_jobs, executor)
+                    union_configs, selections, _, predicted = union_of(
+                        screen_jobs, results
+                    )
+                    if (
+                        union_configs != record.union_configs
+                        or selections != record.selections
+                    ):
+                        raise CheckpointMismatchError(
+                            f"re-proposed pools for round {round_index} do "
+                            f"not reproduce the checkpointed union — the "
+                            f"campaign was resumed with different generator "
+                            f"seeds, surrogates or acquisition settings"
+                        )
+                    for workload in workloads:
+                        last_predicted[workload] = predicted[workload]
+                absorb(record)
+                continue
+
+            screen_jobs = make_propose_jobs(round_index)
+
+            def propose_measure_join(screen_results: dict):
+                union_configs, selections, pool_sizes, predicted = union_of(
+                    screen_jobs, screen_results
+                )
+                return (
+                    union_configs,
+                    selections,
+                    pool_sizes,
+                    predicted,
+                    measure_union(union_configs),
+                )
+
+            measure_job = Job(
+                f"measure@round{round_index}",
+                propose_measure_join,
+                deps=screen_jobs,
+                inline=True,  # it fans its own sweep shards out to the executor
+                pass_results=True,
+            )
+            results = run_jobs([measure_job], executor)
+            union_configs, selections, pool_sizes, predicted, union_rows = (
+                results[measure_job.name]
+            )
+            for workload in workloads:
+                last_predicted[workload] = predicted[workload]
+                screened_by_workload[workload] += pool_sizes[workload]
+            record = RoundRecord(
+                round_index=round_index,
+                union_configs=union_configs,
+                selections=selections,
+                measured=union_rows,
+                arms=dict(arms_map),
+                pool_sizes=pool_sizes,
+            )
+            if ckpt is not None:
+                ckpt.record_round(record)
+            absorb(record)
+            continue
+
         # Propose even for restored rounds: the generator's RNG stream must
         # advance exactly as in an uninterrupted run.
         candidates = generator.propose(engine, None, round_index)
@@ -401,6 +635,10 @@ def run_campaign_runtime(
         absorb(record)
 
     # -- assemble ---------------------------------------------------------------
+    if per_workload_pools:
+        # No shared pool: each workload screened its own pools, and the
+        # campaign-level figure is their total.
+        candidates_screened = sum(screened_by_workload.values())
     per_workload = {}
     for workload in workloads:
         tracker = trackers[workload]
@@ -411,7 +649,11 @@ def run_campaign_runtime(
             measured_objectives=measured[workload],
             pareto_indices=tracker.last_front_indices,
             simulations_used=len(simulated),
-            candidates_screened=candidates_screened,
+            candidates_screened=(
+                screened_by_workload[workload]
+                if per_workload_pools
+                else candidates_screened
+            ),
             rounds=tracker.rounds,
             selected_indices=last_selected[workload],
             predicted=last_predicted[workload],

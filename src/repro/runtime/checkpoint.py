@@ -63,9 +63,19 @@ class RoundRecord:
     #: catches an engine rebuilt with the wrong seed for *every* campaign
     #: shape, including the default single-round one.
     union_pool_indices: list[int] = field(default_factory=list)
+    #: Per-workload strategy-arm names (strategy-portfolio campaigns only;
+    #: empty otherwise).  On resume the driver replays the bandit and
+    #: cross-checks its selections against these — the guard that catches a
+    #: portfolio rebuilt with different arms or bandit knobs.
+    arms: dict[str, str] = field(default_factory=dict)
+    #: Per-workload candidate-pool sizes (per-workload-pool campaigns only;
+    #: empty for shared-pool rounds, whose pool replays from the sampler).
+    #: Restores the ``candidates_screened`` accounting without re-proposing
+    #: restored rounds.
+    pool_sizes: dict[str, int] = field(default_factory=dict)
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "round_index": self.round_index,
             "union_configs": [
                 {name: _jsonify(value) for name, value in config.items()}
@@ -81,6 +91,15 @@ class RoundRecord:
                 for workload, rows in self.measured.items()
             },
         }
+        if self.arms:
+            payload["arms"] = {
+                workload: str(arm) for workload, arm in self.arms.items()
+            }
+        if self.pool_sizes:
+            payload["pool_sizes"] = {
+                workload: int(size) for workload, size in self.pool_sizes.items()
+            }
+        return payload
 
     @classmethod
     def from_json(cls, payload: Mapping) -> "RoundRecord":
@@ -96,6 +115,14 @@ class RoundRecord:
                 for workload, rows in payload["measured"].items()
             },
             union_pool_indices=[int(i) for i in payload["union_pool_indices"]],
+            arms={
+                workload: str(arm)
+                for workload, arm in payload.get("arms", {}).items()
+            },
+            pool_sizes={
+                workload: int(size)
+                for workload, size in payload.get("pool_sizes", {}).items()
+            },
         )
 
 

@@ -529,8 +529,17 @@ class Simulator:
             ipc_phases[row] = performance.ipc
             power_phases[row] = power.total_power_w
 
-        ipc = weights @ ipc_phases
-        power_w = weights @ power_phases
+        # Weighted SimPoint aggregation as an elementwise multiply + axis-0
+        # reduction rather than ``weights @ phases``: BLAS gemv picks
+        # different kernels by column count, so the matmul's per-config
+        # result could change in ULPs with the batch size — breaking the
+        # bitwise partition-invariance contract (a config's labels must not
+        # depend on which shard or batch it was evaluated in; see
+        # docs/runtime.md).  The elementwise form touches each column
+        # independently, so any split of the batch reproduces the full
+        # batch exactly.
+        ipc = (weights[:, None] * ipc_phases).sum(axis=0)
+        power_w = (weights[:, None] * power_phases).sum(axis=0)
         if self.noise_std > 0:
             # Draw per-config (ipc, power) noise pairs in row-major order so
             # the stream matches the legacy one-pair-per-run() consumption.

@@ -235,6 +235,50 @@ class TestDseCampaign:
             assert entry["pareto_front"]
             assert len(entry["hypervolume_curve"]) == 1
 
+    def test_portfolio_campaign_multi_round(self, dataset_path, tmp_path):
+        # --portfolio on the tree-surrogate path: a two-arm (random/nsga2)
+        # UCB bandit per workload, one hypervolume point per round.
+        output = tmp_path / "campaign_portfolio.json"
+        exit_code = main(
+            [
+                "dse",
+                "--dataset", str(dataset_path),
+                "--workloads", "605.mcf_s", "620.omnetpp_s",
+                "--budget", "4",
+                "--candidate-pool", "30",
+                "--phases", "1",
+                "--rounds", "3",
+                "--portfolio",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        for entry in payload["workloads"].values():
+            assert entry["front_size"] >= 1
+            assert len(entry["hypervolume_curve"]) == 3
+
+    def test_nsga2_strategy_campaign(self, dataset_path, tmp_path):
+        output = tmp_path / "campaign_nsga2.json"
+        exit_code = main(
+            [
+                "dse",
+                "--dataset", str(dataset_path),
+                "--workloads", "605.mcf_s",
+                "--budget", "4",
+                "--candidate-pool", "30",
+                "--phases", "1",
+                "--rounds", "2",
+                "--strategy", "nsga2",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        entry = payload["workloads"]["605.mcf_s"]
+        assert entry["front_size"] >= 1
+        assert len(entry["hypervolume_curve"]) == 2
+
     def test_model_flags_must_come_together(self, dataset_path):
         with pytest.raises(SystemExit):
             main(

@@ -264,6 +264,49 @@ class TestMetaDSEExplore:
                 objectives={"power": pretrained_power},
             )
 
+    def test_explore_portfolio_strategy_allocates_arms(
+        self, pretrained, pretrained_power, small_dataset, fast_simulator
+    ):
+        # strategy="portfolio" drives the facade's three-arm UCB bandit
+        # (random/focused/nsga2 — docs/portfolio.md); rounds=3 exactly covers
+        # the warm-up rotation, so every arm must appear once, in
+        # registration order, in the per-round annotations.
+        workloads = ("605.mcf_s", "620.omnetpp_s")
+        campaign = pretrained.explore(
+            fast_simulator,
+            self._supports(small_dataset, workloads, "ipc"),
+            objectives={"power": pretrained_power},
+            objective_supports={
+                "power": self._supports(small_dataset, workloads, "power")
+            },
+            candidate_pool=40,
+            simulation_budget=4,
+            rounds=3,
+            seed=0,
+            strategy="portfolio",
+        )
+        for workload in workloads:
+            result = campaign[workload]
+            assert len(result.hypervolume_history()) == 3
+            arms = [
+                entry.extras["arm"]
+                for entry in result.rounds
+                if entry.round_index >= 0
+            ]
+            assert arms == ["random", "focused", "nsga2"]
+            assert len(result.pareto_indices) >= 1
+
+    def test_explore_rejects_unknown_strategy(
+        self, pretrained, small_dataset, fast_simulator
+    ):
+        workloads = ("605.mcf_s",)
+        with pytest.raises(ValueError, match="unknown strategy"):
+            pretrained.explore(
+                fast_simulator,
+                self._supports(small_dataset, workloads, "ipc"),
+                strategy="simulated-annealing",
+            )
+
     def test_explore_with_jobs_matches_serial_bitwise(
         self, pretrained, pretrained_power, small_dataset, fast_simulator
     ):

@@ -1,0 +1,396 @@
+"""Portfolio-equivalence property suite (``docs/portfolio.md``).
+
+The strategy portfolio's whole value proposition rests on determinism:
+rank-stable generators propose per-``(seed, workload, round)`` keyed pools,
+so NSGA-II and bandit-portfolio campaigns run on the parallel campaign
+runtime **bitwise identical** to the serial reference, survive kill/resume
+with the bandit state replayed exactly, and a degenerate one-arm portfolio
+collapses to the underlying fixed strategy.  These tests pin all three
+properties, plus the RNG-purity contract they stand on:
+``NSGA2Evolve.propose_for`` is a pure function of
+``(campaign seed, workload, round)`` — invariant to the executor, the
+shard count, and any evolution already run for other workloads.
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.baselines.trees import GradientBoostingRegressor
+from repro.dse.engine import CampaignEngine, NSGA2Evolve, ObjectiveSet, RandomPool
+from repro.dse.portfolio import StrategyPortfolio
+from repro.dse.surrogates import CallableSurrogate, TreeEnsembleSurrogate
+from repro.runtime.checkpoint import CampaignCheckpoint, CheckpointMismatchError
+from repro.runtime.dag import JobFailedError
+from repro.runtime.executors import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.sim.simulator import Simulator
+
+WORKLOADS = ("605.mcf_s", "625.x264_s")
+
+CAMPAIGN = dict(
+    simulation_budget=4,
+    rounds=3,
+    initial_samples=5,
+    refit=True,
+)
+
+
+def make_engine(seed=5) -> CampaignEngine:
+    simulator = Simulator(simpoint_phases=2, seed=11, evaluation_cache=True)
+    return CampaignEngine(
+        simulator.space,
+        simulator,
+        ObjectiveSet.from_names(("ipc", "power")),
+        seed=seed,
+    )
+
+
+def tree_surrogates():
+    factory = partial(GradientBoostingRegressor, n_estimators=6, max_depth=2, seed=0)
+    return {
+        workload: TreeEnsembleSurrogate(factory, ("ipc", "power"))
+        for workload in WORKLOADS
+    }
+
+
+def make_nsga2(seed=7) -> NSGA2Evolve:
+    return NSGA2Evolve(population_size=16, generations=3, seed=seed)
+
+
+def make_portfolio(seed=7) -> StrategyPortfolio:
+    # Two arms + three rounds: rounds 0/1 are the warm-up rotation, round 2
+    # is a real UCB1 decision — the bandit statistics are load-bearing.
+    return StrategyPortfolio(
+        {"random": RandomPool(20, seed=seed), "nsga2": make_nsga2(seed)}
+    )
+
+
+GENERATORS = {"nsga2": make_nsga2, "portfolio": make_portfolio}
+
+
+def run_reference(kind):
+    return make_engine().run_campaign(
+        WORKLOADS,
+        tree_surrogates(),
+        generator=GENERATORS[kind](),
+        executor=SerialExecutor(),
+        **CAMPAIGN,
+    )
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Serial-runtime reference campaign per generator kind, computed once."""
+    return {kind: run_reference(kind) for kind in GENERATORS}
+
+
+def assert_campaigns_bitwise_equal(reference, candidate):
+    assert reference.workloads == candidate.workloads
+    assert reference.candidates_screened == candidate.candidates_screened
+    assert reference.total_simulations == candidate.total_simulations
+    for workload in reference.workloads:
+        ref, got = reference[workload], candidate[workload]
+        np.testing.assert_array_equal(ref.measured_objectives, got.measured_objectives)
+        np.testing.assert_array_equal(ref.pareto_indices, got.pareto_indices)
+        assert ref.selected_indices == got.selected_indices
+        assert ref.simulated_configs == got.simulated_configs
+        assert ref.hypervolume_history() == got.hypervolume_history()
+        np.testing.assert_array_equal(ref.predicted, got.predicted)
+        # The bandit's arm annotations travel with the rounds — a parallel
+        # or resumed campaign must replay the exact same allocation.
+        assert [entry.extras for entry in ref.rounds] == [
+            entry.extras for entry in got.rounds
+        ]
+
+
+def _executor_factories():
+    return [
+        pytest.param(partial(executor_cls, jobs), id=f"{name}{jobs}")
+        for name, executor_cls in (
+            ("thread", ThreadExecutor),
+            ("process", ProcessExecutor),
+        )
+        for jobs in (1, 2, 4)
+    ]
+
+
+# -- (a) parallel == serial ----------------------------------------------------------
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("make_executor", _executor_factories())
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_campaign_bitwise_across_executors(self, references, kind, make_executor):
+        with make_executor() as executor:
+            parallel = make_engine().run_campaign(
+                WORKLOADS,
+                tree_surrogates(),
+                generator=GENERATORS[kind](),
+                executor=executor,
+                **CAMPAIGN,
+            )
+        assert_campaigns_bitwise_equal(references[kind], parallel)
+
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_no_executor_matches_serial_reference(self, references, kind):
+        # Rank-stable generators route through the runtime's
+        # per-workload-pool rounds even with executor=None: passing jobs=N
+        # must change throughput, never the campaign outcome.
+        campaign = make_engine().run_campaign(
+            WORKLOADS,
+            tree_surrogates(),
+            generator=GENERATORS[kind](),
+            **CAMPAIGN,
+        )
+        assert_campaigns_bitwise_equal(references[kind], campaign)
+
+    def test_portfolio_records_the_allocation(self, references):
+        # Warm-up rotation first (registration order), then UCB — and the
+        # same trace surfaces in the per-round extras.
+        generator = make_portfolio()
+        campaign = make_engine().run_campaign(
+            WORKLOADS,
+            tree_surrogates(),
+            generator=generator,
+            executor=SerialExecutor(),
+            **CAMPAIGN,
+        )
+        assert_campaigns_bitwise_equal(references["portfolio"], campaign)
+        trace = generator.allocation_trace()
+        assert {entry["workload"] for entry in trace} == set(WORKLOADS)
+        for workload in WORKLOADS:
+            rows = [entry for entry in trace if entry["workload"] == workload]
+            assert [row["round"] for row in rows] == [0, 1, 2]
+            assert [row["arm"] for row in rows[:2]] == ["random", "nsga2"]
+            assert rows[2]["arm"] in generator.arm_names
+            arms_in_rounds = [
+                entry.extras["arm"]
+                for entry in campaign[workload].rounds
+                if entry.round_index >= 0
+            ]
+            assert arms_in_rounds == [row["arm"] for row in rows]
+
+
+# -- (b) kill / resume ---------------------------------------------------------------
+def _interrupt_after(engine, sweeps_before_failure):
+    """Make the engine's simulator fail its Nth ``run_sweep`` call."""
+    state = {"calls": 0}
+    original = engine.simulator.run_sweep
+
+    def failing_run_sweep(*args, **kwargs):
+        state["calls"] += 1
+        if state["calls"] > sweeps_before_failure:
+            raise ConnectionError("simulated crash")
+        return original(*args, **kwargs)
+
+    engine.simulator.run_sweep = failing_run_sweep
+
+
+class TestResumeEquivalence:
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_interrupted_campaign_resumes_bitwise(self, tmp_path, references, kind):
+        checkpoint = tmp_path / "campaign.json"
+        # Kill after the initial-sample sweep and round 0's union sweep:
+        # rounds -1 and 0 are checkpointed, round 1 dies mid-measure.
+        interrupted = make_engine()
+        _interrupt_after(interrupted, sweeps_before_failure=2)
+        with pytest.raises(JobFailedError, match="measure@round1") as info:
+            interrupted.run_campaign(
+                WORKLOADS,
+                tree_surrogates(),
+                generator=GENERATORS[kind](),
+                executor=SerialExecutor(),
+                checkpoint=checkpoint,
+                **CAMPAIGN,
+            )
+        assert isinstance(info.value.__cause__, ConnectionError)
+        persisted = CampaignCheckpoint.resume_or_start(
+            checkpoint, _stored_fingerprint(checkpoint)
+        )
+        assert [record.round_index for record in persisted.rounds] == [-1, 0]
+        if kind == "portfolio":
+            # The per-workload arm allocation is part of the record.
+            assert persisted.rounds[1].arms == {w: "random" for w in WORKLOADS}
+
+        # A fresh engine and a *fresh* generator resume from the checkpoint
+        # and end bitwise identical to the uninterrupted reference.
+        resumed_generator = GENERATORS[kind]()
+        resumed = make_engine().run_campaign(
+            WORKLOADS,
+            tree_surrogates(),
+            generator=resumed_generator,
+            executor=SerialExecutor(),
+            checkpoint=checkpoint,
+            **CAMPAIGN,
+        )
+        assert_campaigns_bitwise_equal(references[kind], resumed)
+        if kind == "portfolio":
+            # Bandit state is replayed from the checkpoint: the resumed
+            # portfolio holds the full three-round trace per workload, in
+            # round order, matching an uninterrupted run.
+            fresh_generator = make_portfolio()
+            rerun = make_engine().run_campaign(
+                WORKLOADS,
+                tree_surrogates(),
+                generator=fresh_generator,
+                executor=SerialExecutor(),
+                **CAMPAIGN,
+            )
+            assert_campaigns_bitwise_equal(references[kind], rerun)
+            assert resumed_generator.allocation_trace() == (
+                fresh_generator.allocation_trace()
+            )
+
+    def test_completed_campaign_rebuilds_without_simulating(self, tmp_path, references):
+        checkpoint = tmp_path / "campaign.json"
+        make_engine().run_campaign(
+            WORKLOADS,
+            tree_surrogates(),
+            generator=make_portfolio(),
+            executor=SerialExecutor(),
+            checkpoint=checkpoint,
+            **CAMPAIGN,
+        )
+        # Replaying the finished campaign re-screens (simulation-free) only
+        # the final round; the simulator is never invoked again.
+        engine = make_engine()
+        _interrupt_after(engine, sweeps_before_failure=0)
+        rebuilt = engine.run_campaign(
+            WORKLOADS,
+            tree_surrogates(),
+            generator=make_portfolio(),
+            executor=SerialExecutor(),
+            checkpoint=checkpoint,
+            **CAMPAIGN,
+        )
+        assert_campaigns_bitwise_equal(references["portfolio"], rebuilt)
+
+    def test_resume_with_a_different_portfolio_seed_is_rejected(self, tmp_path):
+        # The arm seeds feed the generator fingerprint, so resuming with a
+        # differently-seeded portfolio is a different campaign.
+        checkpoint = tmp_path / "campaign.json"
+        make_engine().run_campaign(
+            WORKLOADS,
+            tree_surrogates(),
+            generator=make_portfolio(seed=7),
+            executor=SerialExecutor(),
+            checkpoint=checkpoint,
+            **CAMPAIGN,
+        )
+        with pytest.raises(CheckpointMismatchError):
+            make_engine().run_campaign(
+                WORKLOADS,
+                tree_surrogates(),
+                generator=make_portfolio(seed=8),
+                executor=SerialExecutor(),
+                checkpoint=checkpoint,
+                **CAMPAIGN,
+            )
+
+
+# -- (c) degenerate portfolio == fixed strategy --------------------------------------
+class TestDegeneratePortfolio:
+    @pytest.mark.parametrize("arm_name", ["random", "nsga2"])
+    def test_one_arm_portfolio_matches_fixed_strategy(self, arm_name):
+        make_arm = {
+            "random": partial(RandomPool, 20, seed=7),
+            "nsga2": make_nsga2,
+        }[arm_name]
+        fixed = make_engine().run_campaign(
+            WORKLOADS,
+            tree_surrogates(),
+            generator=make_arm(),
+            executor=SerialExecutor(),
+            **CAMPAIGN,
+        )
+        degenerate = make_engine().run_campaign(
+            WORKLOADS,
+            tree_surrogates(),
+            generator=StrategyPortfolio({arm_name: make_arm()}),
+            executor=SerialExecutor(),
+            **CAMPAIGN,
+        )
+        # Identical except the portfolio's extra arm annotation.
+        assert fixed.workloads == degenerate.workloads
+        assert fixed.candidates_screened == degenerate.candidates_screened
+        assert fixed.total_simulations == degenerate.total_simulations
+        for workload in WORKLOADS:
+            ref, got = fixed[workload], degenerate[workload]
+            np.testing.assert_array_equal(
+                ref.measured_objectives, got.measured_objectives
+            )
+            assert ref.selected_indices == got.selected_indices
+            assert ref.simulated_configs == got.simulated_configs
+            assert ref.hypervolume_history() == got.hypervolume_history()
+            np.testing.assert_array_equal(ref.predicted, got.predicted)
+            for entry in got.rounds:
+                if entry.round_index >= 0:
+                    assert entry.extras["arm"] == arm_name
+
+
+# -- RNG purity (satellite: keyed-stream contract) -----------------------------------
+def _sum_features(features):
+    return features.sum(axis=1)
+
+
+def _sum_squares(features):
+    return (features ** 2).sum(axis=1)
+
+
+def surrogate():
+    return CallableSurrogate({"ipc": _sum_features, "power": _sum_squares})
+
+
+class TestNSGA2ProposalPurity:
+    """``propose_for`` is pure in (seed, workload, round) — nothing else."""
+
+    def test_repeated_calls_are_identical(self):
+        engine = make_engine()
+        generator = make_nsga2()
+        first = generator.propose_for(engine, surrogate(), WORKLOADS[0], 1)
+        second = generator.propose_for(engine, surrogate(), WORKLOADS[0], 1)
+        assert first == second
+
+    def test_invariant_to_prior_rounds_of_other_workloads(self):
+        engine = make_engine()
+        fresh = make_nsga2().propose_for(engine, surrogate(), WORKLOADS[0], 2)
+        # A generator that already evolved pools for other workloads and
+        # rounds proposes the exact same pool for (workload, round).
+        busy = make_nsga2()
+        for workload in WORKLOADS[::-1]:
+            for round_index in (0, 1, 3):
+                busy.propose_for(engine, surrogate(), workload, round_index)
+        assert busy.propose_for(engine, surrogate(), WORKLOADS[0], 2) == fresh
+
+    def test_invariant_to_the_proposing_engine_instance(self):
+        # Two engines with different campaign seeds: the pool is keyed on
+        # the *generator's* seed, not the engine's shared sampler stream.
+        first = make_nsga2().propose_for(make_engine(seed=5), surrogate(), "w", 0)
+        second = make_nsga2().propose_for(make_engine(seed=99), surrogate(), "w", 0)
+        assert first == second
+
+    def test_keyed_on_workload_round_and_seed(self):
+        engine = make_engine()
+        generator = make_nsga2()
+        base = generator.propose_for(engine, surrogate(), WORKLOADS[0], 0)
+        assert generator.propose_for(engine, surrogate(), WORKLOADS[1], 0) != base
+        assert generator.propose_for(engine, surrogate(), WORKLOADS[0], 1) != base
+        assert (
+            make_nsga2(seed=8).propose_for(engine, surrogate(), WORKLOADS[0], 0)
+            != base
+        )
+
+    def test_portfolio_selection_is_pure_too(self):
+        portfolio = make_portfolio()
+        # No observations yet: warm-up rotation, repeatably.
+        assert [portfolio.arm_for("w", i) for i in range(2)] == ["random", "nsga2"]
+        assert [portfolio.arm_for("w", i) for i in range(2)] == ["random", "nsga2"]
+        # arm_for never mutates the bandit: post-warm-up queries agree.
+        assert portfolio.arm_for("w", 2) == portfolio.arm_for("w", 2)
+
+
+def _stored_fingerprint(path):
+    """Read the fingerprint stored in a checkpoint file."""
+    import json
+
+    with open(path) as handle:
+        return json.load(handle)["fingerprint"]

@@ -9,7 +9,9 @@ from hypothesis.extra import numpy as npst
 from repro.dse.pareto import hypervolume_2d
 from repro.dse.quality import (
     adrs,
+    adrs_slope,
     hypervolume_ratio,
+    hypervolume_slope,
     monte_carlo_hypervolume,
     normalize_objectives,
     pareto_coverage,
@@ -180,3 +182,51 @@ class TestHypervolumeRatio:
     def test_bounded_below_by_zero(self):
         ratio = hypervolume_ratio(REFERENCE + 100.0, REFERENCE)
         assert ratio >= 0.0
+
+
+class TestQualitySlopes:
+    """The bandit reward signal (``repro.dse.portfolio``): per-round
+    improvement rate of a quality history, NaN-safe and never NaN itself."""
+
+    def test_monotone_hypervolume_growth_scores_the_mean_delta(self):
+        assert hypervolume_slope([1.0, 1.5, 2.5]) == pytest.approx(0.75)
+        assert hypervolume_slope([1.0, 1.5, 2.5], window=1) == pytest.approx(1.0)
+        assert hypervolume_slope([1.0, 1.5, 2.5], window=2) == pytest.approx(0.75)
+
+    def test_adrs_slope_negates_so_improvement_is_positive(self):
+        # ADRS falls as the front improves: a 0.1-per-round cut earns +0.1.
+        assert adrs_slope([0.5, 0.4, 0.3]) == pytest.approx(0.1)
+        assert adrs_slope([0.3, 0.4, 0.5]) == pytest.approx(-0.1)
+
+    def test_flat_history_has_zero_slope(self):
+        assert hypervolume_slope([2.0, 2.0, 2.0]) == 0.0
+        assert adrs_slope([0.4, 0.4]) == 0.0
+
+    def test_single_round_campaign_is_neutral(self):
+        # One recorded round has no delta to measure — neutral, not NaN.
+        assert hypervolume_slope([3.0]) == 0.0
+        assert hypervolume_slope([3.0], window=1) == 0.0
+        assert hypervolume_slope([]) == 0.0
+
+    def test_nan_rounds_void_only_the_deltas_they_touch(self):
+        # A NaN hypervolume (single-point front) voids its two adjacent
+        # deltas; the finite deltas still average.
+        assert hypervolume_slope([1.0, np.nan, 2.0, 2.5]) == pytest.approx(0.5)
+        assert hypervolume_slope([np.nan, 1.0, 1.4]) == pytest.approx(0.4)
+
+    def test_all_nan_history_is_neutral(self):
+        assert hypervolume_slope([np.nan, np.nan, np.nan]) == 0.0
+        assert adrs_slope([np.nan, 1.0]) == 0.0
+        assert adrs_slope([1.0, np.nan]) == 0.0
+
+    def test_window_restricts_to_trailing_rounds(self):
+        # Early collapse outside the window must not drag the slope down.
+        history = [10.0, 0.0, 1.0, 2.0]
+        assert hypervolume_slope(history, window=2) == pytest.approx(1.0)
+        assert hypervolume_slope(history) == pytest.approx(-8.0 / 3.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="window"):
+            hypervolume_slope([1.0, 2.0], window=0)
+        with pytest.raises(ValueError, match="1-D"):
+            hypervolume_slope(np.zeros((2, 2)))

@@ -254,12 +254,20 @@ class TestCampaignEquivalence:
             )
         _assert_campaigns_bitwise_equal(reference, parallel)
 
-    def test_surrogate_dependent_generator_is_rejected(self):
-        with pytest.raises(ValueError, match="surrogate-independent"):
+    def test_shared_stream_surrogate_dependent_generator_is_rejected(self):
+        # Int-seeded NSGA2Evolve is rank-stable and accepted (pinned by
+        # tests/test_dse_portfolio_equivalence.py); seeding with an existing
+        # Generator keeps the legacy shared mutable stream, which the
+        # runtime cannot shard or resume deterministically.
+        shared_stream = NSGA2Evolve(
+            population_size=8, generations=2, seed=np.random.default_rng(0)
+        )
+        assert not shared_stream.rank_stable
+        with pytest.raises(ValueError, match="rank-stable"):
             make_engine().run_campaign(
                 WORKLOADS,
                 callable_surrogates(),
-                generator=NSGA2Evolve(population_size=8, generations=2),
+                generator=shared_stream,
                 simulation_budget=4,
                 executor=SerialExecutor(),
             )

@@ -46,6 +46,33 @@ class TestBatchScalarEquivalence:
         batch = fast_simulator.run_batch([default_configuration], "602.gcc_s")
         assert single == batch[0]
 
+    def test_batch_is_partition_invariant_bitwise(self, fast_simulator, table1_space):
+        # A configuration's labels must not depend on which batch (or
+        # executor shard) it was evaluated in: any split of the batch —
+        # down to batches of one — reproduces the full batch bitwise.
+        # This is what makes sharded campaigns independent of the shard
+        # count (tests/test_dse_portfolio_equivalence.py).
+        configs = RandomSampler(table1_space, seed=31).sample(9)
+        batch = fast_simulator.run_batch(configs, "605.mcf_s")
+        for splits in ([3, 3, 3], [2, 2, 2, 2, 1], [4, 5]):
+            start = 0
+            rows = []
+            for width in splits:
+                rows.append(fast_simulator.run_batch(
+                    configs[start : start + width], "605.mcf_s"
+                ))
+                start += width
+            for field in METRIC_FIELDS:
+                np.testing.assert_array_equal(
+                    np.concatenate([getattr(part, field) for part in rows]),
+                    getattr(batch, field),
+                    err_msg=f"{splits}/{field}",
+                )
+        for index, config in enumerate(configs):
+            single = fast_simulator.run(config, "605.mcf_s")
+            for field in METRIC_FIELDS:
+                assert getattr(single, field) == getattr(batch, field)[index]
+
     def test_noise_stream_matches_scalar_path(self, table1_space, suite):
         configs = RandomSampler(table1_space, seed=5).sample(6)
         batched = Simulator(table1_space, suite, simpoint_phases=1, noise_std=0.05, seed=9)
