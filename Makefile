@@ -17,6 +17,7 @@
 #                          (skips on machines with fewer than 4 cores)
 #   make bench-pruning   - just the attention-guided pruning benchmark
 #   make bench-portfolio - just the strategy-portfolio quality benchmark
+#   make bench-store     - just the persistent-store warm-start benchmark
 #   make docs-check      - fail on dead intra-repo links / stale module refs
 #                          / uncataloged benchmarks/results JSONs
 #   make repo-check      - fail on git-tracked build/bytecode artifacts
@@ -25,7 +26,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test unit test-fast bench bench-meta bench-precision bench-dse bench-runtime bench-kernels bench-pruning bench-portfolio docs-check repo-check examples
+.PHONY: test unit test-fast bench bench-meta bench-precision bench-dse bench-runtime bench-kernels bench-pruning bench-portfolio bench-store docs-check repo-check examples
 
 test: docs-check repo-check
 	$(PYTHON) -m pytest -x -q
@@ -63,6 +64,9 @@ bench-pruning:
 
 bench-portfolio:
 	$(PYTHON) -m pytest benchmarks/test_portfolio_quality.py -q
+
+bench-store:
+	$(PYTHON) -m pytest benchmarks/test_store_throughput.py -q
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

@@ -1,0 +1,210 @@
+"""Persistent-store warm-start throughput: second campaign re-simulates nothing.
+
+PR 9 added the persistent measurement store (``repro.store``, docs/store.md)
+— the durable tier below the in-memory evaluation cache.  This module pins
+its payoff: a second 8-workload campaign over a populated store serves every
+measurement from disk instead of re-simulating it.
+
+Both arms run the identical campaign (same seeds, same surrogates, same
+candidate pools):
+
+* the **cold arm** attaches a fresh, empty store — every measured
+  configuration is simulated across its SimPoint phases and flushed to the
+  store at each sweep join;
+* the **warm arm** attaches the store the priming run populated — the
+  simulator's read-through tier (``cache -> store -> simulate``) finds every
+  row on disk, so ``evaluation_count`` stays 0 while the campaign results
+  are bitwise identical to the cold run (the equivalence
+  ``tests/test_store_warm_campaign.py`` pins functionally).
+
+The asserted band is the **measure phase** (the ``run_sweep`` calls the
+campaign's measure steps issue): warm measurement replaces per-(config,
+phase) analytical-model evaluation with keyed lookups, so it must be
+``>= 3x`` faster.  Adaptation/screening/acquisition cost is identical in
+both arms, so the end-to-end ratio is diluted by design; it is recorded,
+not asserted.  Unlike the parallel-throughput benchmarks, nothing here
+contends for cores, so the band holds on a 1-core box.  Results land in
+``benchmarks/results/store_speedup.json`` (``make bench-store``).
+"""
+
+from __future__ import annotations
+
+import time
+from functools import partial
+
+import numpy as np
+
+from repro.baselines.trees import GradientBoostingRegressor
+from repro.dse.engine import CampaignEngine, ObjectiveSet
+from repro.dse.surrogates import TreeEnsembleSurrogate
+from repro.runtime.executors import SerialExecutor
+from repro.sim.simulator import Simulator
+
+#: Campaign targets — the same 8-workload regime bench-dse batches over.
+WORKLOADS = (
+    "605.mcf_s", "625.x264_s", "602.gcc_s", "620.omnetpp_s",
+    "641.leela_s", "648.exchange2_s", "638.imagick_s", "623.xalancbmk_s",
+)
+
+#: Campaign shape: enough measured configurations per workload that the
+#: measure phase carries real simulation volume (32 + 4 x 16 = 96 unique
+#: configurations per workload, each across up to 30 SimPoint phases).
+CAMPAIGN = dict(
+    candidate_pool=80,
+    simulation_budget=16,
+    rounds=4,
+    initial_samples=32,
+    refit=True,
+)
+
+#: SimPoint phases per workload — the paper's "at most 30 clusters" regime,
+#: i.e. the cost a store hit avoids.
+SIMPOINT_PHASES = 30
+
+#: Timing reps per arm (best-of, the shared benchmark methodology).
+REPS = 3
+
+#: Minimum warm-over-cold speed-up of the measure phase.
+MIN_MEASURE_SPEEDUP = 3.0
+
+METRICS = ("ipc", "power")
+
+
+def make_engine(store=None) -> CampaignEngine:
+    simulator = Simulator(
+        simpoint_phases=SIMPOINT_PHASES, seed=7, evaluation_cache=True, store=store
+    )
+    return CampaignEngine(
+        simulator.space,
+        simulator,
+        ObjectiveSet.from_names(METRICS),
+        seed=5,
+    )
+
+
+def surrogates():
+    factory = partial(GradientBoostingRegressor, n_estimators=3, max_depth=2, seed=2)
+    return {
+        workload: TreeEnsembleSurrogate(factory, METRICS)
+        for workload in WORKLOADS
+    }
+
+
+def run_campaign(engine: CampaignEngine):
+    """One timed campaign: ``(total s, measure-phase s, results)``.
+
+    The measure phase is isolated by wrapping the simulator's ``run_sweep``
+    (the only entry point the engine measures through) with an accumulating
+    timer — everything else (adaptation, screening, acquisition) is
+    identical in both arms by construction.
+    """
+    measure_seconds = 0.0
+
+    def timed(method):
+        def wrapper(*args, **kwargs):
+            nonlocal measure_seconds
+            start = time.perf_counter()
+            result = method(*args, **kwargs)
+            measure_seconds += time.perf_counter() - start
+            return result
+
+        return wrapper
+
+    originals = (engine.simulator.run_sweep, engine.simulator.run_batch)
+    engine.simulator.run_sweep = timed(originals[0])
+    engine.simulator.run_batch = timed(originals[1])
+    start = time.perf_counter()
+    results = engine.run_campaign(
+        WORKLOADS, surrogates(), executor=SerialExecutor(), **CAMPAIGN
+    )
+    total_seconds = time.perf_counter() - start
+    engine.simulator.run_sweep, engine.simulator.run_batch = originals
+    return total_seconds, measure_seconds, results
+
+
+def assert_campaigns_equal(reference, other):
+    for workload in WORKLOADS:
+        np.testing.assert_array_equal(
+            reference[workload].measured_objectives,
+            other[workload].measured_objectives,
+        )
+        assert (
+            reference[workload].simulated_configs
+            == other[workload].simulated_configs
+        )
+    assert reference.total_simulations == other.total_simulations
+
+
+def test_warm_campaign_skips_the_measure_phase(tmp_path, record):
+    """A campaign over a populated store must re-simulate nothing it has seen."""
+    # Warm up phase tables / first-touch allocations outside the timed reps.
+    make_engine().run_campaign(
+        WORKLOADS, surrogates(), executor=SerialExecutor(), **CAMPAIGN
+    )
+
+    # Cold arm: every rep attaches a fresh, empty store and pays the full
+    # simulation bill.  The first rep's store doubles as the warm arm's
+    # populated input (all reps flush identical records).
+    cold_seconds, cold_measure = [], []
+    cold_results = None
+    cold_evaluations = 0
+    store_path = tmp_path / "campaign.store"
+    rep_stores = [store_path] + [
+        tmp_path / f"cold-{rep}.store" for rep in range(1, REPS)
+    ]
+    for rep_store in rep_stores:
+        engine = make_engine(store=str(rep_store))
+        total, measure, cold_results = run_campaign(engine)
+        cold_seconds.append(total)
+        cold_measure.append(measure)
+        cold_evaluations = engine.simulator.evaluation_count
+        assert cold_evaluations > 0
+        assert engine.simulator.store_hit_count == 0
+    populated_records = len(make_engine(store=str(store_path)).simulator.store)
+    assert populated_records > 0
+
+    # Warm arm: identical campaign over the populated store.  The counters
+    # are the proof that the measure phase became pure lookup.
+    warm_seconds, warm_measure = [], []
+    warm_results = None
+    warm_engine = None
+    for _ in range(REPS):
+        warm_engine = make_engine(store=str(store_path))
+        total, measure, warm_results = run_campaign(warm_engine)
+        warm_seconds.append(total)
+        warm_measure.append(measure)
+        assert warm_engine.simulator.evaluation_count == 0
+        assert warm_engine.simulator.store_hit_count > 0
+
+    # Warm runs flush nothing new — the store still holds the cold records.
+    assert len(warm_engine.simulator.store) == populated_records
+    assert_campaigns_equal(cold_results, warm_results)
+
+    measure_speedup = min(cold_measure) / min(warm_measure)
+    end_to_end_speedup = min(cold_seconds) / min(warm_seconds)
+
+    record(
+        "store_speedup",
+        {
+            "workloads": list(WORKLOADS),
+            "campaign": {
+                key: value for key, value in CAMPAIGN.items() if key != "refit"
+            },
+            "simpoint_phases": SIMPOINT_PHASES,
+            "unique_measurements": populated_records,
+            "cold_evaluations": cold_evaluations,
+            "cold_seconds": min(cold_seconds),
+            "warm_seconds": min(warm_seconds),
+            "cold_measure_seconds": min(cold_measure),
+            "warm_measure_seconds": min(warm_measure),
+            "measure_phase_speedup": measure_speedup,
+            "end_to_end_speedup": end_to_end_speedup,
+            "warm_evaluation_count": 0,
+            "warm_store_hits": warm_engine.simulator.store_hit_count,
+        },
+    )
+    assert measure_speedup >= MIN_MEASURE_SPEEDUP, (
+        f"warm measure phase is only {measure_speedup:.2f}x faster than cold "
+        f"({min(warm_measure) * 1e3:.0f} ms vs {min(cold_measure) * 1e3:.0f} ms)"
+    )
+    assert end_to_end_speedup > 1.0

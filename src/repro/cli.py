@@ -21,7 +21,11 @@ writing any Python:
   thread/process/serial, ``--checkpoint`` makes the campaign resumable),
   and ``--prune`` / ``--focus F`` shrink the candidate pool to the
   parameters the adapted predictors' attention marks as important
-  (``docs/pruning.md``).
+  (``docs/pruning.md``); ``--store PATH`` persists every measurement to a
+  store directory reused across campaigns (``docs/store.md``);
+* ``store``      — inspect or maintain a persistent measurement store:
+  ``stats`` summarises it, ``verify`` scans every segment for corruption,
+  ``compact`` merges the segment log into one deduplicated segment.
 
 Every command accepts ``--seed`` so runs are reproducible, and prints a short
 human-readable report to stdout; machine-readable results are written as JSON
@@ -282,7 +286,10 @@ def cmd_dse(args: argparse.Namespace) -> int:
     from repro.dse.surrogates import TreeEnsembleSurrogate
 
     simulator = Simulator(
-        simpoint_phases=args.phases, seed=args.seed, evaluation_cache=True
+        simpoint_phases=args.phases,
+        seed=args.seed,
+        evaluation_cache=True,
+        store=args.store,
     )
     dataset = load_dataset(args.dataset)
     workloads = list(args.workloads)
@@ -426,6 +433,53 @@ def cmd_dse(args: argparse.Namespace) -> int:
                 "    " + "  ".join(f"{k}={v:.3f}" for k, v in row.items())
             )
     _write_json(args.output, summary)
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inspect or maintain a persistent measurement store."""
+    from repro.store import MeasurementStore, StoreMismatchError
+
+    try:
+        store = MeasurementStore.open_existing(
+            args.path, read_only=args.action != "compact"
+        )
+    except StoreMismatchError as error:
+        raise SystemExit(str(error)) from None
+
+    if args.action == "stats":
+        stats = store.stats().as_dict()
+        for key, value in stats.items():
+            print(f"{key}: {value}")
+        _write_json(args.output, stats)
+        return 0
+
+    if args.action == "verify":
+        issues = store.verify()
+        stats = store.stats()
+        payload = {"path": str(store.path), "issues": issues, "ok": not issues}
+        _write_json(args.output, payload)
+        if issues:
+            for issue in issues:
+                print(f"ISSUE {issue}")
+            print(
+                f"store {store.path}: {len(issues)} issue(s) across "
+                f"{stats.num_segments} segment(s)"
+            )
+            return 1
+        print(
+            f"store {store.path}: OK "
+            f"({stats.num_records} records in {stats.num_segments} segments)"
+        )
+        return 0
+
+    before, after = store.compact()
+    stats = store.stats()
+    print(
+        f"store {store.path}: compacted {before} segment(s) into {after} "
+        f"({stats.num_records} records, {stats.total_bytes} bytes)"
+    )
+    _write_json(args.output, stats.as_dict())
     return 0
 
 
@@ -578,6 +632,12 @@ def build_parser() -> argparse.ArgumentParser:
              "persisted and a re-run resumes from the last completed round",
     )
     dse.add_argument(
+        "--store",
+        help="persistent measurement store directory (created on first use): "
+             "simulated labels are saved and reused across campaigns, so a "
+             "re-run re-simulates nothing it has seen (docs/store.md)",
+    )
+    dse.add_argument(
         "--threads", type=int, default=None,
         help="kernel worker threads for the nn surrogate forward/backward "
              "passes (bitwise identical for every thread count)",
@@ -604,6 +664,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument("--output", help="optional JSON output path")
     dse.set_defaults(handler=cmd_dse)
+
+    store = subparsers.add_parser(
+        "store", help="inspect or maintain a persistent measurement store"
+    )
+    store.add_argument(
+        "action", choices=("stats", "verify", "compact"),
+        help="stats: summarise; verify: scan all segments for corruption; "
+             "compact: merge the segment log into one deduplicated segment",
+    )
+    store.add_argument("path", help="measurement store directory")
+    store.add_argument("--output", help="optional JSON output path")
+    store.set_defaults(handler=cmd_store)
 
     return parser
 

@@ -285,6 +285,7 @@ class MetaDSE(CrossWorkloadModel):
         focus: Optional[float] = None,
         focus_levels: int = 1,
         focus_probe: int = 64,
+        store=None,
     ):
         """Run a batched cross-workload DSE campaign with adapted predictors.
 
@@ -358,6 +359,14 @@ class MetaDSE(CrossWorkloadModel):
             coarse grid of ``focus_levels`` levels (1 = clamped to the
             median level).  ``focus=None`` (default) leaves the campaign
             untouched; ``focus=1.0`` degrades to the unpruned pool bitwise.
+        store:
+            Optional persistent measurement store — a path or an open
+            :class:`repro.store.MeasurementStore` — attached to
+            *simulator* before the campaign (unless it already has one).
+            Measurements land on disk and are reused across campaigns
+            and processes: a re-run over a populated store re-simulates
+            nothing it has seen, with bitwise-identical results
+            (``docs/store.md``).
 
         Returns the engine's :class:`~repro.dse.engine.CampaignResult`
         (per-workload fronts + hypervolume curves, physical units).  Like
@@ -398,6 +407,9 @@ class MetaDSE(CrossWorkloadModel):
                 adapted[metric] = model.adapt_many(
                     [model_supports[workload] for workload in workloads]
                 )
+
+        if store is not None and getattr(simulator, "store", None) is None:
+            simulator.attach_store(store)
 
         objective_set = ObjectiveSet.from_names(tuple(models), maximize)
         surrogates = {

@@ -29,9 +29,10 @@ lookups and batched sweeps produce identical labels.
 
 from __future__ import annotations
 
+import os
 import zlib
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Optional, Sequence
+from typing import Iterator, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -39,6 +40,7 @@ from repro.designspace.space import DesignSpace
 from repro.designspace.spec import build_table1_space
 from repro.runtime.executors import resolve_broadcast
 from repro.runtime.sharding import plan_sweep_shards, split_evenly
+from repro.store import METRIC_COLUMNS, MeasurementStore, measurement_fingerprint
 from repro.sim.performance import PerformanceModel, PerformanceResult
 from repro.sim.power import PowerModel, PowerResult
 from repro.sim.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
@@ -57,7 +59,7 @@ def _evaluate_shard_task(
     profile_name: str,
     params: dict[str, np.ndarray],
     keys: list[tuple],
-) -> tuple[np.ndarray, int]:
+) -> tuple[np.ndarray, int, int]:
     """Executor task for one evaluation shard (module-level so
     :class:`~repro.runtime.executors.ProcessExecutor` can pickle it).
 
@@ -195,6 +197,27 @@ class Simulator:
         join.  Consequently ``evaluation_count`` can be higher under a
         process executor (workers cannot see parent-cache hits); the
         returned metric arrays are bitwise identical either way.
+    evaluation_cache_size:
+        Optional entry cap for the evaluation cache (requires
+        ``evaluation_cache=True``).  Eviction is FIFO in insertion order —
+        deliberately not LRU, because LRU reads would reorder the dict and
+        violate the read-only-during-parallel-sections invariant above.
+        With a store attached, evicted entries are still served from the
+        store tier without re-simulation.
+    store:
+        Optional persistent measurement store (a
+        :class:`repro.store.MeasurementStore` or a path to one) — the
+        durable tier *below* the in-memory cache.  Lookups read through
+        ``in-memory dict -> store -> simulate``; freshly simulated rows are
+        batch-flushed to the store after each :meth:`run_batch` /
+        :meth:`run_sweep` join (one atomic segment per flush).  Store hits
+        produce bitwise-identical metric rows and are counted in
+        ``store_hit_count``, not ``evaluation_count`` — so a warm campaign
+        over a populated store reports ``evaluation_count == 0`` while
+        returning exactly the cold campaign's results.  Requires noise-free
+        mode, like the cache.  Pickled simulators (ProcessExecutor workers)
+        reopen the store read-only from its path, so shard tasks see every
+        measurement flushed before the parallel section.
     """
 
     def __init__(
@@ -207,6 +230,8 @@ class Simulator:
         noise_std: float = 0.0,
         seed: SeedLike = 2017,
         evaluation_cache: bool = False,
+        evaluation_cache_size: Optional[int] = None,
+        store: Optional[Union[MeasurementStore, str, os.PathLike]] = None,
     ) -> None:
         if simpoint_phases < 1:
             raise ValueError(f"simpoint_phases must be >= 1, got {simpoint_phases}")
@@ -217,6 +242,15 @@ class Simulator:
                 "evaluation_cache requires noise-free mode (noise_std == 0): "
                 "cached labels would hide the modelled run-to-run variation"
             )
+        if evaluation_cache_size is not None:
+            if not evaluation_cache:
+                raise ValueError(
+                    "evaluation_cache_size requires evaluation_cache=True"
+                )
+            if evaluation_cache_size < 1:
+                raise ValueError(
+                    f"evaluation_cache_size must be >= 1, got {evaluation_cache_size}"
+                )
         self.space = space if space is not None else build_table1_space()
         self.suite = suite if suite is not None else spec2017_suite()
         self.technology = technology
@@ -235,10 +269,95 @@ class Simulator:
         self._evaluation_cache: Optional[dict[tuple, np.ndarray]] = (
             {} if evaluation_cache else None
         )
+        self._evaluation_cache_size = evaluation_cache_size
         #: Number of (config, phase) evaluations performed; exposed so
         #: experiments can report simulation budgets like the paper does.
         #: Evaluation-cache hits are free and therefore not counted.
         self.evaluation_count = 0
+        #: Number of configurations served from the persistent store tier
+        #: (not counted in ``evaluation_count``; the gap between the two is
+        #: what the warm-start equivalence tests pin).
+        self.store_hit_count = 0
+        self._store: Optional[MeasurementStore] = None
+        #: Rows simulated since the last flush but not yet in the store;
+        #: written as one atomic segment per run_batch/run_sweep join.
+        self._store_pending: list[tuple[str, tuple, np.ndarray]] = []
+        self._store_pending_keys: set[tuple[str, tuple]] = set()
+        if store is not None:
+            self.attach_store(store)
+
+    # -- persistent store ------------------------------------------------------
+    @property
+    def store(self) -> Optional[MeasurementStore]:
+        """The attached persistent measurement store, if any."""
+        return self._store
+
+    def measurement_fingerprint(self) -> dict:
+        """Fingerprint identifying this simulator's measurement stream.
+
+        Covers the design-space spec, the metric row layout, the SimPoint
+        settings (phase count and derived phase seed), the technology
+        constants, and noise-free mode — exactly the fields that must agree
+        for two simulators to produce interchangeable metric rows.  Used to
+        match simulators to measurement stores.
+        """
+        return measurement_fingerprint(
+            space=self.space,
+            metrics=METRIC_COLUMNS,
+            simpoint_phases=self.simpoint_phases,
+            phase_seed=self._phase_seed,
+            technology=self.technology,
+            noise_free=self.noise_std == 0.0,
+        )
+
+    def attach_store(
+        self,
+        store: Union[MeasurementStore, str, os.PathLike],
+        *,
+        read_only: bool = False,
+    ) -> MeasurementStore:
+        """Attach a persistent measurement store (path or open store).
+
+        A path is opened (and created if needed) under this simulator's
+        :meth:`measurement_fingerprint`; an already-open store must match
+        that fingerprint (:class:`repro.store.StoreMismatchError`
+        otherwise).  Requires noise-free mode, and at most one store per
+        simulator.  Returns the attached store.
+        """
+        if self._store is not None:
+            raise ValueError("a measurement store is already attached")
+        if self.noise_std > 0:
+            raise ValueError(
+                "a measurement store requires noise-free mode (noise_std == 0): "
+                "stored labels would hide the modelled run-to-run variation"
+            )
+        if isinstance(store, (str, os.PathLike)):
+            store = MeasurementStore(
+                store, self.measurement_fingerprint(), read_only=read_only
+            )
+        else:
+            store.require_fingerprint(self.measurement_fingerprint())
+        self._store = store
+        return store
+
+    def refresh_store(self) -> int:
+        """Pick up store segments appended by concurrent writers.
+
+        Called by the campaign runtime at round boundaries so concurrent
+        campaigns over the same store amortise each other mid-run.  Returns
+        the number of new records loaded (0 without a store).
+        """
+        if self._store is None:
+            return 0
+        return self._store.refresh()
+
+    def _flush_store(self) -> None:
+        """Write pending freshly-simulated rows as one atomic segment."""
+        if self._store is None or not self._store_pending:
+            return
+        self._store.put_batch(self._store_pending)
+        self._store_pending.clear()
+        self._store_pending_keys.clear()
 
     # -- workload handling ---------------------------------------------------
     def workload_names(self) -> list[str]:
@@ -355,8 +474,11 @@ class Simulator:
         profile = self._resolve_workload(workload)
         params, keys = self.encode_batch(configs)
         if executor is None or executor.jobs <= 1 or len(keys) <= 1:
-            return self._run_batch_encoded(profile, params, keys)
-        return self._run_batch_parallel(profile, params, keys, executor)
+            result = self._run_batch_encoded(profile, params, keys)
+        else:
+            result = self._run_batch_parallel(profile, params, keys, executor)
+        self._flush_store()
+        return result
 
     def _run_batch_encoded(
         self,
@@ -373,8 +495,8 @@ class Simulator:
         apply after their join — so serial and sharded execution share a
         single implementation of the keyed-cache protocol.
         """
-        metric_rows, count = self._evaluate_shard(profile.name, params, keys)
-        return self._absorb_rows(profile, keys, metric_rows, count)
+        metric_rows, count, store_hits = self._evaluate_shard(profile.name, params, keys)
+        return self._absorb_rows(profile, keys, metric_rows, count, store_hits)
 
     # -- parallel evaluation -----------------------------------------------------
     def __getstate__(self) -> dict:
@@ -386,10 +508,18 @@ class Simulator:
         parent merges the freshly evaluated rows into its own cache after
         the join — see the ``evaluation_cache`` invariant in the class
         docstring.
+
+        An attached measurement store *is* shipped, but only as its path:
+        workers reopen it read-only (see
+        :meth:`repro.store.MeasurementStore.__getstate__`), so shard tasks
+        see every measurement flushed before the parallel section.  Pending
+        unflushed rows stay with the parent — workers never write the store.
         """
         state = self.__dict__.copy()
         if state["_evaluation_cache"] is not None:
             state["_evaluation_cache"] = {}
+        state["_store_pending"] = []
+        state["_store_pending_keys"] = set()
         return state
 
     def _require_parallel_safe(self) -> None:
@@ -402,15 +532,16 @@ class Simulator:
 
     def _evaluate_shard(
         self, profile_name: str, params: dict[str, np.ndarray], keys: list[tuple]
-    ) -> tuple[np.ndarray, int]:
-        """Worker-side shard evaluation: ``(metric rows, evaluation count)``.
+    ) -> tuple[np.ndarray, int, int]:
+        """Worker-side shard evaluation: ``(rows, evaluation count, store hits)``.
 
         Reads the evaluation cache but **never writes it** and never touches
         ``evaluation_count`` — all shared-state mutation happens in the
         parent after the join, which is what makes the thread path safe
         (workers only read while the parent is blocked in the join) and the
         process path deterministic (workers mutate a pickled copy that is
-        discarded).
+        discarded).  Lookups read through the tiers in order: in-memory
+        cache, then the persistent store, then simulation of the remainder.
         """
         profile = self._resolve_workload(profile_name)
         weights, phases = self._phase_table(profile)
@@ -426,6 +557,17 @@ class Simulator:
                     metric_rows[i] = cached
         else:
             missing = list(range(n))
+        store_hits = 0
+        if missing and self._store is not None:
+            still_missing = []
+            for i in missing:
+                stored = self._store.get(profile.name, keys[i])
+                if stored is None:
+                    still_missing.append(i)
+                else:
+                    metric_rows[i] = stored
+                    store_hits += 1
+            missing = still_missing
         if missing:
             if len(missing) == n:
                 fresh_params = params
@@ -433,7 +575,7 @@ class Simulator:
                 index = np.asarray(missing, dtype=np.int64)
                 fresh_params = {name: values[index] for name, values in params.items()}
             metric_rows[missing] = self._evaluate_encoded(fresh_params, weights, phases)
-        return metric_rows, len(phases) * len(missing)
+        return metric_rows, len(phases) * len(missing), store_hits
 
     def _absorb_rows(
         self,
@@ -441,17 +583,36 @@ class Simulator:
         keys: list[tuple],
         metric_rows: np.ndarray,
         count: int,
+        store_hits: int = 0,
     ) -> BatchSimulationResult:
         """Parent-side merge: install rows in the cache, count, assemble.
 
         The single place shared state is mutated — the serial path and the
         post-join parallel paths both end here, with *metric_rows* already
-        in configuration order.
+        in configuration order.  Rows whose key the store does not hold yet
+        are queued for the next :meth:`_flush_store`; the cache is trimmed
+        FIFO when ``evaluation_cache_size`` is set.
         """
         self.evaluation_count += count
-        if self._evaluation_cache is not None:
+        self.store_hit_count += store_hits
+        cache = self._evaluation_cache
+        if cache is not None:
             for i, key in enumerate(keys):
-                self._evaluation_cache[(profile.name, key)] = metric_rows[i]
+                cache[(profile.name, key)] = metric_rows[i]
+            if self._evaluation_cache_size is not None:
+                while len(cache) > self._evaluation_cache_size:
+                    cache.pop(next(iter(cache)))
+        if self._store is not None and not self._store.read_only:
+            for i, key in enumerate(keys):
+                store_key = (profile.name, key)
+                if (
+                    self._store.get(profile.name, key) is None
+                    and store_key not in self._store_pending_keys
+                ):
+                    self._store_pending_keys.add(store_key)
+                    self._store_pending.append(
+                        (profile.name, key, metric_rows[i].copy())
+                    )
         return BatchSimulationResult(
             workload=profile.name,
             ipc=metric_rows[:, 0].copy(),
@@ -467,15 +628,17 @@ class Simulator:
         profile: WorkloadProfile,
         keys: list[tuple],
         shards: list[range],
-        shard_results: list[tuple[np.ndarray, int]],
+        shard_results: list[tuple[np.ndarray, int, int]],
     ) -> BatchSimulationResult:
         """Join sharded results: concatenate in shard order, then absorb."""
         metric_rows = np.empty((len(keys), 5), dtype=np.float64)
         total = 0
-        for shard, (rows, count) in zip(shards, shard_results):
+        store_hits = 0
+        for shard, (rows, count, hits) in zip(shards, shard_results):
             metric_rows[shard.start : shard.stop] = rows
             total += count
-        return self._absorb_rows(profile, keys, metric_rows, total)
+            store_hits += hits
+        return self._absorb_rows(profile, keys, metric_rows, total, store_hits)
 
     def _run_batch_parallel(
         self,
@@ -580,10 +743,12 @@ class Simulator:
         # Unlike run_batch, a single configuration still parallelises here:
         # the workload axis alone yields len(profiles) independent tasks.
         if executor is None or executor.jobs <= 1 or not profiles or not keys:
-            return {
+            results = {
                 profile.name: self._run_batch_encoded(profile, params, keys)
                 for profile in profiles
             }
+            self._flush_store()
+            return results
 
         self._require_parallel_safe()
         for profile in profiles:
@@ -612,12 +777,14 @@ class Simulator:
             name: [future.result() for future in name_futures]
             for name, name_futures in futures.items()
         }
-        return {
+        results = {
             profile.name: self._merge_shard_rows(
                 profile, keys, shards, shard_results[profile.name]
             )
             for profile in profiles
         }
+        self._flush_store()
+        return results
 
     def run_scalar(
         self, config: Mapping, workload: "str | WorkloadProfile"

@@ -53,7 +53,7 @@ class TestParser:
         commands = set(subactions[0].choices)
         assert commands == {
             "table1", "generate", "similarity", "pretrain", "evaluate",
-            "explore", "dse",
+            "explore", "dse", "store",
         }
 
     def test_missing_command_exits(self):
@@ -311,3 +311,55 @@ class TestDseCampaign:
         assert exit_code == 0
         payload = json.loads(output.read_text())
         assert payload["workloads"]["605.mcf_s"]["front_size"] >= 1
+
+
+class TestStoreCli:
+    def _run_campaign(self, dataset_path, store_path, seed="0"):
+        return main(
+            [
+                "dse",
+                "--dataset", str(dataset_path),
+                "--workloads", "605.mcf_s",
+                "--budget", "4",
+                "--candidate-pool", "30",
+                "--phases", "1",
+                "--seed", seed,
+                "--store", str(store_path),
+            ]
+        )
+
+    def test_dse_store_warm_rerun_and_maintenance(
+        self, dataset_path, tmp_path, capsys
+    ):
+        from repro.store import MeasurementStore
+
+        store_path = tmp_path / "m.store"
+        assert self._run_campaign(dataset_path, store_path) == 0
+        cold_records = len(MeasurementStore.open_existing(store_path))
+        assert cold_records > 0
+        capsys.readouterr()
+
+        # Warm re-run over the populated store: every measurement is served
+        # from disk, so nothing new is flushed.
+        assert self._run_campaign(dataset_path, store_path) == 0
+        assert len(MeasurementStore.open_existing(store_path)) == cold_records
+        capsys.readouterr()
+
+        stats_json = tmp_path / "stats.json"
+        assert main(
+            ["store", "stats", str(store_path), "--output", str(stats_json)]
+        ) == 0
+        stats = json.loads(stats_json.read_text())
+        assert stats["num_records"] > 0
+        assert "num_records:" in capsys.readouterr().out
+
+        assert main(["store", "verify", str(store_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        assert main(["store", "compact", str(store_path)]) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert main(["store", "verify", str(store_path)]) == 0
+
+    def test_store_command_rejects_non_store_paths(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a measurement store"):
+            main(["store", "stats", str(tmp_path)])

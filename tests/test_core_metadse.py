@@ -231,6 +231,41 @@ class TestMetaDSEExplore:
             assert result.predicted.shape == (40, 2)
             assert np.isfinite(result.hypervolume_history()[-1])
 
+    def test_explore_store_warm_rerun_simulates_nothing(
+        self, pretrained, small_dataset, tmp_path
+    ):
+        from repro.sim.simulator import Simulator
+
+        workloads = ("605.mcf_s",)
+        supports = self._supports(small_dataset, workloads, "ipc")
+        store_path = str(tmp_path / "m.store")
+
+        def run():
+            simulator = Simulator(
+                simpoint_phases=1, seed=123, evaluation_cache=True
+            )
+            with pytest.warns(RuntimeWarning, match="only defined for 2"):
+                campaign = pretrained.explore(
+                    simulator,
+                    supports,
+                    candidate_pool=30,
+                    simulation_budget=4,
+                    store=store_path,
+                )
+            return simulator, campaign
+
+        cold_simulator, cold = run()
+        assert cold_simulator.store is not None  # explore attached it
+        assert cold_simulator.evaluation_count > 0
+
+        warm_simulator, warm = run()
+        assert warm_simulator.evaluation_count == 0
+        assert warm_simulator.store_hit_count > 0
+        np.testing.assert_array_equal(
+            cold["605.mcf_s"].measured_objectives,
+            warm["605.mcf_s"].measured_objectives,
+        )
+
     def test_explore_single_objective_uses_own_metric(
         self, pretrained, small_dataset, fast_simulator
     ):

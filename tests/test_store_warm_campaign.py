@@ -1,0 +1,218 @@
+"""Headline equivalence: warm campaigns over a populated store == cold runs.
+
+A campaign re-run against a populated measurement store must produce
+bitwise-identical results to the cold run — across serial, thread and
+process executors, and through kill/resume — with the simulation-call
+counter proving that store hits actually skipped simulation.
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.baselines.trees import GradientBoostingRegressor
+from repro.dse.engine import CampaignEngine, ObjectiveSet
+from repro.dse.surrogates import TreeEnsembleSurrogate
+from repro.runtime.dag import JobFailedError
+from repro.runtime.executors import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.sim.simulator import Simulator
+from repro.store import MeasurementStore
+
+WORKLOADS = ("605.mcf_s", "625.x264_s")
+
+CAMPAIGN = dict(
+    candidate_pool=30,
+    simulation_budget=4,
+    rounds=3,
+    initial_samples=4,
+    refit=True,
+)
+
+
+def make_engine(store=None, seed=5) -> CampaignEngine:
+    simulator = Simulator(
+        simpoint_phases=2, seed=11, evaluation_cache=True, store=store
+    )
+    return CampaignEngine(
+        simulator.space,
+        simulator,
+        ObjectiveSet.from_names(("ipc", "power")),
+        seed=seed,
+    )
+
+
+def surrogates():
+    factory = partial(GradientBoostingRegressor, n_estimators=5, max_depth=2, seed=2)
+    return {
+        workload: TreeEnsembleSurrogate(factory, ("ipc", "power"))
+        for workload in WORKLOADS
+    }
+
+
+def assert_campaigns_equal(reference, other):
+    """Bitwise comparison of every externally visible campaign field."""
+    for workload in WORKLOADS:
+        np.testing.assert_array_equal(
+            reference[workload].measured_objectives,
+            other[workload].measured_objectives,
+        )
+        np.testing.assert_array_equal(
+            reference[workload].predicted, other[workload].predicted
+        )
+        assert (
+            reference[workload].selected_indices == other[workload].selected_indices
+        )
+        assert (
+            reference[workload].hypervolume_history()
+            == other[workload].hypervolume_history()
+        )
+        assert (
+            reference[workload].simulated_configs
+            == other[workload].simulated_configs
+        )
+        np.testing.assert_array_equal(
+            reference[workload].pareto_indices, other[workload].pareto_indices
+        )
+    assert reference.total_simulations == other.total_simulations
+
+
+_EXECUTORS = [
+    pytest.param(SerialExecutor, id="serial"),
+    pytest.param(lambda: ThreadExecutor(jobs=2), id="thread"),
+    pytest.param(
+        lambda: ProcessExecutor(jobs=2), id="process", marks=pytest.mark.slow
+    ),
+]
+
+
+class TestWarmStartEquivalence:
+    @pytest.fixture(scope="class")
+    def cold(self):
+        """The store-less reference campaign (serial)."""
+        return make_engine().run_campaign(
+            WORKLOADS, surrogates(), executor=SerialExecutor(), **CAMPAIGN
+        )
+
+    def test_populating_the_store_changes_nothing(self, cold, tmp_path):
+        engine = make_engine(store=str(tmp_path / "m.store"))
+        populated = engine.run_campaign(
+            WORKLOADS, surrogates(), executor=SerialExecutor(), **CAMPAIGN
+        )
+        assert_campaigns_equal(cold, populated)
+        assert engine.simulator.evaluation_count > 0
+        assert engine.simulator.store_hit_count == 0
+        assert len(engine.simulator.store) > 0
+
+    @pytest.mark.parametrize("executor_factory", _EXECUTORS)
+    def test_warm_campaign_is_bitwise_identical_and_simulates_nothing(
+        self, cold, tmp_path, executor_factory
+    ):
+        store_path = str(tmp_path / "m.store")
+        make_engine(store=store_path).run_campaign(
+            WORKLOADS, surrogates(), executor=SerialExecutor(), **CAMPAIGN
+        )
+
+        warm_engine = make_engine(store=store_path)
+        with executor_factory() as executor:
+            warm = warm_engine.run_campaign(
+                WORKLOADS, surrogates(), executor=executor, **CAMPAIGN
+            )
+        assert_campaigns_equal(cold, warm)
+        # The counter is the proof: every measurement came from the store.
+        assert warm_engine.simulator.evaluation_count == 0
+        assert warm_engine.simulator.store_hit_count > 0
+
+    def test_concurrent_campaigns_amortise_each_other_mid_run(self, cold, tmp_path):
+        # Open B's store handle *before* A runs: B starts with a stale
+        # (empty) index and only sees A's segments through the refresh at
+        # each measure join — the wiring that lets concurrent campaigns
+        # share measurements mid-run.
+        store_path = str(tmp_path / "m.store")
+        engine_b = make_engine(store=store_path)
+        assert len(engine_b.simulator.store) == 0
+
+        make_engine(store=store_path).run_campaign(
+            WORKLOADS, surrogates(), executor=SerialExecutor(), **CAMPAIGN
+        )
+        warm = engine_b.run_campaign(
+            WORKLOADS, surrogates(), executor=SerialExecutor(), **CAMPAIGN
+        )
+        assert_campaigns_equal(cold, warm)
+        assert engine_b.simulator.evaluation_count == 0
+
+
+class TestKillResumeWithStore:
+    def _interrupt_after(self, engine, sweeps_before_failure):
+        """Make the engine's simulator fail its Nth ``run_sweep`` call."""
+        state = {"calls": 0}
+        original = engine.simulator.run_sweep
+
+        def failing_run_sweep(*args, **kwargs):
+            state["calls"] += 1
+            if state["calls"] > sweeps_before_failure:
+                raise ConnectionError("simulated crash")
+            return original(*args, **kwargs)
+
+        engine.simulator.run_sweep = failing_run_sweep
+
+    def test_killed_campaign_resumes_and_warm_restarts_bitwise(self, tmp_path):
+        store_path = str(tmp_path / "m.store")
+        checkpoint = tmp_path / "campaign.json"
+        reference = make_engine().run_campaign(
+            WORKLOADS, surrogates(), executor=SerialExecutor(), **CAMPAIGN
+        )
+
+        # Kill the campaign after the initial-sample sweep and round 0's
+        # union sweep; both are flushed to the store before the crash.
+        interrupted = make_engine(store=store_path)
+        self._interrupt_after(interrupted, sweeps_before_failure=2)
+        with pytest.raises(JobFailedError, match="measure@round1"):
+            interrupted.run_campaign(
+                WORKLOADS,
+                surrogates(),
+                executor=SerialExecutor(),
+                checkpoint=checkpoint,
+                **CAMPAIGN,
+            )
+        partial_records = len(MeasurementStore.open_existing(store_path))
+        assert partial_records > 0
+
+        # Checkpoint resume over the same store: rounds -1/0 restore from
+        # the checkpoint, rounds 1/2 simulate fresh — bitwise identical.
+        resumed_engine = make_engine(store=store_path)
+        resumed = resumed_engine.run_campaign(
+            WORKLOADS,
+            surrogates(),
+            executor=SerialExecutor(),
+            checkpoint=checkpoint,
+            **CAMPAIGN,
+        )
+        assert_campaigns_equal(reference, resumed)
+        assert resumed_engine.simulator.evaluation_count > 0
+
+        # The interrupted + resumed runs together measured every union, so
+        # a store-only restart (no checkpoint) re-simulates *nothing* and
+        # still reproduces the reference bitwise.
+        warm_engine = make_engine(store=store_path)
+        warm = warm_engine.run_campaign(
+            WORKLOADS, surrogates(), executor=SerialExecutor(), **CAMPAIGN
+        )
+        assert_campaigns_equal(reference, warm)
+        assert warm_engine.simulator.evaluation_count == 0
+        assert warm_engine.simulator.store_hit_count > 0
+
+    def test_crash_mid_sweep_leaves_no_partial_flush(self, tmp_path):
+        # The pending rows of the sweep that crashed must not reach the
+        # store: flushes happen only after a completed run_sweep join.
+        store_path = str(tmp_path / "m.store")
+        engine = make_engine(store=store_path)
+        self._interrupt_after(engine, sweeps_before_failure=1)
+        with pytest.raises(JobFailedError):
+            engine.run_campaign(
+                WORKLOADS, surrogates(), executor=SerialExecutor(), **CAMPAIGN
+            )
+        store = MeasurementStore.open_existing(store_path)
+        # Exactly the initial-sample sweep: 4 configs x 2 workloads.
+        assert len(store) == CAMPAIGN["initial_samples"] * len(WORKLOADS)
+        assert store.verify() == []

@@ -42,6 +42,12 @@ class TestIsArtifact:
             "src/repro.egg-info/PKG-INFO",
             ".eggs/setuptools.egg",
             ".pytest_cache/v/cache/lastfailed",
+            # Measurement-store artifacts (docs/store.md): segment logs and
+            # anything inside a *.store directory.
+            "measurements.seg",
+            "experiments/run1.store/manifest.json",
+            "experiments/run1.store/seg-00000001.seg",
+            "experiments/run1.store/.lock",
         ],
     )
     def test_flags_artifacts(self, check_repo, path):
@@ -59,6 +65,9 @@ class TestIsArtifact:
             # Names that merely contain artifact substrings are fine.
             "src/repro/pycache_notes.md",
             "docs/sonnets.md",
+            "src/repro/store.py",
+            "docs/store.md",
+            "benchmarks/results/store_speedup.json",
         ],
     )
     def test_passes_source_files(self, check_repo, path):

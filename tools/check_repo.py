@@ -27,7 +27,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Path components that mark everything beneath them as an artifact.
 ARTIFACT_DIRS = frozenset({"__pycache__", ".eggs", ".pytest_cache"})
 
-#: File suffixes of compiled / bytecode / native-build outputs.
+#: File suffixes of compiled / bytecode / native-build outputs, plus
+#: measurement-store artifacts (``.seg`` segment logs are machine-local
+#: measurement caches — see docs/store.md — and must never be committed).
 ARTIFACT_SUFFIXES = (
     ".pyc",
     ".pyo",
@@ -37,10 +39,13 @@ ARTIFACT_SUFFIXES = (
     ".o",
     ".a",
     ".whl",
+    ".seg",
 )
 
-#: Directory-name suffixes of packaging output (any path component).
-ARTIFACT_DIR_SUFFIXES = (".egg-info",)
+#: Directory-name suffixes of packaging / measurement-store output (any
+#: path component): everything inside a ``*.store`` directory — manifest,
+#: segments, lock file — is a local cache, like ``*.egg-info`` contents.
+ARTIFACT_DIR_SUFFIXES = (".egg-info", ".store")
 
 
 def is_artifact(path: str) -> bool:
