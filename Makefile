@@ -18,6 +18,7 @@
 #   make bench-pruning   - just the attention-guided pruning benchmark
 #   make bench-portfolio - just the strategy-portfolio quality benchmark
 #   make bench-store     - just the persistent-store warm-start benchmark
+#   make bench-trace     - just the tracing-overhead benchmark
 #   make docs-check      - fail on dead intra-repo links / stale module refs
 #                          / uncataloged benchmarks/results JSONs
 #   make repo-check      - fail on git-tracked build/bytecode artifacts
@@ -26,7 +27,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test unit test-fast bench bench-meta bench-precision bench-dse bench-runtime bench-kernels bench-pruning bench-portfolio bench-store docs-check repo-check examples
+.PHONY: test unit test-fast bench bench-meta bench-precision bench-dse bench-runtime bench-kernels bench-pruning bench-portfolio bench-store bench-trace docs-check repo-check examples
 
 test: docs-check repo-check
 	$(PYTHON) -m pytest -x -q
@@ -67,6 +68,9 @@ bench-portfolio:
 
 bench-store:
 	$(PYTHON) -m pytest benchmarks/test_store_throughput.py -q
+
+bench-trace:
+	$(PYTHON) -m pytest benchmarks/test_trace_overhead.py -q
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

@@ -1,0 +1,202 @@
+"""Tracing overhead: a fully traced campaign costs at most 5% wall time.
+
+PR 10 added ``repro.obs`` (docs/observability.md) — process-global tracing
+and metrics across the simulator, runtime, store and campaign layers.  Its
+contract has two halves, and this module pins the *cost* half (the
+determinism half lives in ``tests/test_obs_trace.py``):
+
+* **zero perturbation** — the traced campaign's results are bitwise
+  identical to the untraced run (asserted here on every rep);
+* **near-zero cost** — spans are cheap enough (one ``time.time()`` pair +
+  a buffered dict per span; the sink's mid-run flushes skip the fsync)
+  that a fully instrumented 8-workload campaign round stays within
+  ``MAX_OVERHEAD`` of the untraced wall time.
+
+Both arms run the identical campaign (same seeds, same surrogates, same
+candidate pools) with the in-memory evaluation cache on, so the measured
+work is exactly the instrumented code path — simulation, screening,
+acquisition — not disk I/O the trace could hide behind.
+
+Methodology: a trial runs the arms as ``PAIRS`` **interleaved pairs**
+(one untraced, one traced per pair, the in-pair order alternating every
+rep so neither arm phase-aligns with the box's frequency cycle) and its
+ratio compares the per-arm *minima* — frequency noise only ever slows a
+run down, so each arm's fastest observation is the cleanest estimate of
+its true cost.  Even so, CPU frequency drift on a shared box runs in
+multi-minute *windows* that bias whole trials by ±10% in either
+direction (an A/A control shows the same swings), which no single trial
+can average away at a 5% band.  The gate therefore accepts the **best
+of ``TRIALS`` trials**: a drift window skews one trial at a time, while
+a genuine code-path regression inflates every trial it touches.
+Zero-perturbation is asserted on *every* rep of every trial — that half
+is deterministic and gets no retries.  Nothing here contends for cores,
+so the band holds on a 1-core box.  Results land in
+``benchmarks/results/trace_overhead.json`` (``make bench-trace``).
+"""
+
+from __future__ import annotations
+
+import time
+from functools import partial
+
+import numpy as np
+
+from repro import obs
+from repro.baselines.trees import GradientBoostingRegressor
+from repro.dse.engine import CampaignEngine, ObjectiveSet
+from repro.dse.surrogates import TreeEnsembleSurrogate
+from repro.runtime.executors import SerialExecutor
+from repro.sim.simulator import Simulator
+
+#: Campaign targets — the same 8-workload regime bench-dse batches over.
+WORKLOADS = (
+    "605.mcf_s", "625.x264_s", "602.gcc_s", "620.omnetpp_s",
+    "641.leela_s", "648.exchange2_s", "638.imagick_s", "623.xalancbmk_s",
+)
+
+#: Campaign shape: enough rounds that every span family (campaign.round,
+#: refit/propose/screen/select, measure, sim.*) fires repeatedly.
+CAMPAIGN = dict(
+    candidate_pool=80,
+    simulation_budget=16,
+    rounds=4,
+    initial_samples=32,
+    refit=True,
+)
+
+#: SimPoint phases per workload — the paper's "at most 30 clusters" regime.
+SIMPOINT_PHASES = 30
+
+#: Interleaved (untraced, traced) timing pairs per trial.  Both arms need
+#: enough samples to observe the box's fast frequency state at least
+#: once, or the minima compare machine states instead of code paths.
+PAIRS = 5
+
+#: Independent paired trials; the gate takes the best trial's ratio.
+TRIALS = 3
+
+#: Maximum traced-over-untraced ratio of the best trial's arm minima.
+MAX_OVERHEAD = 1.05
+
+METRICS = ("ipc", "power")
+
+
+def make_engine() -> CampaignEngine:
+    simulator = Simulator(
+        simpoint_phases=SIMPOINT_PHASES, seed=7, evaluation_cache=True
+    )
+    return CampaignEngine(
+        simulator.space,
+        simulator,
+        ObjectiveSet.from_names(METRICS),
+        seed=5,
+    )
+
+
+def surrogates():
+    factory = partial(GradientBoostingRegressor, n_estimators=3, max_depth=2, seed=2)
+    return {
+        workload: TreeEnsembleSurrogate(factory, METRICS)
+        for workload in WORKLOADS
+    }
+
+
+def run_campaign(trace=None):
+    """One timed campaign; returns ``(seconds, results)``."""
+    engine = make_engine()
+    start = time.perf_counter()
+    if trace is None:
+        results = engine.run_campaign(
+            WORKLOADS, surrogates(), executor=SerialExecutor(), **CAMPAIGN
+        )
+    else:
+        with obs.tracing(trace):
+            results = engine.run_campaign(
+                WORKLOADS, surrogates(), executor=SerialExecutor(), **CAMPAIGN
+            )
+    return time.perf_counter() - start, results
+
+
+def assert_campaigns_equal(reference, other):
+    for workload in WORKLOADS:
+        np.testing.assert_array_equal(
+            reference[workload].measured_objectives,
+            other[workload].measured_objectives,
+        )
+        assert (
+            reference[workload].simulated_configs
+            == other[workload].simulated_configs
+        )
+    assert reference.total_simulations == other.total_simulations
+
+
+def run_trial(tmp_path, trial, plain_results):
+    """One paired trial; returns ``(overhead_ratio, best seconds, trace path)``."""
+    plain_seconds = []
+    traced_seconds = []
+    trace_path = None
+    for rep in range(PAIRS):
+        # Alternate which arm runs first: a fixed order can phase-align
+        # with the box's frequency cycle and hand one arm all the fast
+        # windows, which the minima would misread as code-path cost.
+        trace_path = tmp_path / f"trial{trial}-rep{rep}.trace.jsonl"
+        if rep % 2:
+            seconds, traced_results = run_campaign(trace=trace_path)
+            traced_seconds.append(seconds)
+            seconds, rep_plain = run_campaign()
+            plain_seconds.append(seconds)
+        else:
+            seconds, rep_plain = run_campaign()
+            plain_seconds.append(seconds)
+            seconds, traced_results = run_campaign(trace=trace_path)
+            traced_seconds.append(seconds)
+        # Zero perturbation, every rep: bitwise-identical campaign results.
+        assert_campaigns_equal(plain_results, rep_plain)
+        assert_campaigns_equal(plain_results, traced_results)
+    ratio = min(traced_seconds) / min(plain_seconds)
+    return ratio, min(plain_seconds), min(traced_seconds), trace_path
+
+
+def test_tracing_overhead_is_within_the_band(tmp_path, record):
+    """Tracing the full campaign must cost <= 5% and perturb nothing."""
+    # Warm up phase tables / first-touch allocations outside the timed reps.
+    _, plain_results = run_campaign()
+
+    trials = []
+    for trial in range(TRIALS):
+        trials.append(run_trial(tmp_path, trial, plain_results))
+        if trials[-1][0] <= MAX_OVERHEAD:
+            break  # a clean window measured the band; later trials add nothing
+    overhead, plain_best, traced_best, trace_path = min(trials)
+
+    # The artifact the overhead bought: a schema-valid, join-consistent
+    # trace covering the whole campaign.
+    records = obs.read_trace(trace_path)
+    spans = obs.validate_trace(records)
+    summary = obs.summarize_trace(records)
+    assert summary["counters"]["campaign.rounds"] == CAMPAIGN["rounds"]
+    assert summary["counters"]["sim.evaluations"] > 0
+
+    record(
+        "trace_overhead",
+        {
+            "workloads": list(WORKLOADS),
+            "campaign": {
+                key: value for key, value in CAMPAIGN.items() if key != "refit"
+            },
+            "simpoint_phases": SIMPOINT_PHASES,
+            "pairs": PAIRS,
+            "trials": len(trials),
+            "untraced_seconds": plain_best,
+            "traced_seconds": traced_best,
+            "overhead_ratio": overhead,
+            "span_count": len(spans),
+            "event_count": summary["event_count"],
+            "trace_bytes": trace_path.stat().st_size,
+        },
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"tracing costs {100 * (overhead - 1):.1f}% in the best of "
+        f"{len(trials)} trials x {PAIRS} interleaved pairs "
+        f"({traced_best:.3f}s traced vs {plain_best:.3f}s untraced)"
+    )

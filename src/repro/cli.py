@@ -23,9 +23,14 @@ writing any Python:
   parameters the adapted predictors' attention marks as important
   (``docs/pruning.md``); ``--store PATH`` persists every measurement to a
   store directory reused across campaigns (``docs/store.md``);
+  ``--trace PATH`` records a :mod:`repro.obs` span/metric trace of the
+  campaign without perturbing its results (``docs/observability.md``);
 * ``store``      — inspect or maintain a persistent measurement store:
   ``stats`` summarises it, ``verify`` scans every segment for corruption,
-  ``compact`` merges the segment log into one deduplicated segment.
+  ``compact`` merges the segment log into one deduplicated segment;
+* ``trace``      — inspect a recorded trace artifact: ``summarize`` prints
+  per-span and per-workload time totals plus counters, ``timeline`` prints
+  the spans as an indented start-ordered timeline.
 
 Every command accepts ``--seed`` so runs are reproducible, and prints a short
 human-readable report to stdout; machine-readable results are written as JSON
@@ -44,6 +49,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.trees import GradientBoostingRegressor
 from repro.core.config import default_config, paper_scale_config
 from repro.core.metadse import MetaDSE
@@ -349,6 +355,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
             screen_tile=args.screen_tile,
             focus=focus,
             focus_levels=args.focus_levels,
+            trace=args.trace,
         )
     else:
         if focus is not None:
@@ -400,8 +407,9 @@ def cmd_dse(args: argparse.Namespace) -> int:
         scope = (
             nn_parallel.threads(args.threads) if args.threads else nullcontext()
         )
+        trace_scope = obs.tracing(args.trace) if args.trace else nullcontext()
         try:
-            with scope:
+            with trace_scope, scope:
                 campaign = engine.run_campaign(
                     workloads,
                     surrogates,
@@ -480,6 +488,26 @@ def cmd_store(args: argparse.Namespace) -> int:
         f"({stats.num_records} records, {stats.total_bytes} bytes)"
     )
     _write_json(args.output, stats.as_dict())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect a recorded :mod:`repro.obs` trace artifact."""
+    try:
+        records = obs.read_trace(args.path)
+        obs.validate_trace(records)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"trace {args.path}: {error}") from None
+
+    if args.action == "summarize":
+        summary = obs.summarize_trace(records)
+        print(obs.render_summary(summary))
+        _write_json(args.output, summary)
+        return 0
+
+    rows = obs.timeline_rows(records)
+    print(obs.render_timeline(rows))
+    _write_json(args.output, {"rows": rows})
     return 0
 
 
@@ -662,6 +690,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--prune", action="store_true",
         help="shorthand for --focus 0.5",
     )
+    dse.add_argument(
+        "--trace",
+        help="record a span/metric trace of the campaign to this JSONL file "
+             "(campaign results are bitwise identical with tracing on or "
+             "off; inspect with 'repro trace summarize', "
+             "docs/observability.md)",
+    )
     dse.add_argument("--output", help="optional JSON output path")
     dse.set_defaults(handler=cmd_dse)
 
@@ -676,6 +711,18 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("path", help="measurement store directory")
     store.add_argument("--output", help="optional JSON output path")
     store.set_defaults(handler=cmd_store)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect a recorded repro.obs trace artifact"
+    )
+    trace.add_argument(
+        "action", choices=("summarize", "timeline"),
+        help="summarize: per-span/per-workload time totals and counters; "
+             "timeline: indented start-ordered span timeline",
+    )
+    trace.add_argument("path", help="trace JSONL file (from --trace / tracing())")
+    trace.add_argument("--output", help="optional JSON output path")
+    trace.set_defaults(handler=cmd_trace)
 
     return parser
 

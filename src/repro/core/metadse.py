@@ -25,6 +25,7 @@ from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.base import CrossWorkloadModel, as_1d, as_2d
 from repro.core.config import MetaDSEConfig, default_config
 from repro.datasets.generation import DSEDataset, WorkloadDataset
@@ -286,6 +287,7 @@ class MetaDSE(CrossWorkloadModel):
         focus_levels: int = 1,
         focus_probe: int = 64,
         store=None,
+        trace=None,
     ):
         """Run a batched cross-workload DSE campaign with adapted predictors.
 
@@ -367,6 +369,12 @@ class MetaDSE(CrossWorkloadModel):
             and processes: a re-run over a populated store re-simulates
             nothing it has seen, with bitwise-identical results
             (``docs/store.md``).
+        trace:
+            Optional path: activate :mod:`repro.obs` tracing for the
+            whole exploration (adaptation + campaign) and write the span
+            /metric trace there as JSONL (``docs/observability.md``).
+            Campaign results are bitwise identical with tracing on or
+            off; inspect the artifact with ``repro trace summarize``.
 
         Returns the engine's :class:`~repro.dse.engine.CampaignResult`
         (per-workload fronts + hypervolume curves, physical units).  Like
@@ -375,6 +383,39 @@ class MetaDSE(CrossWorkloadModel):
         """
         from repro.dse.engine import CampaignEngine, ObjectiveSet
         from repro.dse.surrogates import StackedPredictorSurrogate
+
+        if trace is not None:
+            # Re-enter with the session installed so the adaptation phase
+            # is traced too; the campaign itself is unchanged either way
+            # (the obs determinism contract, docs/observability.md).
+            with obs.tracing(trace):
+                with obs.span(
+                    "explore",
+                    strategy=strategy,
+                    rounds=rounds,
+                    workloads=len(supports),
+                ):
+                    return self.explore(
+                        simulator,
+                        supports,
+                        objectives=objectives,
+                        objective_supports=objective_supports,
+                        maximize=maximize,
+                        candidate_pool=candidate_pool,
+                        simulation_budget=simulation_budget,
+                        rounds=rounds,
+                        seed=seed,
+                        strategy=strategy,
+                        jobs=jobs,
+                        executor=executor,
+                        checkpoint=checkpoint,
+                        screen_tile=screen_tile,
+                        focus=focus,
+                        focus_levels=focus_levels,
+                        focus_probe=focus_probe,
+                        store=store,
+                        trace=None,
+                    )
 
         if self.meta_model is None:
             raise RuntimeError("explore() called before pretrain()")
@@ -403,10 +444,11 @@ class MetaDSE(CrossWorkloadModel):
             missing = [w for w in workloads if w not in model_supports]
             if missing:
                 raise ValueError(f"supports for {metric!r} are missing workloads {missing}")
-            with self._thread_scope():
-                adapted[metric] = model.adapt_many(
-                    [model_supports[workload] for workload in workloads]
-                )
+            with obs.span("explore.adapt", metric=metric):
+                with self._thread_scope():
+                    adapted[metric] = model.adapt_many(
+                        [model_supports[workload] for workload in workloads]
+                    )
 
         if store is not None and getattr(simulator, "store", None) is None:
             simulator.attach_store(store)

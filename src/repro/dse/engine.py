@@ -45,6 +45,7 @@ from typing import Callable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.designspace.encoding import OrdinalEncoder
 from repro.designspace.sampling import BaseSampler, FocusedSampler, RandomSampler
 from repro.designspace.space import Configuration, DesignSpace
@@ -946,42 +947,74 @@ class CampaignEngine:
         last_predicted: Optional[np.ndarray] = None
 
         for round_index in range(rounds):
-            known_features = (
-                self.encoder.encode_batch(simulated) if simulated else None
-            )
-            if refit:
-                surrogate.fit(known_features, measured)
-
-            candidates = generator.propose_for(self, surrogate, workload, round_index)
-            features = self.encoder.encode_batch(candidates)
-            predicted = screen_predict(surrogate, features, self.screen_tile)
-            predicted_min = self.objectives.to_minimization(predicted)
-            context = AcquisitionContext(
-                features=features,
-                known_features=known_features,
-                surrogate=surrogate,
-                objectives=self.objectives,
-            )
-            selected = acquisition.select(predicted_min, simulation_budget, context)
-
-            chosen = [candidates[i] for i in selected]
-            rows = self.measure(chosen, workload)
-            simulated.extend(chosen)
-            measured = np.concatenate([measured, rows], axis=0)
-
-            candidates_screened += len(candidates)
-            last_selected = selected
-            last_predicted = predicted
-            if tracker is not None:
-                entry = tracker.record(
-                    round_index,
-                    self.objectives.to_minimization(measured),
-                    len(simulated),
+            with obs.span("campaign.round", workload=workload, round=round_index):
+                obs.add_counter("campaign.rounds", 1)
+                known_features = (
+                    self.encoder.encode_batch(simulated) if simulated else None
                 )
-                arm_for = getattr(generator, "arm_for", None)
-                if arm_for is not None:
-                    entry.extras["arm"] = arm_for(workload, round_index)
-                generator.observe_round(workload, round_index, tracker)
+                if refit:
+                    with obs.span(
+                        "campaign.refit", workload=workload, round=round_index
+                    ):
+                        surrogate.fit(known_features, measured)
+
+                with obs.span(
+                    "campaign.propose", workload=workload, round=round_index
+                ):
+                    candidates = generator.propose_for(
+                        self, surrogate, workload, round_index
+                    )
+                features = self.encoder.encode_batch(candidates)
+                with obs.span(
+                    "campaign.screen",
+                    workload=workload,
+                    round=round_index,
+                    candidates=len(candidates),
+                ):
+                    predicted = screen_predict(surrogate, features, self.screen_tile)
+                predicted_min = self.objectives.to_minimization(predicted)
+                context = AcquisitionContext(
+                    features=features,
+                    known_features=known_features,
+                    surrogate=surrogate,
+                    objectives=self.objectives,
+                )
+                with obs.span(
+                    "campaign.select", workload=workload, budget=simulation_budget
+                ):
+                    selected = acquisition.select(
+                        predicted_min, simulation_budget, context
+                    )
+
+                chosen = [candidates[i] for i in selected]
+                with obs.span("campaign.measure", configs=len(chosen)):
+                    rows = self.measure(chosen, workload)
+                simulated.extend(chosen)
+                measured = np.concatenate([measured, rows], axis=0)
+
+                candidates_screened += len(candidates)
+                last_selected = selected
+                last_predicted = predicted
+                if tracker is not None:
+                    entry = tracker.record(
+                        round_index,
+                        self.objectives.to_minimization(measured),
+                        len(simulated),
+                    )
+                    arm_for = getattr(generator, "arm_for", None)
+                    if arm_for is not None:
+                        entry.extras["arm"] = arm_for(workload, round_index)
+                    quality = {
+                        "workload": workload,
+                        "round": round_index,
+                        "hypervolume": entry.hypervolume,
+                        "pareto": entry.pareto_size,
+                        "simulations": entry.simulations_total,
+                    }
+                    if "arm" in entry.extras:
+                        quality["arm"] = entry.extras["arm"]
+                    obs.event("campaign.quality", **quality)
+                    generator.observe_round(workload, round_index, tracker)
 
         measured_min = self.objectives.to_minimization(measured)
         # The tracker already computed the final front when it recorded the
@@ -1142,7 +1175,10 @@ class CampaignEngine:
         predictions: dict[str, np.ndarray] = {}
         for workload in workloads:
             surrogate = surrogate_for(workload)
-            predicted = screen_predict(surrogate, features, self.screen_tile)
+            with obs.span(
+                "campaign.screen", workload=workload, candidates=len(candidates)
+            ):
+                predicted = screen_predict(surrogate, features, self.screen_tile)
             predicted_min = self.objectives.to_minimization(predicted)
             context = AcquisitionContext(
                 features=features,
@@ -1168,7 +1204,15 @@ class CampaignEngine:
             )
             measured_min = self.objectives.to_minimization(measured)
             tracker = QualityTracker(self.objectives)
-            tracker.record(0, measured_min, len(union_configs))
+            entry = tracker.record(0, measured_min, len(union_configs))
+            obs.event(
+                "campaign.quality",
+                workload=workload,
+                round=0,
+                hypervolume=entry.hypervolume,
+                pareto=entry.pareto_size,
+                simulations=entry.simulations_total,
+            )
             per_workload[workload] = WorkloadCampaignResult(
                 workload=workload,
                 objectives=self.objectives,

@@ -42,6 +42,7 @@ from typing import Mapping, Optional
 
 from repro.designspace.space import Configuration
 from repro.dse.engine import CandidateGenerator, QualityTracker
+from repro import obs
 from repro.dse.quality import hypervolume_slope
 from repro.dse.surrogates import MultiObjectiveSurrogate
 
@@ -187,6 +188,14 @@ class StrategyPortfolio(CandidateGenerator):
                 "reward": float(reward),
             }
         )
+        obs.event(
+            "bandit.observe",
+            workload=workload,
+            round=int(round_index),
+            arm=arm,
+            reward=float(reward),
+        )
+        obs.add_counter("bandit.observations", 1)
 
     def allocation_trace(self) -> list[dict]:
         """Chronological ``{workload, round, arm, reward}`` records."""

@@ -70,6 +70,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.dse.acquisition import AcquisitionContext, ParetoRankAcquisition
 from repro.runtime.checkpoint import (
     CampaignCheckpoint,
@@ -108,8 +109,10 @@ def _screen_workload(
     from repro.dse.engine import screen_predict
 
     if refit:
-        surrogate.fit(known_features, known_targets)
-    predicted = screen_predict(surrogate, features, screen_tile)
+        with obs.span("campaign.refit"):
+            surrogate.fit(known_features, known_targets)
+    with obs.span("campaign.screen", candidates=len(features)):
+        predicted = screen_predict(surrogate, features, screen_tile)
     predicted_min = objectives.to_minimization(predicted)
     context = AcquisitionContext(
         features=features,
@@ -117,7 +120,8 @@ def _screen_workload(
         surrogate=surrogate,
         objectives=objectives,
     )
-    selected = acquisition.select(predicted_min, budget, context)
+    with obs.span("campaign.select", budget=budget):
+        selected = acquisition.select(predicted_min, budget, context)
     return [int(i) for i in selected], predicted
 
 
@@ -151,10 +155,18 @@ def _propose_screen_workload(
     from repro.dse.engine import screen_predict
 
     if refit:
-        surrogate.fit(known_features, known_targets)
-    candidates = proposer.propose_for(context, surrogate, workload, round_index)
+        with obs.span("campaign.refit", workload=workload, round=round_index):
+            surrogate.fit(known_features, known_targets)
+    with obs.span("campaign.propose", workload=workload, round=round_index):
+        candidates = proposer.propose_for(context, surrogate, workload, round_index)
     features = context.encoder.encode_batch(candidates)
-    predicted = screen_predict(surrogate, features, screen_tile)
+    with obs.span(
+        "campaign.screen",
+        workload=workload,
+        round=round_index,
+        candidates=len(candidates),
+    ):
+        predicted = screen_predict(surrogate, features, screen_tile)
     predicted_min = objectives.to_minimization(predicted)
     acquisition_context = AcquisitionContext(
         features=features,
@@ -162,7 +174,8 @@ def _propose_screen_workload(
         surrogate=surrogate,
         objectives=objectives,
     )
-    selected = acquisition.select(predicted_min, budget, acquisition_context)
+    with obs.span("campaign.select", workload=workload, budget=budget):
+        selected = acquisition.select(predicted_min, budget, acquisition_context)
     return [candidates[int(i)] for i in selected], predicted, len(candidates)
 
 
@@ -321,12 +334,16 @@ def run_campaign_runtime(
     arm_for = getattr(generator, "arm_for", None)
 
     def measure_union(union_configs: list) -> dict[str, np.ndarray]:
-        # Pick up store segments appended by concurrent campaigns since the
-        # last join (no-op without a store).
-        refresh_store = getattr(engine.simulator, "refresh_store", None)
-        if refresh_store is not None:
-            refresh_store()
-        sweep = engine.simulator.run_sweep(union_configs, workloads, executor=executor)
+        with obs.span("campaign.measure", configs=len(union_configs)):
+            obs.add_counter("campaign.union_configs", len(union_configs))
+            # Pick up store segments appended by concurrent campaigns since
+            # the last join (no-op without a store).
+            refresh_store = getattr(engine.simulator, "refresh_store", None)
+            if refresh_store is not None:
+                refresh_store()
+            sweep = engine.simulator.run_sweep(
+                union_configs, workloads, executor=executor
+            )
         return {
             workload: np.stack(
                 [sweep[workload].objective(name) for name in objectives.names], axis=1
@@ -354,6 +371,16 @@ def run_campaign_runtime(
                 )
                 if record.arms:
                     entry.extras["arm"] = record.arms[workload]
+                quality = {
+                    "workload": workload,
+                    "round": record.round_index,
+                    "hypervolume": entry.hypervolume,
+                    "pareto": entry.pareto_size,
+                    "simulations": entry.simulations_total,
+                }
+                if record.arms:
+                    quality["arm"] = record.arms[workload]
+                obs.event("campaign.quality", **quality)
         if record.round_index >= 0:
             # Parent-side, in round order — fresh and restored rounds alike,
             # so a resumed bandit replays into the same state bitwise.
@@ -364,26 +391,27 @@ def run_campaign_runtime(
 
     # -- initial samples (round -1): measured on every workload ---------------
     if initial_samples:
-        initial = engine.sampler.sample(initial_samples)
-        record = completed.get(-1)
-        if record is not None:
-            if record.union_configs != initial:
-                raise CheckpointMismatchError(
-                    "resumed initial samples differ from the checkpoint — "
-                    "the engine must be reconstructed with the same seed "
-                    "and sampler to resume a campaign"
+        with obs.span("campaign.initial", samples=initial_samples):
+            initial = engine.sampler.sample(initial_samples)
+            record = completed.get(-1)
+            if record is not None:
+                if record.union_configs != initial:
+                    raise CheckpointMismatchError(
+                        "resumed initial samples differ from the checkpoint — "
+                        "the engine must be reconstructed with the same seed "
+                        "and sampler to resume a campaign"
+                    )
+                record = RoundRecord(-1, initial, record.selections, record.measured)
+            else:
+                record = RoundRecord(
+                    round_index=-1,
+                    union_configs=initial,
+                    selections={workload: [] for workload in workloads},
+                    measured=measure_union(initial),
                 )
-            record = RoundRecord(-1, initial, record.selections, record.measured)
-        else:
-            record = RoundRecord(
-                round_index=-1,
-                union_configs=initial,
-                selections={workload: [] for workload in workloads},
-                measured=measure_union(initial),
-            )
-            if ckpt is not None:
-                ckpt.record_round(record)
-        absorb(record)
+                if ckpt is not None:
+                    ckpt.record_round(record)
+            absorb(record)
 
     # -- rounds (per-workload-pool mode) ----------------------------------------
     from repro.dse.engine import ProposalContext
@@ -471,183 +499,185 @@ def run_campaign_runtime(
         ]
 
     for round_index in range(rounds):
-        if per_workload_pools:
-            # Bandit selections are resolved parent-side from the state
-            # accumulated over rounds < round_index (arm_for is pure), so
-            # workers never touch — and cannot race on — bandit state.
-            arms_map = (
-                {
-                    workload: arm_for(workload, round_index)
-                    for workload in workloads
-                }
-                if arm_for is not None
-                else {}
-            )
-            record = completed.get(round_index)
-            if record is not None:
-                if arm_for is not None and record.arms != arms_map:
-                    raise CheckpointMismatchError(
-                        f"replayed bandit arms for round {round_index} "
-                        f"({arms_map}) do not match the checkpoint "
-                        f"({record.arms}) — the campaign was resumed with a "
-                        f"different portfolio or quality signal"
-                    )
-                for workload in workloads:
-                    screened_by_workload[workload] += record.pool_sizes.get(
-                        workload, 0
-                    )
-                if round_index == rounds - 1:
-                    # Final round restored: re-propose and re-screen
-                    # (simulation-free — proposals come from keyed pure
-                    # streams) so `predicted` is populated and the stored
-                    # union and selections verify.
-                    screen_jobs = make_propose_jobs(round_index)
-                    results = run_jobs(screen_jobs, executor)
-                    union_configs, selections, _, predicted = union_of(
-                        screen_jobs, results
-                    )
-                    if (
-                        union_configs != record.union_configs
-                        or selections != record.selections
-                    ):
+        with obs.span("campaign.round", round=round_index):
+            obs.add_counter("campaign.rounds", 1)
+            if per_workload_pools:
+                # Bandit selections are resolved parent-side from the state
+                # accumulated over rounds < round_index (arm_for is pure), so
+                # workers never touch — and cannot race on — bandit state.
+                arms_map = (
+                    {
+                        workload: arm_for(workload, round_index)
+                        for workload in workloads
+                    }
+                    if arm_for is not None
+                    else {}
+                )
+                record = completed.get(round_index)
+                if record is not None:
+                    if arm_for is not None and record.arms != arms_map:
                         raise CheckpointMismatchError(
-                            f"re-proposed pools for round {round_index} do "
-                            f"not reproduce the checkpointed union — the "
-                            f"campaign was resumed with different generator "
-                            f"seeds, surrogates or acquisition settings"
+                            f"replayed bandit arms for round {round_index} "
+                            f"({arms_map}) do not match the checkpoint "
+                            f"({record.arms}) — the campaign was resumed with a "
+                            f"different portfolio or quality signal"
                         )
                     for workload in workloads:
-                        last_predicted[workload] = predicted[workload]
+                        screened_by_workload[workload] += record.pool_sizes.get(
+                            workload, 0
+                        )
+                    if round_index == rounds - 1:
+                        # Final round restored: re-propose and re-screen
+                        # (simulation-free — proposals come from keyed pure
+                        # streams) so `predicted` is populated and the stored
+                        # union and selections verify.
+                        screen_jobs = make_propose_jobs(round_index)
+                        results = run_jobs(screen_jobs, executor)
+                        union_configs, selections, _, predicted = union_of(
+                            screen_jobs, results
+                        )
+                        if (
+                            union_configs != record.union_configs
+                            or selections != record.selections
+                        ):
+                            raise CheckpointMismatchError(
+                                f"re-proposed pools for round {round_index} do "
+                                f"not reproduce the checkpointed union — the "
+                                f"campaign was resumed with different generator "
+                                f"seeds, surrogates or acquisition settings"
+                            )
+                        for workload in workloads:
+                            last_predicted[workload] = predicted[workload]
+                    absorb(record)
+                    continue
+
+                screen_jobs = make_propose_jobs(round_index)
+
+                def propose_measure_join(screen_results: dict):
+                    union_configs, selections, pool_sizes, predicted = union_of(
+                        screen_jobs, screen_results
+                    )
+                    return (
+                        union_configs,
+                        selections,
+                        pool_sizes,
+                        predicted,
+                        measure_union(union_configs),
+                    )
+
+                measure_job = Job(
+                    f"measure@round{round_index}",
+                    propose_measure_join,
+                    deps=screen_jobs,
+                    inline=True,  # it fans its own sweep shards out to the executor
+                    pass_results=True,
+                )
+                results = run_jobs([measure_job], executor)
+                union_configs, selections, pool_sizes, predicted, union_rows = (
+                    results[measure_job.name]
+                )
+                for workload in workloads:
+                    last_predicted[workload] = predicted[workload]
+                    screened_by_workload[workload] += pool_sizes[workload]
+                record = RoundRecord(
+                    round_index=round_index,
+                    union_configs=union_configs,
+                    selections=selections,
+                    measured=union_rows,
+                    arms=dict(arms_map),
+                    pool_sizes=pool_sizes,
+                )
+                if ckpt is not None:
+                    ckpt.record_round(record)
                 absorb(record)
                 continue
 
-            screen_jobs = make_propose_jobs(round_index)
+            # Propose even for restored rounds: the generator's RNG stream must
+            # advance exactly as in an uninterrupted run.
+            candidates = generator.propose(engine, None, round_index)
+            candidates_screened += len(candidates)
 
-            def propose_measure_join(screen_results: dict):
-                union_configs, selections, pool_sizes, predicted = union_of(
-                    screen_jobs, screen_results
+            record = completed.get(round_index)
+            if record is not None:
+                replayed_union = [
+                    candidates[index] for index in record.union_pool_indices
+                ]
+                if replayed_union != record.union_configs:
+                    raise CheckpointMismatchError(
+                        f"replayed candidate pool for round {round_index} does "
+                        f"not reproduce the checkpointed union — the engine must "
+                        f"be reconstructed with the same seed and sampler to "
+                        f"resume a campaign"
+                    )
+                if round_index == rounds - 1:
+                    # The campaign ends on a restored round: re-run its
+                    # (simulation-free) screening so `predicted` is populated
+                    # and the stored selections verify — a fully resumed
+                    # campaign result is indistinguishable from an
+                    # uninterrupted one.
+                    screen_jobs = make_screen_jobs(
+                        round_index, engine.encoder.encode_batch(candidates)
+                    )
+                    results = run_jobs(screen_jobs, executor)
+                    position = {
+                        index: offset
+                        for offset, index in enumerate(record.union_pool_indices)
+                    }
+                    for workload, job in zip(workloads, screen_jobs):
+                        selected, predicted = results[job.name]
+                        if [
+                            position.get(index) for index in selected
+                        ] != record.selections[workload]:
+                            raise CheckpointMismatchError(
+                                f"re-screened selections for {workload!r} (round "
+                                f"{round_index}) do not match the checkpoint — "
+                                f"the campaign was resumed with different "
+                                f"surrogates or acquisition settings"
+                            )
+                        last_predicted[workload] = predicted
+                absorb(record)
+                continue
+
+            screen_jobs = make_screen_jobs(
+                round_index, engine.encoder.encode_batch(candidates)
+            )
+
+            def measure_join(screen_results: dict) -> tuple[list[int], dict[str, np.ndarray]]:
+                union = sorted(
+                    {
+                        int(index)
+                        for selected, _ in screen_results.values()
+                        for index in selected
+                    }
                 )
-                return (
-                    union_configs,
-                    selections,
-                    pool_sizes,
-                    predicted,
-                    measure_union(union_configs),
-                )
+                return union, measure_union([candidates[index] for index in union])
 
             measure_job = Job(
                 f"measure@round{round_index}",
-                propose_measure_join,
+                measure_join,
                 deps=screen_jobs,
                 inline=True,  # it fans its own sweep shards out to the executor
                 pass_results=True,
             )
             results = run_jobs([measure_job], executor)
-            union_configs, selections, pool_sizes, predicted, union_rows = (
-                results[measure_job.name]
-            )
-            for workload in workloads:
-                last_predicted[workload] = predicted[workload]
-                screened_by_workload[workload] += pool_sizes[workload]
+
+            union, union_rows = results[measure_job.name]
+            position = {index: offset for offset, index in enumerate(union)}
+            selections = {}
+            for workload, job in zip(workloads, screen_jobs):
+                selected, predicted = results[job.name]
+                selections[workload] = [position[index] for index in selected]
+                last_predicted[workload] = predicted
             record = RoundRecord(
                 round_index=round_index,
-                union_configs=union_configs,
+                union_configs=[candidates[index] for index in union],
                 selections=selections,
                 measured=union_rows,
-                arms=dict(arms_map),
-                pool_sizes=pool_sizes,
+                union_pool_indices=union,
             )
             if ckpt is not None:
                 ckpt.record_round(record)
             absorb(record)
-            continue
-
-        # Propose even for restored rounds: the generator's RNG stream must
-        # advance exactly as in an uninterrupted run.
-        candidates = generator.propose(engine, None, round_index)
-        candidates_screened += len(candidates)
-
-        record = completed.get(round_index)
-        if record is not None:
-            replayed_union = [
-                candidates[index] for index in record.union_pool_indices
-            ]
-            if replayed_union != record.union_configs:
-                raise CheckpointMismatchError(
-                    f"replayed candidate pool for round {round_index} does "
-                    f"not reproduce the checkpointed union — the engine must "
-                    f"be reconstructed with the same seed and sampler to "
-                    f"resume a campaign"
-                )
-            if round_index == rounds - 1:
-                # The campaign ends on a restored round: re-run its
-                # (simulation-free) screening so `predicted` is populated
-                # and the stored selections verify — a fully resumed
-                # campaign result is indistinguishable from an
-                # uninterrupted one.
-                screen_jobs = make_screen_jobs(
-                    round_index, engine.encoder.encode_batch(candidates)
-                )
-                results = run_jobs(screen_jobs, executor)
-                position = {
-                    index: offset
-                    for offset, index in enumerate(record.union_pool_indices)
-                }
-                for workload, job in zip(workloads, screen_jobs):
-                    selected, predicted = results[job.name]
-                    if [
-                        position.get(index) for index in selected
-                    ] != record.selections[workload]:
-                        raise CheckpointMismatchError(
-                            f"re-screened selections for {workload!r} (round "
-                            f"{round_index}) do not match the checkpoint — "
-                            f"the campaign was resumed with different "
-                            f"surrogates or acquisition settings"
-                        )
-                    last_predicted[workload] = predicted
-            absorb(record)
-            continue
-
-        screen_jobs = make_screen_jobs(
-            round_index, engine.encoder.encode_batch(candidates)
-        )
-
-        def measure_join(screen_results: dict) -> tuple[list[int], dict[str, np.ndarray]]:
-            union = sorted(
-                {
-                    int(index)
-                    for selected, _ in screen_results.values()
-                    for index in selected
-                }
-            )
-            return union, measure_union([candidates[index] for index in union])
-
-        measure_job = Job(
-            f"measure@round{round_index}",
-            measure_join,
-            deps=screen_jobs,
-            inline=True,  # it fans its own sweep shards out to the executor
-            pass_results=True,
-        )
-        results = run_jobs([measure_job], executor)
-
-        union, union_rows = results[measure_job.name]
-        position = {index: offset for offset, index in enumerate(union)}
-        selections = {}
-        for workload, job in zip(workloads, screen_jobs):
-            selected, predicted = results[job.name]
-            selections[workload] = [position[index] for index in selected]
-            last_predicted[workload] = predicted
-        record = RoundRecord(
-            round_index=round_index,
-            union_configs=[candidates[index] for index in union],
-            selections=selections,
-            measured=union_rows,
-            union_pool_indices=union,
-        )
-        if ckpt is not None:
-            ckpt.record_round(record)
-        absorb(record)
 
     # -- assemble ---------------------------------------------------------------
     if per_workload_pools:

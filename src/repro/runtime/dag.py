@@ -26,9 +26,11 @@ Two affordances matter for the campaign runtime:
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
+from repro import obs
 from repro.runtime.executors import Executor, SerialExecutor
 
 
@@ -160,6 +162,36 @@ def _invoke(job: Job, dependency_results: dict[str, Any]):
     return job.fn(*job.args, **job.kwargs)
 
 
+def _invoke_traced(job: Job, dependency_results: dict[str, Any], submitted: float):
+    """Worker-side wrapper used when tracing is active.
+
+    Runs the job under an :mod:`repro.obs` capture buffer and returns
+    ``(result, telemetry, submitted, started, ended)`` so the scheduling
+    thread can emit the job span (with its queue/run durations) and splice
+    the worker-side spans under it.  Module-level for pickling.
+    """
+    started = time.time()
+    result, telemetry = obs.run_captured(_invoke, job, dependency_results)
+    return result, telemetry, submitted, started, time.time()
+
+
+def _finish_traced(job: Job, wrapped) -> Any:
+    """Scheduler-side join of a traced job: emit its span, return the result."""
+    result, telemetry, submitted, started, ended = wrapped
+    span_id = obs.record_span(
+        "dag.job",
+        started,
+        ended,
+        job=job.name,
+        queue_s=started - submitted,
+    )
+    obs.splice(telemetry, parent=span_id)
+    obs.add_counter("dag.jobs", 1)
+    obs.add_counter("dag.queue_s", started - submitted)
+    obs.add_counter("dag.run_s", ended - started)
+    return result
+
+
 def run_jobs(
     jobs: Iterable[Job], executor: Optional[Executor] = None
 ) -> dict[str, Any]:
@@ -172,6 +204,7 @@ def run_jobs(
     :class:`JobFailedError` naming it.
     """
     executor = executor if executor is not None else SerialExecutor()
+    trace = obs.trace_active()
     graph = collect_jobs(jobs)
     names = [job.name for job in graph]
     if len(set(names)) != len(names):
@@ -221,6 +254,8 @@ def run_jobs(
                 error = future.exception()
                 if error is not None:
                     failures.append((submitted_at[future], job, error))
+                elif trace:
+                    completions.append((job, _finish_traced(job, future.result())))
                 else:
                     completions.append((job, future.result()))
 
@@ -242,6 +277,12 @@ def run_jobs(
             job = by_name[name]
             if job.inline:
                 inline_ready.append(job)
+            elif trace:
+                future = executor.submit(
+                    _invoke_traced, job, dependency_results(job), time.time()
+                )
+                pending[future] = job
+                submitted_at[future] = len(submitted_at)
             else:
                 future = executor.submit(_invoke, job, dependency_results(job))
                 pending[future] = job
@@ -250,7 +291,13 @@ def run_jobs(
         completed: list[tuple[Job, Any]] = []
         for job in inline_ready:
             try:
-                completed.append((job, _invoke(job, dependency_results(job))))
+                if trace:
+                    with obs.span("dag.job", job=job.name, inline=True):
+                        value = _invoke(job, dependency_results(job))
+                    obs.add_counter("dag.inline_jobs", 1)
+                else:
+                    value = _invoke(job, dependency_results(job))
+                completed.append((job, value))
             except Exception as error:  # KeyboardInterrupt/SystemExit propagate
                 drain_completions((), inline_failure=(job, error))
         if not completed:

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.designspace.space import DesignSpace
 from repro.designspace.spec import build_table1_space
+from repro import obs
 from repro.runtime.executors import resolve_broadcast
 from repro.runtime.sharding import plan_sweep_shards, split_evenly
 from repro.store import METRIC_COLUMNS, MeasurementStore, measurement_fingerprint
@@ -54,20 +55,31 @@ from repro.workloads.spec2017 import WorkloadSuite, spec2017_suite
 IS_TOURNAMENT_KEY = "is_tournament"
 
 
-def _evaluate_shard_task(
+def _evaluate_missing_task(
     simulator: "Simulator",
     profile_name: str,
     params: dict[str, np.ndarray],
-    keys: list[tuple],
-) -> tuple[np.ndarray, int, int]:
+    trace: bool,
+) -> tuple[np.ndarray, "obs.WorkerTelemetry | None"]:
     """Executor task for one evaluation shard (module-level so
     :class:`~repro.runtime.executors.ProcessExecutor` can pickle it).
 
     *simulator* may arrive as a broadcast handle: the scatter sites
     broadcast the simulator once per batch, so a process pool pickles it
     once per worker instead of once per shard task.
+
+    The parent has already resolved the cache/store tiers (see
+    ``_run_batch_parallel``), so *params* holds only configurations that
+    must be freshly simulated: the task is a pure ``_evaluate_encoded``
+    call, which is what makes parent-side counter accounting exact under
+    every executor kind.  When *trace* is set the evaluation runs under an
+    :mod:`repro.obs` capture buffer that rides back on the return value;
+    when clear the second element is ``None`` and nothing is recorded.
     """
-    return resolve_broadcast(simulator)._evaluate_shard(profile_name, params, keys)
+    resolved = resolve_broadcast(simulator)
+    if not trace:
+        return resolved._evaluate_missing(profile_name, params), None
+    return obs.run_captured(resolved._evaluate_missing, profile_name, params)
 
 
 @dataclass(frozen=True)
@@ -190,12 +202,12 @@ class Simulator:
         **Concurrency invariant**: the cache dict is only ever *written*
         by the parent between evaluation calls — never from inside a
         parallel section.  Parallel paths (``executor=`` on
-        :meth:`run_batch` / :meth:`run_sweep`) give every worker a
-        read-only view (threads) or an empty per-worker copy (processes —
-        see :meth:`__getstate__`) and merge the resulting rows into the
-        parent cache deterministically, in shard order, after all workers
-        join.  Consequently ``evaluation_count`` can be higher under a
-        process executor (workers cannot see parent-cache hits); the
+        :meth:`run_batch` / :meth:`run_sweep`) walk the cache/store tiers
+        parent-side (:meth:`_lookup_tiers`), scatter only the missing
+        configurations, and merge the worker rows into the parent cache
+        deterministically, in shard order, after all workers join.
+        ``evaluation_count`` / ``store_hit_count`` are therefore exact —
+        equal to the serial run — under every executor kind, and the
         returned metric arrays are bitwise identical either way.
     evaluation_cache_size:
         Optional entry cap for the evaluation cache (requires
@@ -349,13 +361,18 @@ class Simulator:
         """
         if self._store is None:
             return 0
-        return self._store.refresh()
+        added = self._store.refresh()
+        obs.add_counter("store.refresh_records", added)
+        return added
 
     def _flush_store(self) -> None:
         """Write pending freshly-simulated rows as one atomic segment."""
         if self._store is None or not self._store_pending:
             return
-        self._store.put_batch(self._store_pending)
+        with obs.span("store.flush", records=len(self._store_pending)):
+            self._store.put_batch(self._store_pending)
+        obs.add_counter("store.flushes", 1)
+        obs.add_counter("store.flushed_records", len(self._store_pending))
         self._store_pending.clear()
         self._store_pending_keys.clear()
 
@@ -473,11 +490,12 @@ class Simulator:
         """
         profile = self._resolve_workload(workload)
         params, keys = self.encode_batch(configs)
-        if executor is None or executor.jobs <= 1 or len(keys) <= 1:
-            result = self._run_batch_encoded(profile, params, keys)
-        else:
-            result = self._run_batch_parallel(profile, params, keys, executor)
-        self._flush_store()
+        with obs.span("sim.run_batch", workload=profile.name, configs=len(keys)):
+            if executor is None or executor.jobs <= 1 or len(keys) <= 1:
+                result = self._run_batch_encoded(profile, params, keys)
+            else:
+                result = self._run_batch_parallel(profile, params, keys, executor)
+            self._flush_store()
         return result
 
     def _run_batch_encoded(
@@ -533,24 +551,46 @@ class Simulator:
     def _evaluate_shard(
         self, profile_name: str, params: dict[str, np.ndarray], keys: list[tuple]
     ) -> tuple[np.ndarray, int, int]:
-        """Worker-side shard evaluation: ``(rows, evaluation count, store hits)``.
+        """Serial tier walk: ``(rows, evaluation count, store hits)``.
 
         Reads the evaluation cache but **never writes it** and never touches
-        ``evaluation_count`` — all shared-state mutation happens in the
-        parent after the join, which is what makes the thread path safe
-        (workers only read while the parent is blocked in the join) and the
-        process path deterministic (workers mutate a pickled copy that is
-        discarded).  Lookups read through the tiers in order: in-memory
-        cache, then the persistent store, then simulation of the remainder.
+        ``evaluation_count`` — all shared-state mutation happens afterwards
+        in :meth:`_absorb_rows`.  Lookups read through the tiers in order:
+        in-memory cache, then the persistent store, then simulation of the
+        remainder.  The parallel paths run the same two stages
+        (:meth:`_lookup_tiers` parent-side, :meth:`_evaluate_missing` in
+        workers) with a scatter in between.
         """
         profile = self._resolve_workload(profile_name)
-        weights, phases = self._phase_table(profile)
+        _, phases = self._phase_table(profile)
         n = len(keys)
         metric_rows = np.empty((n, 5), dtype=np.float64)
+        missing, store_hits = self._lookup_tiers(profile.name, keys, metric_rows)
+        if missing:
+            if len(missing) == n:
+                fresh_params = params
+            else:
+                index = np.asarray(missing, dtype=np.int64)
+                fresh_params = {name: values[index] for name, values in params.items()}
+            metric_rows[missing] = self._evaluate_missing(profile.name, fresh_params)
+        return metric_rows, len(phases) * len(missing), store_hits
+
+    def _lookup_tiers(
+        self, profile_name: str, keys: list[tuple], metric_rows: np.ndarray
+    ) -> tuple[list[int], int]:
+        """Serve *keys* from the cache/store tiers, filling *metric_rows*.
+
+        Read-only over shared state.  Returns the indices that missed both
+        tiers (and must be simulated) plus the persistent-store hit count.
+        The parallel paths call this parent-side *before* scattering, so
+        only genuinely missing configurations travel to workers and the
+        tier accounting is exact under every executor kind.
+        """
+        n = len(keys)
         if self._evaluation_cache is not None:
             missing = []
             for i, key in enumerate(keys):
-                cached = self._evaluation_cache.get((profile.name, key))
+                cached = self._evaluation_cache.get((profile_name, key))
                 if cached is None:
                     missing.append(i)
                 else:
@@ -561,21 +601,30 @@ class Simulator:
         if missing and self._store is not None:
             still_missing = []
             for i in missing:
-                stored = self._store.get(profile.name, keys[i])
+                stored = self._store.get(profile_name, keys[i])
                 if stored is None:
                     still_missing.append(i)
                 else:
                     metric_rows[i] = stored
                     store_hits += 1
             missing = still_missing
-        if missing:
-            if len(missing) == n:
-                fresh_params = params
-            else:
-                index = np.asarray(missing, dtype=np.int64)
-                fresh_params = {name: values[index] for name, values in params.items()}
-            metric_rows[missing] = self._evaluate_encoded(fresh_params, weights, phases)
-        return metric_rows, len(phases) * len(missing), store_hits
+        return missing, store_hits
+
+    def _evaluate_missing(
+        self, profile_name: str, params: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Freshly simulate already-encoded configurations (no tier reads).
+
+        The evaluation core both the serial tier walk and the scattered
+        shard tasks end in; the ``sim.evaluate`` span therefore appears
+        identically in untraced-serial, captured-serial and worker-side
+        traces.
+        """
+        profile = self._resolve_workload(profile_name)
+        weights, phases = self._phase_table(profile)
+        n = params["core_frequency_ghz"].shape[0]
+        with obs.span("sim.evaluate", workload=profile.name, configs=n):
+            return self._evaluate_encoded(params, weights, phases)
 
     def _absorb_rows(
         self,
@@ -595,13 +644,24 @@ class Simulator:
         """
         self.evaluation_count += count
         self.store_hit_count += store_hits
+        num_phases = len(self._phase_table(profile)[1])
+        fresh = count // num_phases if num_phases else 0
+        obs.add_counter("sim.configs", len(keys))
+        obs.add_counter("sim.fresh", fresh)
+        obs.add_counter("sim.cache_hits", len(keys) - fresh - store_hits)
+        obs.add_counter("sim.store_hits", store_hits)
+        obs.add_counter("sim.evaluations", count)
         cache = self._evaluation_cache
         if cache is not None:
             for i, key in enumerate(keys):
                 cache[(profile.name, key)] = metric_rows[i]
             if self._evaluation_cache_size is not None:
+                evicted = 0
                 while len(cache) > self._evaluation_cache_size:
                     cache.pop(next(iter(cache)))
+                    evicted += 1
+                if evicted:
+                    obs.add_counter("sim.cache_evictions", evicted)
         if self._store is not None and not self._store.read_only:
             for i, key in enumerate(keys):
                 store_key = (profile.name, key)
@@ -623,23 +683,6 @@ class Simulator:
             num_phases=len(self._phase_table(profile)[1]),
         )
 
-    def _merge_shard_rows(
-        self,
-        profile: WorkloadProfile,
-        keys: list[tuple],
-        shards: list[range],
-        shard_results: list[tuple[np.ndarray, int, int]],
-    ) -> BatchSimulationResult:
-        """Join sharded results: concatenate in shard order, then absorb."""
-        metric_rows = np.empty((len(keys), 5), dtype=np.float64)
-        total = 0
-        store_hits = 0
-        for shard, (rows, count, hits) in zip(shards, shard_results):
-            metric_rows[shard.start : shard.stop] = rows
-            total += count
-            store_hits += hits
-        return self._absorb_rows(profile, keys, metric_rows, total, store_hits)
-
     def _run_batch_parallel(
         self,
         profile: WorkloadProfile,
@@ -647,24 +690,66 @@ class Simulator:
         keys: list[tuple],
         executor,
     ) -> BatchSimulationResult:
-        """Sharded :meth:`run_batch` core: scatter shards, join in order."""
+        """Sharded :meth:`run_batch` core: prefilter, scatter, join in order.
+
+        The parent walks the cache/store tiers first (it is the only actor
+        with full tier visibility — process workers start with an empty
+        pickled cache) and scatters *only the missing configurations* in
+        ``executor.jobs`` contiguous shards.  Workers run the pure
+        evaluation core, so the parent's ``evaluation_count`` /
+        ``store_hit_count`` accounting is exact — equal to the serial run —
+        under every executor kind, and no worker re-simulates a
+        configuration the parent already has.  Bitwise equality with the
+        serial result is guaranteed by the partition-invariance contract
+        (docs/runtime.md): a configuration's labels do not depend on the
+        batch it was evaluated in.
+        """
         self._require_parallel_safe()
-        self._phase_table(profile)  # warm before pickling / thread fan-out
-        shards = split_evenly(len(keys), executor.jobs)
+        _, phases = self._phase_table(profile)  # warm before pickling / fan-out
+        n = len(keys)
+        metric_rows = np.empty((n, 5), dtype=np.float64)
+        missing, store_hits = self._lookup_tiers(profile.name, keys, metric_rows)
+        if missing:
+            self._scatter_missing(profile, params, missing, metric_rows, executor)
+        return self._absorb_rows(
+            profile, keys, metric_rows, len(phases) * len(missing), store_hits
+        )
+
+    def _scatter_missing(
+        self,
+        profile: WorkloadProfile,
+        params: dict[str, np.ndarray],
+        missing: list[int],
+        metric_rows: np.ndarray,
+        executor,
+    ) -> None:
+        """Evaluate *missing* rows through *executor*, in shard order.
+
+        Fills ``metric_rows[missing]`` in place; worker telemetry buffers
+        (when tracing) are spliced into the session in shard order after
+        each join, under the caller's active span.
+        """
+        index = np.asarray(missing, dtype=np.int64)
+        shards = split_evenly(len(missing), executor.jobs)
         simulator_ref = executor.broadcast(self)
+        trace = obs.trace_active()
         futures = [
             executor.submit(
-                _evaluate_shard_task,
+                _evaluate_missing_task,
                 simulator_ref,
                 profile.name,
-                {name: values[shard.start : shard.stop] for name, values in params.items()},
-                keys[shard.start : shard.stop],
+                {
+                    name: values[index[shard.start : shard.stop]]
+                    for name, values in params.items()
+                },
+                trace,
             )
             for shard in shards
         ]
-        return self._merge_shard_rows(
-            profile, keys, shards, [future.result() for future in futures]
-        )
+        for shard, future in zip(shards, futures):
+            rows, telemetry = future.result()
+            metric_rows[index[shard.start : shard.stop]] = rows
+            obs.splice(telemetry)
 
     def _evaluate_encoded(
         self,
@@ -740,51 +825,82 @@ class Simulator:
         targets = list(workloads) if workloads is not None else self.workload_names()
         params, keys = self.encode_batch(configs)
         profiles = [self._resolve_workload(workload) for workload in targets]
-        # Unlike run_batch, a single configuration still parallelises here:
-        # the workload axis alone yields len(profiles) independent tasks.
-        if executor is None or executor.jobs <= 1 or not profiles or not keys:
+        with obs.span("sim.run_sweep", workloads=len(profiles), configs=len(keys)):
+            # Unlike run_batch, a single configuration still parallelises
+            # here: the workload axis alone yields independent tasks.
+            if executor is None or executor.jobs <= 1 or not profiles or not keys:
+                results = {
+                    profile.name: self._run_batch_encoded(profile, params, keys)
+                    for profile in profiles
+                }
+                self._flush_store()
+                return results
+
+            self._require_parallel_safe()
+            for profile in profiles:
+                self._phase_table(profile)  # warm before pickling / fan-out
+            # Parent-side tier prefilter, as in _run_batch_parallel: only
+            # tier-missing configurations are scattered, so counters stay
+            # exact under every executor kind and warm rows never travel.
+            rows_by_name: dict[str, np.ndarray] = {}
+            missing_by_name: dict[str, list[int]] = {}
+            hits_by_name: dict[str, int] = {}
+            for profile in profiles:
+                metric_rows = np.empty((len(keys), 5), dtype=np.float64)
+                missing, store_hits = self._lookup_tiers(
+                    profile.name, keys, metric_rows
+                )
+                rows_by_name[profile.name] = metric_rows
+                missing_by_name[profile.name] = missing
+                hits_by_name[profile.name] = store_hits
+            simulator_ref = executor.broadcast(self)
+            trace = obs.trace_active()
+            tasks = []
+            for profile in profiles:
+                missing = missing_by_name[profile.name]
+                if not missing:
+                    continue
+                index = np.asarray(missing, dtype=np.int64)
+                for shard in plan_sweep_shards(
+                    len(missing), len(profiles), executor.jobs
+                ):
+                    sub = index[shard.start : shard.stop]
+                    tasks.append(
+                        (
+                            profile.name,
+                            sub,
+                            executor.submit(
+                                _evaluate_missing_task,
+                                simulator_ref,
+                                profile.name,
+                                {
+                                    name: values[sub]
+                                    for name, values in params.items()
+                                },
+                                trace,
+                            ),
+                        )
+                    )
+            # Join everything before mutating shared state (cache,
+            # counters): thread workers may only ever *read* the
+            # evaluation cache.
+            joined = [(name, sub, future.result()) for name, sub, future in tasks]
+            for name, sub, (rows, telemetry) in joined:
+                rows_by_name[name][sub] = rows
+                obs.splice(telemetry)
             results = {
-                profile.name: self._run_batch_encoded(profile, params, keys)
+                profile.name: self._absorb_rows(
+                    profile,
+                    keys,
+                    rows_by_name[profile.name],
+                    len(self._phase_table(profile)[1])
+                    * len(missing_by_name[profile.name]),
+                    hits_by_name[profile.name],
+                )
                 for profile in profiles
             }
             self._flush_store()
             return results
-
-        self._require_parallel_safe()
-        for profile in profiles:
-            self._phase_table(profile)  # warm before pickling / thread fan-out
-        shards = plan_sweep_shards(len(keys), len(profiles), executor.jobs)
-        simulator_ref = executor.broadcast(self)
-        futures = {
-            profile.name: [
-                executor.submit(
-                    _evaluate_shard_task,
-                    simulator_ref,
-                    profile.name,
-                    {
-                        name: values[shard.start : shard.stop]
-                        for name, values in params.items()
-                    },
-                    keys[shard.start : shard.stop],
-                )
-                for shard in shards
-            ]
-            for profile in profiles
-        }
-        # Join everything before mutating shared state (cache, counters):
-        # thread workers may only ever *read* the evaluation cache.
-        shard_results = {
-            name: [future.result() for future in name_futures]
-            for name, name_futures in futures.items()
-        }
-        results = {
-            profile.name: self._merge_shard_rows(
-                profile, keys, shards, shard_results[profile.name]
-            )
-            for profile in profiles
-        }
-        self._flush_store()
-        return results
 
     def run_scalar(
         self, config: Mapping, workload: "str | WorkloadProfile"

@@ -53,7 +53,7 @@ class TestParser:
         commands = set(subactions[0].choices)
         assert commands == {
             "table1", "generate", "similarity", "pretrain", "evaluate",
-            "explore", "dse", "store",
+            "explore", "dse", "store", "trace",
         }
 
     def test_missing_command_exits(self):
@@ -363,3 +363,84 @@ class TestStoreCli:
     def test_store_command_rejects_non_store_paths(self, tmp_path):
         with pytest.raises(SystemExit, match="not a measurement store"):
             main(["store", "stats", str(tmp_path)])
+
+
+class TestTraceCli:
+    def _run_campaign(self, dataset_path, extra):
+        return main(
+            [
+                "dse",
+                "--dataset", str(dataset_path),
+                "--workloads", "605.mcf_s", "620.omnetpp_s",
+                "--budget", "4",
+                "--candidate-pool", "30",
+                "--phases", "1",
+                "--rounds", "2",
+                *extra,
+            ]
+        )
+
+    def test_dse_trace_records_a_valid_artifact(
+        self, dataset_path, tmp_path, capsys
+    ):
+        from repro import obs
+
+        trace_path = tmp_path / "campaign.trace.jsonl"
+        plain = tmp_path / "plain.json"
+        traced = tmp_path / "traced.json"
+        assert self._run_campaign(dataset_path, ["--output", str(plain)]) == 0
+        assert self._run_campaign(
+            dataset_path, ["--output", str(traced), "--trace", str(trace_path)]
+        ) == 0
+        # Zero perturbation: the traced campaign's JSON summary is identical.
+        assert json.loads(traced.read_text()) == json.loads(plain.read_text())
+
+        records = obs.read_trace(trace_path)
+        spans = obs.validate_trace(records)
+        names = {span["name"] for span in spans.values()}
+        assert {"campaign.round", "campaign.measure", "sim.run_batch"} <= names
+        capsys.readouterr()
+
+        summary_json = tmp_path / "summary.json"
+        assert main(
+            [
+                "trace", "summarize", str(trace_path),
+                "--output", str(summary_json),
+            ]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "campaign.round" in printed
+        summary = json.loads(summary_json.read_text())
+        assert summary["span_count"] == len(spans)
+        # Serial engine rounds are per workload: 2 workloads x 2 rounds.
+        assert summary["counters"]["campaign.rounds"] == 4.0
+
+        assert main(["trace", "timeline", str(trace_path)]) == 0
+        assert "campaign.measure" in capsys.readouterr().out
+
+    def test_metadse_dse_trace(self, dataset_path, model_path, tmp_path):
+        from repro import obs
+
+        trace_path = tmp_path / "nn.trace.jsonl"
+        exit_code = main(
+            [
+                "dse",
+                "--dataset", str(dataset_path),
+                "--workloads", "605.mcf_s",
+                "--model-ipc", str(model_path),
+                "--model-power", str(model_path),
+                "--support-size", "6",
+                "--budget", "4",
+                "--candidate-pool", "30",
+                "--phases", "1",
+                "--trace", str(trace_path),
+            ]
+        )
+        assert exit_code == 0
+        spans = obs.validate_trace(obs.read_trace(trace_path))
+        names = {span["name"] for span in spans.values()}
+        assert {"explore", "explore.adapt", "sim.run_sweep"} <= names
+
+    def test_trace_command_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace"):
+            main(["trace", "summarize", str(tmp_path / "nope.jsonl")])

@@ -48,6 +48,10 @@ class TestIsArtifact:
             "experiments/run1.store/manifest.json",
             "experiments/run1.store/seg-00000001.seg",
             "experiments/run1.store/.lock",
+            # Trace telemetry (docs/observability.md): per-run artefacts,
+            # never committed.
+            "campaign.trace.jsonl",
+            "experiments/sweeps/run7.trace.jsonl",
         ],
     )
     def test_flags_artifacts(self, check_repo, path):
@@ -68,6 +72,12 @@ class TestIsArtifact:
             "src/repro/store.py",
             "docs/store.md",
             "benchmarks/results/store_speedup.json",
+            # Plain .jsonl (no .trace.) is data, not telemetry; obs source
+            # and results stay committed.
+            "datasets/episodes.jsonl",
+            "src/repro/obs/sink.py",
+            "docs/observability.md",
+            "benchmarks/results/trace_overhead.json",
         ],
     )
     def test_passes_source_files(self, check_repo, path):
@@ -92,6 +102,16 @@ class TestFindTrackedArtifacts:
     def test_preserves_order(self, check_repo):
         paths = ["b.pyc", "ok.py", "a.pyc"]
         assert check_repo.find_tracked_artifacts(paths) == ["b.pyc", "a.pyc"]
+
+    def test_planted_trace_is_caught(self, check_repo):
+        paths = [
+            "src/repro/obs/spans.py",
+            "benchmarks/results/trace_overhead.json",
+            "runs/campaign.trace.jsonl",
+        ]
+        assert check_repo.find_tracked_artifacts(paths) == [
+            "runs/campaign.trace.jsonl"
+        ]
 
 
 class TestMain:

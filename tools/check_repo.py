@@ -29,7 +29,9 @@ ARTIFACT_DIRS = frozenset({"__pycache__", ".eggs", ".pytest_cache"})
 
 #: File suffixes of compiled / bytecode / native-build outputs, plus
 #: measurement-store artifacts (``.seg`` segment logs are machine-local
-#: measurement caches — see docs/store.md — and must never be committed).
+#: measurement caches — see docs/store.md — and must never be committed)
+#: and trace files (``.trace.jsonl`` is per-run telemetry — see
+#: docs/observability.md — not a committed artefact).
 ARTIFACT_SUFFIXES = (
     ".pyc",
     ".pyo",
@@ -40,6 +42,7 @@ ARTIFACT_SUFFIXES = (
     ".a",
     ".whl",
     ".seg",
+    ".trace.jsonl",
 )
 
 #: Directory-name suffixes of packaging / measurement-store output (any
